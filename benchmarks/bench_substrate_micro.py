@@ -1,0 +1,127 @@
+"""Extension — substrate micro-benchmarks.
+
+Not a paper figure: pytest-benchmark timings for the building blocks the
+reproduction rests on (LSM store, MPT, SVM, Zipf sampling, PoW mining),
+so substrate regressions are visible independently of the scheduling
+results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.state import StateDB
+from repro.state.mpt import MerklePatriciaTrie, verify_proof
+from repro.storage import LSMStore, MemStore
+from repro.vm import ExecutionContext, LoggedStorage, SVM
+from repro.vm.contracts import compile_smallbank, smallbank_key_renderer
+from repro.workload import ZipfSampler
+
+
+@pytest.fixture
+def lsm(tmp_path):
+    store = LSMStore(tmp_path / "db", flush_bytes=1 << 20)
+    yield store
+    store.close()
+
+
+def test_lsm_put(benchmark, lsm):
+    counter = iter(range(10_000_000))
+
+    def put():
+        i = next(counter)
+        lsm.put(f"key-{i:09d}".encode(), b"v" * 64)
+
+    benchmark(put)
+
+
+def test_lsm_get_hot(benchmark, lsm):
+    for i in range(1_000):
+        lsm.put(f"key-{i:06d}".encode(), b"v" * 64)
+    lsm.flush()
+    benchmark(lambda: lsm.get(b"key-000500"))
+
+
+def test_memstore_get(benchmark):
+    store = MemStore()
+    for i in range(1_000):
+        store.put(f"key-{i:06d}".encode(), b"v")
+    benchmark(lambda: store.get(b"key-000500"))
+
+
+def test_mpt_insert(benchmark):
+    counter = iter(range(10_000_000))
+    trie = MerklePatriciaTrie()
+
+    def put():
+        i = next(counter)
+        trie.put(f"addr:{i:09d}".encode(), b"x" * 8)
+
+    benchmark(put)
+
+
+def test_mpt_lookup(benchmark):
+    trie = MerklePatriciaTrie()
+    for i in range(2_000):
+        trie.put(f"addr:{i:06d}".encode(), b"x" * 8)
+    benchmark(lambda: trie.get(b"addr:001000"))
+
+
+def test_mpt_proof_roundtrip(benchmark):
+    trie = MerklePatriciaTrie()
+    for i in range(500):
+        trie.put(f"addr:{i:06d}".encode(), b"x" * 8)
+
+    def prove_and_verify():
+        proof = trie.prove(b"addr:000250")
+        return verify_proof(trie.root, b"addr:000250", proof)
+
+    assert benchmark(prove_and_verify) == b"x" * 8
+
+
+def test_statedb_commit(benchmark):
+    db = StateDB()
+    counter = iter(range(10_000_000))
+
+    def commit_small_batch():
+        base = next(counter) * 10
+        for offset in range(10):
+            db.set(f"acct:{base + offset:09d}", offset)
+        return db.commit()
+
+    benchmark(commit_small_batch)
+
+
+def test_svm_smallbank_call(benchmark):
+    code = compile_smallbank()["sendPayment"]
+    svm = SVM()
+
+    def call():
+        storage = LoggedStorage(lambda a: 10_000)
+        context = ExecutionContext(
+            storage=storage, args=(1, 2, 50), key_renderer=smallbank_key_renderer
+        )
+        return svm.execute(code, context)
+
+    receipt = benchmark(call)
+    assert receipt.success
+
+
+def test_zipf_sampling(benchmark):
+    sampler = ZipfSampler(population=10_000, skew=0.9, seed=1)
+    benchmark(sampler.sample)
+
+
+def test_pow_mining_epoch(benchmark):
+    from repro.dag import EpochCoordinator, Mempool, ParallelChains, PoWParams
+    from repro.txn import make_transaction
+
+    def mine_one_epoch():
+        chains = ParallelChains(chain_count=2, pow_params=PoWParams(difficulty_bits=6))
+        coordinator = EpochCoordinator(chains=chains, miners=["m"], block_size=5)
+        pool = Mempool()
+        pool.submit_many([make_transaction(i, writes=[f"w{i}"]) for i in range(50)])
+        return coordinator.mine_epoch(pool, state_root=b"\x01" * 32)
+
+    blocks = benchmark.pedantic(mine_one_epoch, rounds=5, iterations=1)
+    assert len(blocks) == 2

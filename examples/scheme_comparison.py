@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Side-by-side comparison of every concurrency-control scheme.
+
+Runs Serial, OCC, CG, and Nezha over identical SmallBank epochs at three
+contention levels, printing what each one commits, aborts, and costs —
+a miniature of the paper's whole evaluation in one table.
+
+Run:  python examples/scheme_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.bench import SCHEMES, make_scheme, run_scheme, smallbank_epoch
+from repro.core import check_invariants
+
+SKEWS = (0.0, 0.6, 1.0)
+OMEGA = 4
+BLOCK_SIZE = 60
+
+
+def main() -> None:
+    header = (
+        f"{'skew':>5} {'scheme':<16} {'committed':>9} {'aborted':>7} "
+        f"{'abort %':>8} {'groups':>6} {'latency (ms)':>12}  serializable?"
+    )
+    print(header)
+    print("-" * len(header))
+    for skew in SKEWS:
+        transactions = smallbank_epoch(OMEGA, BLOCK_SIZE, skew=skew, seed=99)
+        for scheme_name in SCHEMES:
+            run = run_scheme(make_scheme(scheme_name, cycle_budget=200_000), transactions)
+            if run.failed:
+                print(f"{skew:>5} {scheme_name:<16} "
+                      f"{'FAILED (cycle budget, the paper reports OOM)':>40}")
+                continue
+            schedule = run.schedule
+            if scheme_name == "serial":
+                # Serial applies everything in order; it is trivially a
+                # serial execution, so skip the invariant check.
+                verdict = "serial by construction"
+            else:
+                sequences = (
+                    schedule.sequences()
+                    if scheme_name.startswith("nezha")
+                    else {t: i + 1 for i, t in enumerate(schedule.committed)}
+                )
+                problems = check_invariants(
+                    transactions, sequences, set(schedule.aborted)
+                )
+                verdict = "yes" if not problems else f"NO ({len(problems)} issues!)"
+            print(
+                f"{skew:>5} {scheme_name:<16} {schedule.committed_count:>9} "
+                f"{schedule.aborted_count:>7} {100 * schedule.abort_rate:>7.1f}% "
+                f"{len(schedule.groups):>6} {run.total_seconds * 1000:>12.2f}  "
+                f"{verdict}"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

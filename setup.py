@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 517 editable installs cannot build. ``pip install -e . --no-build-isolation``
+falls back to ``setup.py develop`` through this shim.
+"""
+
+from setuptools import setup
+
+setup()

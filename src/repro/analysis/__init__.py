@@ -1,0 +1,35 @@
+"""Analytical models and measurement helpers for the evaluation."""
+
+from repro.analysis.contention import (
+    AddressHeat,
+    ContentionReport,
+    analyze_contention,
+    gini_coefficient,
+)
+from repro.analysis.conflicts import (
+    ConflictMeasurement,
+    conflicts_per_address,
+    expected_distinct_addresses,
+    measure_conflicts,
+    pairwise_conflict_count,
+)
+from repro.analysis.metrics import Summary, geometric_mean, percentile, speedup
+from repro.analysis.serializability import CertificationReport, certify_schedule
+
+__all__ = [
+    "AddressHeat",
+    "CertificationReport",
+    "ContentionReport",
+    "ConflictMeasurement",
+    "Summary",
+    "analyze_contention",
+    "certify_schedule",
+    "conflicts_per_address",
+    "expected_distinct_addresses",
+    "geometric_mean",
+    "gini_coefficient",
+    "measure_conflicts",
+    "pairwise_conflict_count",
+    "percentile",
+    "speedup",
+]

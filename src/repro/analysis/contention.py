@@ -1,0 +1,102 @@
+"""Contention analysis: where the conflicts actually live.
+
+Summarises a batch's address access distribution — the top hot addresses,
+how concentrated access is (Gini coefficient), and the share of
+transactions touching the hottest address.  Used by the CLI's
+``hotspots`` command and by workload-design sanity checks in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.txn.transaction import Transaction
+
+
+@dataclass(frozen=True)
+class AddressHeat:
+    """Access statistics for one address."""
+
+    address: str
+    reads: int
+    writes: int
+
+    @property
+    def total(self) -> int:
+        """All accesses."""
+        return self.reads + self.writes
+
+
+@dataclass(frozen=True)
+class ContentionReport:
+    """Batch-level contention summary."""
+
+    transaction_count: int
+    distinct_addresses: int
+    hottest: tuple[AddressHeat, ...]
+    gini: float
+    hottest_share: float
+
+    def describe(self) -> str:
+        """One-line narrative of the contention level."""
+        if self.gini < 0.3:
+            level = "low (near-uniform access)"
+        elif self.gini < 0.6:
+            level = "moderate"
+        else:
+            level = "high (hot-spot dominated)"
+        return (
+            f"{self.distinct_addresses} addresses, gini={self.gini:.2f} ({level}), "
+            f"hottest address appears in {100 * self.hottest_share:.1f}% of txns"
+        )
+
+
+def analyze_contention(
+    transactions: Sequence[Transaction], top: int = 10
+) -> ContentionReport:
+    """Build a contention report for a batch."""
+    reads: dict[str, int] = {}
+    writes: dict[str, int] = {}
+    touching_hottest: dict[str, int] = {}
+    for txn in transactions:
+        for address in txn.read_set:
+            reads[address] = reads.get(address, 0) + 1
+        for address in txn.write_set:
+            writes[address] = writes.get(address, 0) + 1
+        for address in txn.rwset.addresses:
+            touching_hottest[address] = touching_hottest.get(address, 0) + 1
+    addresses = sorted(set(reads) | set(writes))
+    heats = [
+        AddressHeat(
+            address=address,
+            reads=reads.get(address, 0),
+            writes=writes.get(address, 0),
+        )
+        for address in addresses
+    ]
+    heats.sort(key=lambda h: (-h.total, h.address))
+    totals = [heat.total for heat in heats]
+    hottest_share = 0.0
+    if heats and transactions:
+        hottest_share = touching_hottest.get(heats[0].address, 0) / len(transactions)
+    return ContentionReport(
+        transaction_count=len(transactions),
+        distinct_addresses=len(addresses),
+        hottest=tuple(heats[:top]),
+        gini=gini_coefficient(totals),
+        hottest_share=hottest_share,
+    )
+
+
+def gini_coefficient(values: Sequence[int]) -> float:
+    """Gini coefficient of a non-negative sample (0 = uniform, ->1 = concentrated)."""
+    positives = sorted(v for v in values if v > 0)
+    count = len(positives)
+    if count == 0:
+        return 0.0
+    total = sum(positives)
+    if total == 0:
+        return 0.0
+    weighted = sum((index + 1) * value for index, value in enumerate(positives))
+    return (2 * weighted) / (count * total) - (count + 1) / count

@@ -1,0 +1,124 @@
+"""Schedule certification: independent serializability checking.
+
+``certify_schedule`` validates any scheme's output against the committed
+*order* (not the raw sequence numbers), using different machinery than
+:func:`repro.core.validate.check_invariants` — the two are run against
+each other in the test suite so a bug in one cannot silently pass both.
+
+A committed schedule is conflict-serializable in the snapshot-read model
+iff:
+
+1. every committed reader of an address commits before every *other*
+   committed writer of that address (a later read would otherwise have
+   observed a stale snapshot value), and
+2. transactions inside one commit group are pairwise conflict-free, so
+   any parallel interleaving of the group is equivalent.
+
+The certifier also reports the dependency graph it built, which doubles
+as an analysis artifact (edge counts correlate with the CG scheme's
+workload).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.schedule import Schedule
+from repro.txn.transaction import Transaction
+
+
+@dataclass
+class CertificationReport:
+    """Outcome of certifying one schedule."""
+
+    committed_count: int
+    dependency_edge_count: int
+    order_violations: list[str] = field(default_factory=list)
+    group_conflicts: list[str] = field(default_factory=list)
+    unknown_txids: list[int] = field(default_factory=list)
+
+    @property
+    def valid(self) -> bool:
+        """True when the schedule is certified serializable."""
+        return not (self.order_violations or self.group_conflicts or self.unknown_txids)
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        if self.valid:
+            return (
+                f"CERTIFIED: {self.committed_count} transactions, "
+                f"{self.dependency_edge_count} dependencies respected"
+            )
+        return (
+            f"REJECTED: {len(self.order_violations)} order violations, "
+            f"{len(self.group_conflicts)} group conflicts, "
+            f"{len(self.unknown_txids)} unknown ids"
+        )
+
+
+def certify_schedule(
+    transactions: Sequence[Transaction] | Mapping[int, Transaction],
+    schedule: Schedule,
+) -> CertificationReport:
+    """Certify a commit schedule against its transactions."""
+    if not isinstance(transactions, Mapping):
+        transactions = {t.txid: t for t in transactions}
+
+    position: dict[int, int] = {}
+    group_of: dict[int, int] = {}
+    unknown: list[int] = []
+    for group_index, group in enumerate(schedule.groups):
+        for txid in group.txids:
+            position[txid] = len(position)
+            group_of[txid] = group_index
+            if txid not in transactions:
+                unknown.append(txid)
+
+    readers: dict[str, list[int]] = {}
+    writers: dict[str, list[int]] = {}
+    for txid in position:
+        txn = transactions.get(txid)
+        if txn is None:
+            continue
+        for address in txn.read_set:
+            readers.setdefault(address, []).append(txid)
+        for address in txn.write_set:
+            writers.setdefault(address, []).append(txid)
+
+    order_violations: list[str] = []
+    group_conflicts: list[str] = []
+    edges = 0
+    for address in sorted(set(readers) | set(writers)):
+        write_list = writers.get(address, [])
+        for reader in readers.get(address, []):
+            for writer in write_list:
+                if reader == writer:
+                    continue
+                edges += 1
+                if group_of[reader] == group_of[writer]:
+                    group_conflicts.append(
+                        f"T{reader} reads and T{writer} writes {address} "
+                        f"in the same commit group"
+                    )
+                elif position[reader] > position[writer]:
+                    order_violations.append(
+                        f"T{reader} reads {address} but commits after "
+                        f"writer T{writer}"
+                    )
+        for index, first in enumerate(write_list):
+            for second in write_list[index + 1 :]:
+                edges += 1
+                if group_of[first] == group_of[second]:
+                    group_conflicts.append(
+                        f"T{first} and T{second} both write {address} "
+                        f"in the same commit group"
+                    )
+
+    return CertificationReport(
+        committed_count=len(position),
+        dependency_edge_count=edges,
+        order_violations=order_violations,
+        group_conflicts=group_conflicts,
+        unknown_txids=unknown,
+    )

@@ -1,0 +1,43 @@
+"""Baseline concurrency-control schemes the paper compares against."""
+
+from repro.baselines.conflict_graph import (
+    CGConfig,
+    CGResult,
+    CGScheduler,
+    CGTimings,
+    ConflictGraph,
+    build_conflict_graph,
+    remove_cycles,
+    topological_order,
+)
+from repro.baselines.johnson import (
+    DEFAULT_CYCLE_BUDGET,
+    count_cycles,
+    find_elementary_cycles,
+)
+from repro.baselines.occ import OCCResult, OCCScheduler
+from repro.baselines.pcc import PCCResult, PCCScheduler
+from repro.baselines.serial import SerialResult, SerialScheduler
+from repro.baselines.tarjan import nontrivial_components, strongly_connected_components
+
+__all__ = [
+    "CGConfig",
+    "CGResult",
+    "CGScheduler",
+    "CGTimings",
+    "ConflictGraph",
+    "DEFAULT_CYCLE_BUDGET",
+    "OCCResult",
+    "OCCScheduler",
+    "PCCResult",
+    "PCCScheduler",
+    "SerialResult",
+    "SerialScheduler",
+    "build_conflict_graph",
+    "count_cycles",
+    "find_elementary_cycles",
+    "nontrivial_components",
+    "remove_cycles",
+    "strongly_connected_components",
+    "topological_order",
+]

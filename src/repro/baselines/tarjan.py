@@ -1,0 +1,99 @@
+"""Tarjan's strongly-connected-components algorithm (iterative).
+
+Used by the CG strawman to restrict Johnson's cycle enumeration to the
+non-trivial SCCs, exactly as Fabric++ does.  Implemented iteratively so
+conflict graphs with thousands of vertices do not overflow Python's
+recursion limit.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence, TypeVar
+
+Node = TypeVar("Node", bound=Hashable)
+
+
+class _Frame:
+    """One simulated recursion frame of Tarjan's DFS."""
+
+    __slots__ = ("node", "successors", "position", "child")
+
+    def __init__(self, node, successors) -> None:
+        self.node = node
+        self.successors = successors
+        self.position = 0
+        self.child = None
+
+
+def strongly_connected_components(
+    vertices: Sequence[Node], out_edges: Mapping[Node, set[Node]]
+) -> list[list[Node]]:
+    """Return the SCCs of a directed graph in deterministic order.
+
+    Vertices are visited in the given order and successors in sorted order,
+    so the output is stable across runs.  Complexity ``O(V + E)``.
+    """
+    index_of: dict[Node, int] = {}
+    lowlink: dict[Node, int] = {}
+    on_stack: set[Node] = set()
+    stack: list[Node] = []
+    components: list[list[Node]] = []
+    counter = 0
+
+    for root in vertices:
+        if root in index_of:
+            continue
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        work = [_Frame(root, sorted(out_edges.get(root, ())))]
+        while work:
+            frame = work[-1]
+            node = frame.node
+            if frame.child is not None:
+                lowlink[node] = min(lowlink[node], lowlink[frame.child])
+                frame.child = None
+            descended = False
+            while frame.position < len(frame.successors):
+                succ = frame.successors[frame.position]
+                frame.position += 1
+                if succ not in index_of:
+                    index_of[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    frame.child = succ
+                    work.append(_Frame(succ, sorted(out_edges.get(succ, ()))))
+                    descended = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if descended:
+                continue
+            work.pop()
+            if lowlink[node] == index_of[node]:
+                component: list[Node] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def nontrivial_components(
+    vertices: Sequence[Node], out_edges: Mapping[Node, set[Node]]
+) -> list[list[Node]]:
+    """SCCs that can contain cycles: size > 1, or a self-looped vertex."""
+    result = []
+    for component in strongly_connected_components(vertices, out_edges):
+        if len(component) > 1:
+            result.append(component)
+        else:
+            only = component[0]
+            if only in out_edges.get(only, set()):
+                result.append(component)
+    return result

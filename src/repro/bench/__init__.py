@@ -1,0 +1,27 @@
+"""Benchmark harness: runners, sweeps, and table rendering."""
+
+from repro.bench.harness import (
+    SCHEMES,
+    SchemeRun,
+    bench_scale,
+    make_scheme,
+    repeat_runs,
+    run_scheme,
+    scaled,
+    smallbank_epoch,
+)
+from repro.bench.tables import print_table, render_series, render_table
+
+__all__ = [
+    "SCHEMES",
+    "SchemeRun",
+    "bench_scale",
+    "make_scheme",
+    "print_table",
+    "render_series",
+    "render_table",
+    "repeat_runs",
+    "run_scheme",
+    "scaled",
+    "smallbank_epoch",
+]

@@ -1,0 +1,105 @@
+"""Plain-text table rendering for benchmark output.
+
+Every benchmark prints the rows/series the paper's tables and figures
+report; this module renders them with aligned columns so `pytest -s`
+output is directly comparable to the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    note: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [f"== {title} =="]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    if note:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def print_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    note: str | None = None,
+) -> None:
+    """Render and print, flanked by blank lines for readability."""
+    print()
+    print(render_table(title, headers, rows, note))
+    print()
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_series(
+    title: str,
+    x_values: Sequence[object],
+    series: "dict[str, Sequence[float | None]]",
+    height: int = 12,
+    y_label: str = "",
+) -> str:
+    """Render aligned numeric series as an ASCII chart (figures in text).
+
+    Each series gets a marker letter; ``None`` values (failed runs) are
+    skipped.  The y axis is linear from 0 to the maximum observed value.
+    """
+    markers = "abcdefghij"
+    named = list(series.items())
+    peak = max(
+        (v for _, values in named for v in values if v is not None),
+        default=0.0,
+    )
+    if peak <= 0:
+        peak = 1.0
+    width = len(x_values)
+    grid = [[" "] * width for _ in range(height)]
+    for index, (_, values) in enumerate(named):
+        marker = markers[index % len(markers)]
+        for column, value in enumerate(values):
+            if value is None:
+                continue
+            row = height - 1 - int(round((value / peak) * (height - 1)))
+            row = min(max(row, 0), height - 1)
+            cell = grid[row][column]
+            grid[row][column] = "*" if cell not in (" ", marker) else marker
+    lines = [f"== {title} =="]
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{peak:>10.1f} |"
+        elif row_index == height - 1:
+            label = f"{0.0:>10.1f} |"
+        else:
+            label = " " * 10 + " |"
+        lines.append(label + "  ".join(row))
+    axis = " " * 10 + " +" + "-" * (3 * width - 2)
+    lines.append(axis)
+    lines.append(" " * 12 + "  ".join(str(x)[0] for x in x_values))
+    lines.append("x: " + ", ".join(str(x) for x in x_values) + (f"   y: {y_label}" if y_label else ""))
+    for index, (name, _) in enumerate(named):
+        lines.append(f"  {markers[index % len(markers)]} = {name}   (* = overlap)")
+    return "\n".join(lines)

@@ -1,0 +1,320 @@
+"""Command-line interface.
+
+Four subcommands cover the everyday uses of the library::
+
+    repro-nezha quickstart                        # paper's worked example
+    repro-nezha schedule --scheme nezha --skew .8 # one batch, one scheme
+    repro-nezha compare --skew .6                 # all schemes side by side
+    repro-nezha simulate --scheme nezha --epochs 5  # cluster throughput
+
+Also runnable as ``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis import measure_conflicts, pairwise_conflict_count
+from repro.bench import SCHEMES, make_scheme, run_scheme
+from repro.bench.tables import render_table
+from repro.workload import (
+    SmallBankConfig,
+    SmallBankWorkload,
+    SyntheticConfig,
+    SyntheticWorkload,
+    TokenConfig,
+    TokenWorkload,
+    flatten_blocks,
+)
+
+WORKLOADS = ("smallbank", "token", "synthetic")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument schema."""
+    parser = argparse.ArgumentParser(
+        prog="repro-nezha",
+        description="Nezha (ICDCS 2022) reproduction: concurrency control "
+        "for DAG-based blockchains",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("quickstart", help="walk through the paper's worked example")
+
+    schedule = sub.add_parser("schedule", help="schedule one epoch's batch")
+    _add_workload_args(schedule)
+    schedule.add_argument(
+        "--scheme", choices=sorted(SCHEMES), default="nezha", help="scheme to run"
+    )
+
+    compare = sub.add_parser("compare", help="run every scheme on one batch")
+    _add_workload_args(compare)
+
+    simulate = sub.add_parser("simulate", help="simulated cluster throughput")
+    _add_workload_args(simulate)
+    simulate.add_argument("--scheme", choices=sorted(SCHEMES), default="nezha")
+    simulate.add_argument("--epochs", type=int, default=3, help="epochs to run")
+    simulate.add_argument(
+        "--paper-costs",
+        action="store_true",
+        help="charge execution at the paper-calibrated EVM rate",
+    )
+
+    conflicts = sub.add_parser("conflicts", help="conflict analysis (Table I)")
+    _add_workload_args(conflicts)
+
+    hotspots = sub.add_parser("hotspots", help="contention analysis of a workload")
+    _add_workload_args(hotspots)
+    hotspots.add_argument("--top", type=int, default=10, help="hot addresses to list")
+
+    trace = sub.add_parser("trace", help="record, inspect, and replay workload traces")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    record = trace_sub.add_parser("record", help="generate and save a trace")
+    _add_workload_args(record)
+    record.add_argument("--out", required=True, help="trace file to write")
+    info = trace_sub.add_parser("info", help="show a trace's shape")
+    info.add_argument("file", help="trace file to inspect")
+    replay = trace_sub.add_parser("run", help="schedule a recorded trace")
+    replay.add_argument("file", help="trace file to replay")
+    replay.add_argument("--scheme", choices=sorted(SCHEMES), default="nezha")
+    return parser
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", choices=WORKLOADS, default="smallbank")
+    parser.add_argument("--omega", type=int, default=4, help="block concurrency")
+    parser.add_argument("--block-size", type=int, default=100, help="txns per block")
+    parser.add_argument("--skew", type=float, default=0.0, help="Zipfian exponent")
+    parser.add_argument("--accounts", type=int, default=10_000, help="population")
+    parser.add_argument("--seed", type=int, default=0, help="PRNG seed")
+
+
+def make_workload(args: argparse.Namespace):
+    """Instantiate the selected workload generator."""
+    if args.workload == "smallbank":
+        return SmallBankWorkload(
+            SmallBankConfig(account_count=args.accounts, skew=args.skew, seed=args.seed)
+        )
+    if args.workload == "token":
+        return TokenWorkload(
+            TokenConfig(holder_count=args.accounts, skew=args.skew, seed=args.seed)
+        )
+    return SyntheticWorkload(
+        SyntheticConfig(address_count=args.accounts, skew=args.skew, seed=args.seed)
+    )
+
+
+def generate_batch(args: argparse.Namespace):
+    """One epoch's deduplicated transactions for the CLI parameters."""
+    workload = make_workload(args)
+    return flatten_blocks(workload.generate_blocks(args.omega, args.block_size))
+
+
+def cmd_quickstart(_args: argparse.Namespace) -> int:
+    from repro.core import NezhaScheduler, build_acg, divide_ranks
+    from repro.txn import make_transaction
+
+    transactions = [
+        make_transaction(1, reads=["A2"], writes=["A1"]),
+        make_transaction(2, reads=["A3"], writes=["A2"]),
+        make_transaction(3, reads=["A4"], writes=["A2"]),
+        make_transaction(4, reads=["A4"], writes=["A3"]),
+        make_transaction(5, reads=["A4"], writes=["A4"]),
+        make_transaction(6, reads=["A1"], writes=["A3"]),
+    ]
+    acg = build_acg(transactions)
+    print("ACG unit lists (paper Figure 4):")
+    for address in acg.addresses:
+        print(f"  {acg.rw_lists[address]!r}")
+    print(f"address dependencies: {sorted(acg.iter_edges())}")
+    print(f"sorting ranks (Figure 6): {divide_ranks(acg)}")
+    result = NezhaScheduler().schedule(transactions)
+    print("commit schedule (Figure 7):")
+    for group in result.schedule.groups:
+        print(f"  seq {group.sequence}: {[f'T{t}' for t in group.txids]}")
+    print(f"aborted: {[f'T{t}' for t in result.schedule.aborted]}")
+    return 0
+
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    transactions = generate_batch(args)
+    run = run_scheme(make_scheme(args.scheme), transactions)
+    rows = [
+        ["transactions", len(transactions)],
+        ["committed", run.schedule.committed_count],
+        ["aborted", run.schedule.aborted_count],
+        ["abort rate", f"{100 * run.schedule.abort_rate:.2f}%"],
+        ["commit groups", len(run.schedule.groups)],
+        ["mean group size", f"{run.schedule.mean_group_size:.2f}"],
+        ["latency", f"{run.total_seconds * 1000:.2f} ms"],
+    ]
+    for phase, seconds in run.phase_seconds.items():
+        rows.append([f"  {phase}", f"{seconds * 1000:.2f} ms"])
+    if run.failed:
+        rows.append(["FAILED", "cycle budget exhausted (paper: OOM)"])
+    print(render_table(f"{args.scheme} on {args.workload}", ["metric", "value"], rows))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    transactions = generate_batch(args)
+    rows = []
+    for scheme_name in sorted(SCHEMES):
+        run = run_scheme(make_scheme(scheme_name), transactions)
+        if run.failed:
+            rows.append([scheme_name, "-", "-", "-", "FAILED"])
+            continue
+        rows.append(
+            [
+                scheme_name,
+                run.schedule.committed_count,
+                f"{100 * run.schedule.abort_rate:.1f}%",
+                len(run.schedule.groups),
+                f"{run.total_seconds * 1000:.2f} ms",
+            ]
+        )
+    print(
+        render_table(
+            f"all schemes, {args.workload}, omega={args.omega}, skew={args.skew}",
+            ["scheme", "committed", "aborts", "groups", "latency"],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.net import Cluster, ClusterConfig
+    from repro.vm.costmodel import ExecutionCostModel, ZERO_COST
+
+    if args.workload != "smallbank":
+        print("simulate currently drives the SmallBank cluster only", file=sys.stderr)
+        return 2
+    cluster = Cluster(
+        make_scheme(args.scheme),
+        ClusterConfig(
+            block_concurrency=args.omega,
+            block_size=args.block_size,
+            skew=args.skew,
+            account_count=args.accounts,
+            seed=args.seed,
+            cost_model=ExecutionCostModel() if args.paper_costs else ZERO_COST,
+        ),
+    )
+    run = cluster.run_epochs(args.epochs)
+    rows = [
+        ["epochs", len(run.outcomes)],
+        ["committed", run.committed],
+        ["simulated duration", f"{run.duration:.2f} s"],
+        ["effective throughput", f"{run.effective_throughput:.1f} tps"],
+        ["mean abort rate", f"{100 * run.mean_abort_rate:.2f}%"],
+    ]
+    print(
+        render_table(
+            f"cluster: {args.scheme}, omega={args.omega}, skew={args.skew}",
+            ["metric", "value"],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_conflicts(args: argparse.Namespace) -> int:
+    transactions = generate_batch(args)
+    measured = measure_conflicts(transactions)
+    theoretical = pairwise_conflict_count(len(transactions))
+    rows = [
+        ["transactions", measured.transaction_count],
+        ["possible pairs (C coefficient)", f"{theoretical:,.0f}"],
+        ["conflicting pairs (measured)", measured.conflicting_pairs],
+        ["conflict probability p", f"{measured.conflict_probability:.4f}"],
+        ["distinct addresses", measured.distinct_addresses],
+        ["mean conflicts per address", f"{measured.mean_conflicts_per_address:.2f}"],
+        ["max conflicts on one address", measured.max_conflicts_on_address],
+    ]
+    print(
+        render_table(
+            f"conflicts: {args.workload}, omega={args.omega}, skew={args.skew}",
+            ["metric", "value"],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_hotspots(args: argparse.Namespace) -> int:
+    from repro.analysis import analyze_contention
+
+    transactions = generate_batch(args)
+    report = analyze_contention(transactions, top=args.top)
+    rows = [
+        [heat.address, heat.reads, heat.writes, heat.total]
+        for heat in report.hottest
+    ]
+    print(
+        render_table(
+            f"hotspots: {args.workload}, skew={args.skew} — {report.describe()}",
+            ["address", "reads", "writes", "total"],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.workload.trace import load_trace, save_trace, trace_info
+
+    if args.trace_command == "record":
+        transactions = generate_batch(args)
+        count = save_trace(args.out, transactions)
+        print(f"recorded {count} transactions to {args.out}")
+        return 0
+    if args.trace_command == "info":
+        info = trace_info(args.file)
+        rows = [["transactions", info["count"]], ["distinct addresses", info["distinct_addresses"]]]
+        rows.extend([f"  {name}", count] for name, count in info["functions"].items())
+        print(render_table(f"trace {args.file}", ["metric", "value"], rows))
+        return 0
+    # run
+    transactions = load_trace(args.file)
+    run = run_scheme(make_scheme(args.scheme), transactions)
+    print(
+        render_table(
+            f"{args.scheme} on trace {args.file}",
+            ["metric", "value"],
+            [
+                ["transactions", len(transactions)],
+                ["committed", run.schedule.committed_count],
+                ["aborted", run.schedule.aborted_count],
+                ["latency", f"{run.total_seconds * 1000:.2f} ms"],
+            ],
+        )
+    )
+    return 0
+
+
+COMMANDS = {
+    "quickstart": cmd_quickstart,
+    "schedule": cmd_schedule,
+    "compare": cmd_compare,
+    "simulate": cmd_simulate,
+    "conflicts": cmd_conflicts,
+    "hotspots": cmd_hotspots,
+    "trace": cmd_trace,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

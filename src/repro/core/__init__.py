@@ -1,0 +1,42 @@
+"""Nezha concurrency control: ACG construction plus hierarchical sorting."""
+
+from repro.core.acg import ACG, build_acg
+from repro.core.export import acg_to_dot, conflict_graph_to_dot, schedule_to_dot
+from repro.core.rank import RankPolicy, divide_ranks, rank_addresses
+from repro.core.schedule import (
+    CommitGroup,
+    Schedule,
+    schedule_from_sequences,
+    serial_schedule,
+)
+from repro.core.scheduler import NezhaConfig, NezhaResult, NezhaScheduler, PhaseTimings
+from repro.core.sorting import INITIAL_SEQUENCE, SortState, sort_transactions
+from repro.core.units import AddressRWList, Unit, UnitKind
+from repro.core.validate import check_invariants, validate_sort
+
+__all__ = [
+    "ACG",
+    "AddressRWList",
+    "CommitGroup",
+    "INITIAL_SEQUENCE",
+    "NezhaConfig",
+    "NezhaResult",
+    "NezhaScheduler",
+    "PhaseTimings",
+    "RankPolicy",
+    "Schedule",
+    "SortState",
+    "Unit",
+    "UnitKind",
+    "acg_to_dot",
+    "build_acg",
+    "conflict_graph_to_dot",
+    "check_invariants",
+    "divide_ranks",
+    "rank_addresses",
+    "schedule_from_sequences",
+    "schedule_to_dot",
+    "serial_schedule",
+    "sort_transactions",
+    "validate_sort",
+]

@@ -1,0 +1,217 @@
+"""Per-address transaction sorting (Algorithm 2) with optional reordering.
+
+After rank division, addresses are visited in rank order and Lamport-style
+sequence numbers are assigned to the units on each address:
+
+* all read units on an address share a sequence number (reads never
+  conflict with each other);
+* write units receive increasing, pairwise-distinct numbers strictly
+  greater than the address's maximum read number;
+* a previously-assigned write unit whose number does not exceed the
+  address's maximum read number belongs to an unserializable transaction,
+  which is aborted — this replaces the conventional scheme's cycle
+  detection;
+* a transaction that both reads and writes the address keeps a single
+  number (atomicity) placed just above the maximum read number.
+
+The *reordering* enhancement (Section IV-D) rescues an unserializable
+transaction with multiple write units by re-assigning it a number greater
+than the maximum already used on any address it touches, exploiting the
+reorderability of write-write dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.acg import ACG
+from repro.txn.rwset import Address
+from repro.txn.transaction import Transaction
+
+INITIAL_SEQUENCE = 1
+"""First sequence number handed out (0 is the "no reads" sentinel)."""
+
+
+@dataclass
+class SortState:
+    """Mutable state threaded through the per-address sorting passes."""
+
+    sequences: dict[int, int] = field(default_factory=dict)
+    aborted: set[int] = field(default_factory=set)
+    reordered: set[int] = field(default_factory=set)
+
+    def sequence_of(self, txid: int) -> int | None:
+        """Assigned sequence number of ``txid``, or ``None``."""
+        return self.sequences.get(txid)
+
+    def is_live(self, txid: int) -> bool:
+        """True while the transaction has not been aborted."""
+        return txid not in self.aborted
+
+    def abort(self, txid: int) -> None:
+        """Abort the transaction; its units are ignored from now on."""
+        self.aborted.add(txid)
+        self.sequences.pop(txid, None)
+
+
+def sort_transactions(
+    acg: ACG,
+    rank_order: Sequence[Address],
+    transactions: Mapping[int, Transaction],
+    enable_reorder: bool = True,
+    initial_seq: int = INITIAL_SEQUENCE,
+) -> SortState:
+    """Run Algorithm 2 over every address in rank order.
+
+    Parameters
+    ----------
+    acg:
+        The address-based conflict graph holding the per-address unit lists.
+    rank_order:
+        Output of :func:`repro.core.rank.divide_ranks`.
+    transactions:
+        Mapping txid -> transaction, used by the reordering enhancement to
+        inspect a transaction's other write units.
+    enable_reorder:
+        Apply the Section IV-D enhancement instead of aborting when a
+        transaction with multiple writes turns out unserializable.
+    """
+    state = SortState()
+    for address in rank_order:
+        _sort_address(acg, address, state, transactions, enable_reorder, initial_seq)
+    # Transactions touching no address at all (no-ops) conflict with
+    # nothing; they commit in the first group.
+    for txid in transactions:
+        if state.is_live(txid) and state.sequence_of(txid) is None:
+            state.sequences[txid] = initial_seq
+    return state
+
+
+def _sort_address(
+    acg: ACG,
+    address: Address,
+    state: SortState,
+    transactions: Mapping[int, Transaction],
+    enable_reorder: bool,
+    initial_seq: int,
+) -> None:
+    """Assign sequence numbers to the live units of one address."""
+    rw = acg.rw(address)
+    reads = [t for t in rw.reads if state.is_live(t)]
+    writes = [t for t in rw.writes if state.is_live(t)]
+
+    # --- Read units -------------------------------------------------------
+    sorted_reads = [t for t in reads if state.sequence_of(t) is not None]
+    if not sorted_reads:
+        for txid in reads:
+            state.sequences[txid] = initial_seq
+        max_read = initial_seq if reads else 0
+    else:
+        values = [state.sequences[t] for t in sorted_reads]
+        min_seq = min(values)
+        max_read = max(values)
+        for txid in reads:
+            if state.sequence_of(txid) is None:
+                state.sequences[txid] = min_seq
+
+    # --- Previously-assigned write units ----------------------------------
+    read_ids = set(reads)
+    sorted_writes = [t for t in writes if state.sequence_of(t) is not None]
+
+    # A transaction with both units on this address keeps one number placed
+    # directly above the reads (paper line 17-19).  Rule 1 only constrains
+    # *distinct* transactions, so the bump compares against the highest
+    # read of the others and is skipped when the number already clears it
+    # (a transaction sequenced higher on an earlier-ranked address).
+    for txid in sorted_writes:
+        if txid not in read_ids:
+            continue
+        other_max = max(
+            (
+                state.sequences[reader]
+                for reader in reads
+                if reader != txid and state.sequence_of(reader) is not None
+            ),
+            default=0,
+        )
+        if state.sequences[txid] <= other_max:
+            state.sequences[txid] = max(max_read, other_max) + 1
+        max_read = max(max_read, state.sequences[txid])
+
+    # Unserializability check (paper lines 20-24).  The paper tests
+    # ``sequence < maxRead``; rule 1 requires reads to be *strictly*
+    # smaller than writes, so equality is also invalid (see DESIGN.md).
+    seen_write_seqs: dict[int, int] = {}
+    for txid in sorted_writes:
+        sequence = state.sequences[txid]
+        duplicate = sequence in seen_write_seqs and seen_write_seqs[sequence] != txid
+        too_small = sequence <= max_read and txid not in read_ids
+        if too_small or duplicate:
+            # Either below a read unit, or two writes assigned on
+            # different earlier addresses collided with equal numbers.
+            _resolve_unserializable(
+                acg, address, txid, state, transactions, enable_reorder
+            )
+        if state.is_live(txid):
+            seen_write_seqs[state.sequences[txid]] = txid
+
+    # --- Remaining write units --------------------------------------------
+    write_seq = initial_seq if max_read == 0 else max_read + 1
+    assigned_here = {
+        state.sequences[t]
+        for t in (*reads, *writes)
+        if state.is_live(t) and state.sequence_of(t) is not None
+    }
+    for txid in writes:
+        if not state.is_live(txid) or state.sequence_of(txid) is not None:
+            continue
+        while write_seq in assigned_here:
+            write_seq += 1
+        state.sequences[txid] = write_seq
+        assigned_here.add(write_seq)
+
+
+def _resolve_unserializable(
+    acg: ACG,
+    address: Address,
+    txid: int,
+    state: SortState,
+    transactions: Mapping[int, Transaction],
+    enable_reorder: bool,
+) -> None:
+    """Abort an unserializable transaction, or reorder it when possible.
+
+    Reordering (Section IV-D) targets anomalies caused by *write-write*
+    dependencies: a transaction with more than one write unit is bumped to
+    a sequence number greater than the maximum assigned on any address it
+    touches, which is valid because the order between write units may be
+    switched.  The bump is optimistic — if the transaction also *reads*
+    contended addresses, moving it later can strand another writer below
+    its read; the safety-validation pass resolves such cases by aborting
+    the reordered transaction itself (see ``validate_sort``), so enabling
+    reordering never aborts more than disabling it.
+    """
+    txn = transactions.get(txid)
+    if enable_reorder and txn is not None and len(txn.write_set) > 1:
+        new_seq = _max_sequence_on_addresses(acg, txn, state) + 1
+        state.sequences[txid] = new_seq
+        state.reordered.add(txid)
+    else:
+        state.abort(txid)
+
+
+def _max_sequence_on_addresses(acg: ACG, txn: Transaction, state: SortState) -> int:
+    """Maximum sequence currently assigned on any address ``txn`` touches."""
+    best = 0
+    for address in txn.rwset.addresses:
+        rw = acg.rw_lists.get(address)
+        if rw is None:
+            continue
+        for other in (*rw.reads, *rw.writes):
+            if not state.is_live(other):
+                continue
+            sequence = state.sequence_of(other)
+            if sequence is not None and sequence > best:
+                best = sequence
+    return best

@@ -1,0 +1,93 @@
+"""Read/write units and per-address unit lists.
+
+The paper decomposes each transaction ``T_v`` into fine-grained *units*:
+``T_v^R`` (its read on some address) and ``T_v^W`` (its write).  Every
+address ``A_j`` keeps an ordered read/write set ``RW_j`` holding all units
+that touch it, with read units placed before write units and write units
+ordered by transaction id (Section IV-B).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.txn.rwset import Address
+
+
+class UnitKind(enum.Enum):
+    """Whether a unit is a read (``T^R``) or a write (``T^W``)."""
+
+    READ = "R"
+    WRITE = "W"
+
+
+@dataclass(frozen=True, order=True)
+class Unit:
+    """One read or write operation of a transaction on one address."""
+
+    txid: int
+    kind: UnitKind = field(compare=False)
+    address: Address = field(compare=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"T{self.txid}^{self.kind.value}@{self.address}"
+
+
+@dataclass
+class AddressRWList:
+    """The ordered read/write set ``RW_j`` of one address.
+
+    Reads always precede writes (read-write dependency rule) and writes are
+    kept in ascending transaction-id order (deterministic write-write
+    ordering rule).  Transaction ids appear at most once per list: a
+    transaction that both reads and writes the address appears in both
+    lists.
+    """
+
+    address: Address
+    reads: list[int] = field(default_factory=list)
+    writes: list[int] = field(default_factory=list)
+
+    def add_read(self, txid: int) -> None:
+        """Record that ``txid`` reads this address (id order maintained)."""
+        self.reads.append(txid)
+
+    def add_write(self, txid: int) -> None:
+        """Record that ``txid`` writes this address (id order maintained)."""
+        self.writes.append(txid)
+
+    def finalize(self) -> None:
+        """Sort both unit lists by transaction id.
+
+        Construction appends in whatever order transactions arrive; the
+        paper's ordering rules require id order, restored here once.
+        """
+        self.reads.sort()
+        self.writes.sort()
+
+    @property
+    def read_set(self) -> set[int]:
+        """Ids of transactions reading this address."""
+        return set(self.reads)
+
+    @property
+    def write_set(self) -> set[int]:
+        """Ids of transactions writing this address."""
+        return set(self.writes)
+
+    def units(self) -> Iterator[Unit]:
+        """Yield units in ``RW_j`` order: reads first, then writes."""
+        for txid in self.reads:
+            yield Unit(txid=txid, kind=UnitKind.READ, address=self.address)
+        for txid in self.writes:
+            yield Unit(txid=txid, kind=UnitKind.WRITE, address=self.address)
+
+    def __len__(self) -> int:
+        return len(self.reads) + len(self.writes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        reads = ", ".join(f"T{t}^R" for t in self.reads)
+        writes = ", ".join(f"T{t}^W" for t in self.writes)
+        return f"RW({self.address}: [{reads} | {writes}])"

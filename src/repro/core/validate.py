@@ -1,0 +1,248 @@
+"""Final safety validation of a hierarchical-sorting result.
+
+Algorithm 2 as printed in the paper assigns sequence numbers in one pass
+over the addresses.  Three rare corner cases can slip through (see
+DESIGN.md, "Implementation hardening"):
+
+1. two writes assigned on *different* earlier-ranked addresses can reach a
+   shared later address carrying the same sequence number;
+2. re-assigning a transaction (line 17-19) can retroactively invalidate an
+   address that was already sorted;
+3. the reordering enhancement is optimistic — bumping a transaction that
+   also *reads* contended addresses can strand another writer below the
+   bumped read.
+
+This module re-checks the two serialization invariants in linear time and
+deterministically aborts violators, guaranteeing that every schedule the
+library emits is conflict-serializable:
+
+* **R<W**: for distinct live transactions ``u``/``v``, if ``u`` reads an
+  address ``v`` writes, then ``seq(u) < seq(v)``;
+* **W!=W**: two live writers of the same address never share a number.
+
+Abort policy: the *writer* is aborted (matching the paper, which aborts
+the transaction whose write unit carries the abnormal number) — unless
+the blocking reader is a transaction the reordering enhancement bumped,
+in which case the bumped transaction is aborted instead (it is the one
+that moved; without reordering it would have been aborted anyway, so
+reordering can never increase the total abort count).  Ties go to the
+larger transaction id.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.acg import ACG
+from repro.core.sorting import SortState
+from repro.txn.transaction import Transaction
+
+
+def validate_sort(
+    acg: ACG,
+    state: SortState,
+    transactions: Mapping[int, Transaction] | None = None,
+    enable_reorder: bool = False,
+) -> set[int]:
+    """Abort transactions violating the serialization invariants.
+
+    Repeats sweeps until a fixpoint (aborting or bumping only removes or
+    defers constraints, and each transaction is bumped at most once, so
+    the loop terminates).  With ``enable_reorder``, a stranded writer with
+    more than one write unit gets one Section IV-D rescue attempt — a bump
+    past every number on its addresses — before it is aborted.  Returns
+    the ids aborted here.
+    """
+    newly_aborted: set[int] = set()
+    attempted: set[int] = set(state.reordered)
+    addresses = acg.addresses
+    while True:
+        violators = _find_violations(acg, state, addresses)
+        if not violators:
+            break
+        for txid in sorted(violators):
+            txn = transactions.get(txid) if transactions else None
+            rescuable = (
+                enable_reorder
+                and txid not in attempted
+                and txn is not None
+                and len(txn.write_set) > 1
+            )
+            if rescuable:
+                attempted.add(txid)
+                new_seq = 1 + _max_sequence_on_addresses(acg, txn, state)
+                state.sequences[txid] = new_seq
+                state.reordered.add(txid)
+            else:
+                state.abort(txid)
+                newly_aborted.add(txid)
+    if enable_reorder and transactions is not None:
+        newly_aborted -= _resurrect(acg, state, transactions)
+    return newly_aborted
+
+
+def _resurrect(
+    acg: ACG, state: SortState, transactions: Mapping[int, Transaction]
+) -> set[int]:
+    """Second-chance commit for aborted transactions that are now safe.
+
+    Aborting a transaction removes the constraints it imposed, which can
+    leave earlier casualties retroactively innocent — most commonly a
+    blind writer stranded at an equal number by a reader that has since
+    been re-bumped or aborted.  A transaction can be revived at a number
+    above everything on its addresses iff none of its read addresses has
+    a live writer (its snapshot reads then stay valid no matter how late
+    it commits; its writes are write-write reorderable by definition).
+    Revival preserves both invariants by construction, so no re-sweep is
+    needed.  Processed in ascending id order for determinism.
+    """
+    revived: set[int] = set()
+    for txid in sorted(state.aborted):
+        txn = transactions.get(txid)
+        if txn is None:
+            continue
+        if not _reads_are_writer_free(acg, txn, state):
+            continue
+        state.aborted.discard(txid)
+        state.sequences[txid] = 1 + _max_sequence_on_addresses(acg, txn, state)
+        revived.add(txid)
+    return revived
+
+
+def _reads_are_writer_free(acg: ACG, txn: Transaction, state: SortState) -> bool:
+    """True when no live transaction writes any address ``txn`` reads."""
+    for address in txn.read_set:
+        rw = acg.rw_lists.get(address)
+        if rw is None:
+            continue
+        for writer in rw.writes:
+            if writer != txn.txid and state.is_live(writer):
+                return False
+    return True
+
+
+def _max_sequence_on_addresses(acg: ACG, txn: Transaction, state: SortState) -> int:
+    """Maximum sequence currently assigned on any address ``txn`` touches."""
+    best = 0
+    for address in txn.rwset.addresses:
+        rw = acg.rw_lists.get(address)
+        if rw is None:
+            continue
+        for other in (*rw.reads, *rw.writes):
+            if not state.is_live(other):
+                continue
+            sequence = state.sequence_of(other)
+            if sequence is not None and sequence > best:
+                best = sequence
+    return best
+
+
+def _find_violations(
+    acg: ACG, state: SortState, addresses: Sequence[str]
+) -> set[int]:
+    """One sweep: collect every transaction to abort."""
+    violators: set[int] = set()
+    for address in addresses:
+        rw = acg.rw_lists[address]
+        # Split readers into normally-sorted and reordered; track the two
+        # highest normal reads so a writer that also reads the address can
+        # be compared against the highest *other* normal read.
+        top_seq = 0
+        top_reader = -1
+        second_seq = 0
+        reordered_readers: list[tuple[int, int]] = []
+        for txid in rw.reads:
+            if not state.is_live(txid):
+                continue
+            sequence = state.sequence_of(txid)
+            if sequence is None:
+                continue
+            if txid in state.reordered:
+                reordered_readers.append((txid, sequence))
+                continue
+            if sequence > top_seq:
+                second_seq = top_seq
+                top_seq = sequence
+                top_reader = txid
+            elif sequence > second_seq:
+                second_seq = sequence
+        seen: dict[int, int] = {}
+        for txid in rw.writes:
+            if not state.is_live(txid):
+                continue
+            sequence = state.sequence_of(txid)
+            if sequence is None:
+                # Unassigned live writer: sorting never reached it, which
+                # cannot happen for a completed run; treat as violation.
+                violators.add(txid)
+                continue
+            limit = second_seq if txid == top_reader else top_seq
+            if sequence <= limit:
+                violators.add(txid)
+            else:
+                for reader, read_seq in reordered_readers:
+                    if reader != txid and sequence <= read_seq:
+                        # A bumped reader stranded an otherwise-valid
+                        # writer: the bumped transaction pays.
+                        violators.add(reader)
+            prior = seen.get(sequence)
+            if prior is not None and prior != txid:
+                violators.add(_duplicate_victim(prior, txid, state))
+            else:
+                seen[sequence] = txid
+    return violators
+
+
+def _duplicate_victim(first: int, second: int, state: SortState) -> int:
+    """Which of two equal-sequence writers aborts: reordered, else larger id."""
+    if first in state.reordered and second not in state.reordered:
+        return first
+    if second in state.reordered and first not in state.reordered:
+        return second
+    return max(first, second)
+
+
+def check_invariants(
+    transactions: Mapping[int, Transaction] | Sequence[Transaction],
+    sequences: Mapping[int, int],
+    aborted: set[int] | frozenset[int] = frozenset(),
+) -> list[str]:
+    """Return human-readable descriptions of invariant violations.
+
+    Used by tests and by :mod:`repro.analysis` to certify schedules from
+    *any* scheme (Nezha, CG, OCC).  An empty list means the committed
+    transactions form a valid serialization order.
+    """
+    if not isinstance(transactions, Mapping):
+        transactions = {t.txid: t for t in transactions}
+    problems: list[str] = []
+    readers: dict[str, list[tuple[int, int]]] = {}
+    writers: dict[str, list[tuple[int, int]]] = {}
+    for txid, txn in transactions.items():
+        if txid in aborted:
+            continue
+        if txid not in sequences:
+            problems.append(f"committed T{txid} has no sequence number")
+            continue
+        sequence = sequences[txid]
+        for address in txn.read_set:
+            readers.setdefault(address, []).append((txid, sequence))
+        for address in txn.write_set:
+            writers.setdefault(address, []).append((txid, sequence))
+    for address, write_list in sorted(writers.items()):
+        seen: dict[int, int] = {}
+        for txid, sequence in write_list:
+            prior = seen.get(sequence)
+            if prior is not None and prior != txid:
+                problems.append(
+                    f"writes of T{prior} and T{txid} on {address} share sequence {sequence}"
+                )
+            seen[sequence] = txid
+        for reader, read_seq in readers.get(address, ()):
+            for writer, write_seq in write_list:
+                if reader != writer and write_seq <= read_seq:
+                    problems.append(
+                        f"T{reader} reads {address} at seq {read_seq} but "
+                        f"T{writer} writes it at seq {write_seq}"
+                    )
+    return problems

@@ -1,0 +1,129 @@
+"""Blocks of the DAG-based blockchain.
+
+Following the paper's workflow change (Section III-B), a block carries the
+state root *of the previous epoch* rather than post-execution state:
+consensus nodes do not execute transactions before proposing.  Blocks are
+bound to one of the parallel chains (OHIE-style, the chain is derived
+from the block hash so miners cannot choose it) and reference both their
+own-chain parent and the tips of every other chain at proposal time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass, field
+
+from repro.errors import ChainError
+from repro.txn.transaction import Transaction
+
+GENESIS_HASH = b"\x00" * 32
+"""Parent reference used by height-0 blocks."""
+
+
+@dataclass(frozen=True)
+class BlockHeader:
+    """Consensus-relevant block metadata."""
+
+    chain_id: int
+    height: int
+    parent: bytes
+    state_root: bytes
+    tx_root: bytes
+    tips_digest: bytes
+    miner: str = ""
+    nonce: int = 0
+
+    def encode(self) -> bytes:
+        """Canonical byte encoding (hashed for the block id)."""
+        return struct.pack("<II", self.chain_id, self.height) + self.parent + self.mining_core()
+
+    def mining_core(self) -> bytes:
+        """The bytes PoW grinds over.
+
+        ``chain_id`` and ``parent`` are *derived from* the mined hash
+        (OHIE: the hash picks the chain, the parent is that chain's tip
+        committed in ``tips_digest``), so they cannot be part of the
+        pre-image; everything else is.
+        """
+        return b"".join(
+            (
+                struct.pack("<I", self.height),
+                self.state_root,
+                self.tx_root,
+                self.tips_digest,
+                self.miner.encode(),
+                struct.pack("<Q", self.nonce),
+            )
+        )
+
+    def core_hash(self) -> bytes:
+        """The mined hash: decides PoW validity and chain assignment."""
+        return hashlib.sha256(self.mining_core()).digest()
+
+    def hash(self) -> bytes:
+        """Block id: SHA-256 of the canonical header encoding."""
+        return hashlib.sha256(self.encode()).digest()
+
+
+@dataclass(frozen=True)
+class Block:
+    """A full block: header plus transaction body."""
+
+    header: BlockHeader
+    transactions: tuple[Transaction, ...] = ()
+
+    def __post_init__(self) -> None:
+        expected = transactions_root(self.transactions)
+        if expected != self.header.tx_root:
+            raise ChainError("block body does not match header tx_root")
+
+    @property
+    def hash(self) -> bytes:
+        """Block id (header hash)."""
+        return self.header.hash()
+
+    @property
+    def chain_id(self) -> int:
+        """Which parallel chain the block extends."""
+        return self.header.chain_id
+
+    @property
+    def height(self) -> int:
+        """Position on its chain; also the epoch index in this model."""
+        return self.header.height
+
+    @property
+    def size(self) -> int:
+        """Number of transactions in the body."""
+        return len(self.transactions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Block(chain={self.chain_id}, height={self.height}, "
+            f"txs={self.size}, hash={self.hash.hex()[:12]})"
+        )
+
+
+def transactions_root(transactions: tuple[Transaction, ...]) -> bytes:
+    """Binary Merkle root over transaction digests.
+
+    An empty body hashes to the digest of the empty string, so headers
+    always commit to their (possibly empty) bodies.
+    """
+    layer = [txn.digest() for txn in transactions]
+    if not layer:
+        return hashlib.sha256(b"").digest()
+    while len(layer) > 1:
+        if len(layer) % 2:
+            layer.append(layer[-1])
+        layer = [
+            hashlib.sha256(layer[i] + layer[i + 1]).digest()
+            for i in range(0, len(layer), 2)
+        ]
+    return layer[0]
+
+
+def tips_digest(tips: list[bytes]) -> bytes:
+    """Commitment to the tips of every parallel chain at proposal time."""
+    return hashlib.sha256(b"".join(tips)).digest()

@@ -1,0 +1,134 @@
+"""Persistent block storage over any key-value store.
+
+The paper stores block data in LevelDB; this module provides the same
+role over :class:`~repro.storage.api.KVStore` (use
+:class:`~repro.storage.lsm.LSMStore` for durability).  Key space::
+
+    b:<block-hash>         -> RLP([header-fields, [encoded txn, ...]])
+    c:<chain>:<height>     -> block hash (chain position index)
+    meta:tip:<chain>       -> hash of the chain's latest block
+    meta:state_root        -> last committed world-state root
+
+which is enough to rebuild a :class:`~repro.dag.chain.ParallelChains`
+after a restart (see :meth:`BlockStore.load_chains`).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.dag.block import Block, BlockHeader
+from repro.dag.chain import ParallelChains
+from repro.dag.pow import PoWParams
+from repro.errors import ChainError, StorageError
+from repro.state.mpt.codec import rlp_decode, rlp_encode
+from repro.storage.api import KVStore, WriteBatch
+from repro.txn.codec import decode_transaction, encode_transaction
+
+
+def encode_block(block: Block) -> bytes:
+    """Serialise a full block (header plus body) to canonical bytes."""
+    header = block.header
+    header_item = [
+        struct.pack("<I", header.chain_id),
+        struct.pack("<I", header.height),
+        header.parent,
+        header.state_root,
+        header.tx_root,
+        header.tips_digest,
+        header.miner.encode(),
+        struct.pack("<Q", header.nonce),
+    ]
+    body = [encode_transaction(txn) for txn in block.transactions]
+    return rlp_encode([header_item, body])
+
+
+def decode_block(data: bytes) -> Block:
+    """Parse the canonical block encoding."""
+    item = rlp_decode(data)
+    if not isinstance(item, list) or len(item) != 2:
+        raise ChainError("block encoding must be a two-item list")
+    header_item, body = item
+    if len(header_item) != 8:
+        raise ChainError("block header must have 8 fields")
+    (chain_id_blob, height_blob, parent, state_root, tx_root, tips, miner, nonce_blob) = header_item
+    header = BlockHeader(
+        chain_id=struct.unpack("<I", chain_id_blob)[0],
+        height=struct.unpack("<I", height_blob)[0],
+        parent=parent,
+        state_root=state_root,
+        tx_root=tx_root,
+        tips_digest=tips,
+        miner=miner.decode(),
+        nonce=struct.unpack("<Q", nonce_blob)[0],
+    )
+    transactions = tuple(decode_transaction(blob) for blob in body)
+    return Block(header=header, transactions=transactions)
+
+
+class BlockStore:
+    """Durable block archive with chain-position indexing."""
+
+    def __init__(self, store: KVStore) -> None:
+        self._store = store
+
+    def put_block(self, block: Block) -> None:
+        """Persist one block and its chain-position index atomically."""
+        batch = WriteBatch()
+        batch.put(b"b:" + block.hash, encode_block(block))
+        batch.put(self._position_key(block.chain_id, block.height), block.hash)
+        batch.put(f"meta:tip:{block.chain_id}".encode(), block.hash)
+        self._store.write(batch)
+
+    def get_block(self, block_hash: bytes) -> Block | None:
+        """Fetch a block by hash, or ``None``."""
+        data = self._store.get(b"b:" + block_hash)
+        return None if data is None else decode_block(data)
+
+    def block_at(self, chain_id: int, height: int) -> Block | None:
+        """Fetch the block at a chain position, or ``None``."""
+        block_hash = self._store.get(self._position_key(chain_id, height))
+        return None if block_hash is None else self.get_block(block_hash)
+
+    def set_state_root(self, root: bytes) -> None:
+        """Record the latest committed world-state root."""
+        self._store.put(b"meta:state_root", root)
+
+    def state_root(self) -> bytes | None:
+        """The recorded world-state root, or ``None`` on a fresh store."""
+        return self._store.get(b"meta:state_root")
+
+    def chain_height(self, chain_id: int) -> int:
+        """Number of persisted blocks on one chain."""
+        height = 0
+        while self._store.has(self._position_key(chain_id, height)):
+            height += 1
+        return height
+
+    def load_chains(self, chain_count: int, pow_params: PoWParams | None = None) -> ParallelChains:
+        """Rebuild the parallel-chain state from persisted blocks.
+
+        Replays blocks in epoch-major order through full validation, so a
+        corrupted or tampered archive fails loudly rather than producing
+        an inconsistent chain view.
+        """
+        chains = ParallelChains(
+            chain_count=chain_count,
+            pow_params=pow_params if pow_params is not None else PoWParams(),
+        )
+        heights = [self.chain_height(chain_id) for chain_id in range(chain_count)]
+        for height in range(max(heights, default=0)):
+            for chain_id in range(chain_count):
+                if height >= heights[chain_id]:
+                    continue
+                block = self.block_at(chain_id, height)
+                if block is None:
+                    raise StorageError(
+                        f"missing indexed block chain={chain_id} height={height}"
+                    )
+                chains.append(block)
+        return chains
+
+    @staticmethod
+    def _position_key(chain_id: int, height: int) -> bytes:
+        return f"c:{chain_id:04d}:{height:08d}".encode()

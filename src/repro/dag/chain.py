@@ -1,0 +1,87 @@
+"""Parallel-chain bookkeeping for the OHIE-style DAG.
+
+Tracks ``k`` single chains growing in lockstep epochs.  Each chain is a
+list of block hashes; the tip list is what miners commit to in
+``tips_digest``.  Validation enforces PoW, chain assignment, parentage,
+and height monotonicity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dag.block import GENESIS_HASH, Block
+from repro.dag.pow import PoWParams, chain_assignment, meets_target
+from repro.errors import BlockValidationError, ChainError
+
+
+@dataclass
+class ParallelChains:
+    """State of the ``k`` parallel chains on one node."""
+
+    chain_count: int
+    pow_params: PoWParams = field(default_factory=PoWParams)
+    blocks: dict[bytes, Block] = field(default_factory=dict)
+    chains: list[list[bytes]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.chain_count <= 0:
+            raise ChainError("chain_count must be positive")
+        if not self.chains:
+            self.chains = [[] for _ in range(self.chain_count)]
+
+    def tip(self, chain_id: int) -> bytes:
+        """Hash of the chain's latest block (genesis sentinel when empty)."""
+        chain = self.chains[chain_id]
+        return chain[-1] if chain else GENESIS_HASH
+
+    def tips(self) -> list[bytes]:
+        """Current tip of every chain, by chain id."""
+        return [self.tip(chain_id) for chain_id in range(self.chain_count)]
+
+    def height(self, chain_id: int) -> int:
+        """Number of blocks on one chain."""
+        return len(self.chains[chain_id])
+
+    def validate(self, block: Block) -> None:
+        """Structural validation: PoW, assignment, parent, height.
+
+        Raises :class:`~repro.errors.BlockValidationError` on any failure.
+        The state-root check is contextual and done by the full node.
+        """
+        core_hash = block.header.core_hash()
+        if not meets_target(core_hash, self.pow_params):
+            raise BlockValidationError("proof-of-work below target failed")
+        expected_chain = chain_assignment(core_hash, self.chain_count)
+        if block.chain_id != expected_chain:
+            raise BlockValidationError(
+                f"hash assigns chain {expected_chain}, header claims {block.chain_id}"
+            )
+        if not 0 <= block.chain_id < self.chain_count:
+            raise BlockValidationError(f"chain id {block.chain_id} out of range")
+        if block.header.parent != self.tip(block.chain_id):
+            raise BlockValidationError("parent is not the current chain tip")
+        if block.height != self.height(block.chain_id):
+            raise BlockValidationError(
+                f"height {block.height} != next height {self.height(block.chain_id)}"
+            )
+
+    def append(self, block: Block) -> None:
+        """Validate and append a block to its chain."""
+        self.validate(block)
+        block_hash = block.hash
+        if block_hash in self.blocks:
+            raise BlockValidationError("duplicate block")
+        self.blocks[block_hash] = block
+        self.chains[block.chain_id].append(block_hash)
+
+    def block_at(self, chain_id: int, height: int) -> Block | None:
+        """The block at a chain position, or ``None``."""
+        chain = self.chains[chain_id]
+        if height >= len(chain):
+            return None
+        return self.blocks[chain[height]]
+
+    def total_blocks(self) -> int:
+        """Blocks accepted across all chains."""
+        return len(self.blocks)

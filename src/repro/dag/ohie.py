@@ -1,0 +1,122 @@
+"""OHIE-style consensus: parallel Nakamoto instances in lockstep epochs.
+
+The paper runs OHIE with up to 12 parallel chains and an expected block
+interval of one second, giving ``omega`` concurrent blocks per epoch.
+:class:`EpochCoordinator` reproduces that steady state: each epoch it
+mines candidate blocks (the mined hash — not the miner — picks the chain,
+so candidates retry until every chain has exactly one new block) and
+hands the epoch's block set to the full node.
+
+This collapses OHIE's asynchronous fork resolution into its synchronous
+steady state, which is the regime the paper's evaluation fixes anyway
+(exactly ``omega`` valid blocks per epoch); see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dag.block import Block, BlockHeader, tips_digest, transactions_root
+from repro.dag.chain import ParallelChains
+from repro.dag.mempool import Mempool
+from repro.dag.pow import PoWParams, chain_assignment, mine
+from repro.errors import ChainError
+from repro.txn.transaction import Transaction
+
+MAX_EPOCH_CANDIDATES = 10_000
+
+
+@dataclass
+class EpochCoordinator:
+    """Drives block production for one network of miners.
+
+    Parameters
+    ----------
+    chains:
+        The canonical chain state blocks are mined against.
+    miners:
+        Miner identities, used round-robin (the paper uses 12).
+    block_size:
+        Transactions per block (the paper uses 200).
+    """
+
+    chains: ParallelChains
+    miners: list[str] = field(default_factory=lambda: ["miner-0"])
+    block_size: int = 200
+
+    def __post_init__(self) -> None:
+        if not self.miners:
+            raise ChainError("at least one miner is required")
+        if self.block_size <= 0:
+            raise ChainError("block_size must be positive")
+        self._candidate_counter = 0
+
+    @property
+    def pow_params(self) -> PoWParams:
+        """Difficulty shared with validation."""
+        return self.chains.pow_params
+
+    def mine_epoch(
+        self,
+        mempool: Mempool,
+        state_root: bytes,
+        concurrency: int | None = None,
+    ) -> list[Block]:
+        """Produce one epoch: one block per chain (or ``concurrency`` chains).
+
+        Every block carries the previous epoch's ``state_root`` (the
+        paper's workflow change) and is mined until its hash lands on a
+        chain that still lacks a block this epoch.
+        """
+        target = self.chains.chain_count if concurrency is None else concurrency
+        if not 0 < target <= self.chains.chain_count:
+            raise ChainError(
+                f"concurrency {target} out of range 1..{self.chains.chain_count}"
+            )
+        tips = self.chains.tips()
+        digest = tips_digest(tips)
+        filled: dict[int, Block] = {}
+        attempts = 0
+        while len(filled) < target:
+            attempts += 1
+            if attempts > MAX_EPOCH_CANDIDATES:
+                raise ChainError("epoch mining failed to fill all chains")
+            transactions = tuple(mempool.take(self.block_size))
+            miner = self.miners[self._candidate_counter % len(self.miners)]
+            self._candidate_counter += 1
+            header = BlockHeader(
+                chain_id=0,
+                height=self._epoch_height(target),
+                parent=b"\x00" * 32,
+                state_root=state_root,
+                tx_root=transactions_root(transactions),
+                tips_digest=digest,
+                miner=miner,
+                nonce=self._candidate_counter * 1_000_003,
+            )
+            mined = mine(header, self.pow_params, start_nonce=header.nonce)
+            chain_id = chain_assignment(mined.core_hash(), self.chains.chain_count)
+            wanted = chain_id < target and chain_id not in filled
+            if not wanted:
+                # Fork loser: its transactions return to the pool.
+                mempool.requeue(list(transactions))
+                continue
+            final_header = BlockHeader(
+                chain_id=chain_id,
+                height=mined.height,
+                parent=tips[chain_id],
+                state_root=mined.state_root,
+                tx_root=mined.tx_root,
+                tips_digest=mined.tips_digest,
+                miner=mined.miner,
+                nonce=mined.nonce,
+            )
+            filled[chain_id] = Block(header=final_header, transactions=transactions)
+        blocks = [filled[chain_id] for chain_id in sorted(filled)]
+        for block in blocks:
+            self.chains.append(block)
+        return blocks
+
+    def _epoch_height(self, target: int) -> int:
+        """Current lockstep epoch index over the active chains."""
+        return min(self.chains.height(chain_id) for chain_id in range(target))

@@ -1,0 +1,76 @@
+"""Simulated proof-of-work.
+
+Real mining searches nonces until the header hash clears a difficulty
+target; the simulation does exactly that but with a target chosen so a
+bounded nonce search always succeeds quickly, keeping runs deterministic
+and fast while preserving the two properties the system relies on:
+
+* the block hash is unpredictable before mining completes, and
+* the hash (not the miner) decides which parallel chain the block
+  extends (OHIE's unmanipulable chain assignment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.dag.block import BlockHeader
+from repro.errors import ChainError
+
+DEFAULT_DIFFICULTY_BITS = 8
+"""Leading zero bits required; 8 bits => 1/256 per attempt."""
+
+MAX_MINING_ATTEMPTS = 1_000_000
+
+
+@dataclass(frozen=True)
+class PoWParams:
+    """Difficulty configuration shared by miners and validators."""
+
+    difficulty_bits: int = DEFAULT_DIFFICULTY_BITS
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.difficulty_bits <= 64:
+            raise ChainError("difficulty_bits must be within [0, 64]")
+
+    @property
+    def target(self) -> int:
+        """Hashes interpreted big-endian must be below this value."""
+        return 1 << (256 - self.difficulty_bits)
+
+
+def meets_target(core_hash: bytes, params: PoWParams) -> bool:
+    """PoW validity check used by block validation (on the core hash)."""
+    return int.from_bytes(core_hash, "big") < params.target
+
+
+def mine(header: BlockHeader, params: PoWParams, start_nonce: int = 0) -> BlockHeader:
+    """Search nonces until the header's *core hash* clears the target.
+
+    Deterministic given the header contents and ``start_nonce``.  The
+    returned header still carries the caller's provisional ``chain_id``
+    and ``parent``; the OHIE miner re-derives both from the mined hash.
+    Raises :class:`~repro.errors.ChainError` if the bounded search fails
+    (only possible with an unreasonably high difficulty).
+    """
+    nonce = start_nonce
+    for _ in range(MAX_MINING_ATTEMPTS):
+        candidate = replace(header, nonce=nonce)
+        if meets_target(candidate.core_hash(), params):
+            return candidate
+        nonce += 1
+    raise ChainError(
+        f"mining failed after {MAX_MINING_ATTEMPTS} attempts "
+        f"(difficulty_bits={params.difficulty_bits})"
+    )
+
+
+def chain_assignment(block_hash: bytes, chain_count: int) -> int:
+    """OHIE chain assignment: the hash picks the chain.
+
+    Uses the *low* bytes of the hash so the assignment is independent of
+    the leading-zero PoW constraint.
+    """
+    if chain_count <= 0:
+        raise ChainError("chain_count must be positive")
+    return int.from_bytes(block_hash[-8:], "big") % chain_count

@@ -1,0 +1,41 @@
+"""Network link model.
+
+The paper's cluster is one region on 100 Mbps Ethernet; we model links
+with a base propagation delay, deterministic jitter, and a serialisation
+delay proportional to message size at the configured bandwidth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import NetworkError
+
+DEFAULT_BANDWIDTH_BPS = 100_000_000 / 8  # 100 Mbps in bytes/second
+DEFAULT_BASE_DELAY = 0.002  # same-region RTT/2 of ~2 ms
+
+
+@dataclass
+class LinkModel:
+    """Deterministic latency model for one cluster."""
+
+    base_delay: float = DEFAULT_BASE_DELAY
+    jitter: float = 0.001
+    bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base_delay < 0 or self.jitter < 0 or self.bandwidth_bps <= 0:
+            raise NetworkError("link parameters must be positive")
+        self._rng = random.Random(self.seed)
+
+    def delay(self, message_bytes: int = 0) -> float:
+        """Latency for one message of the given size."""
+        serialisation = message_bytes / self.bandwidth_bps
+        noise = self._rng.uniform(0.0, self.jitter)
+        return self.base_delay + serialisation + noise
+
+    def block_delay(self, transaction_count: int, bytes_per_txn: int = 250) -> float:
+        """Latency for broadcasting a block of ``transaction_count`` txns."""
+        return self.delay(message_bytes=transaction_count * bytes_per_txn)

@@ -1,0 +1,91 @@
+"""Discrete-event simulator.
+
+Replaces the paper's physical 14-node cluster: simulated time advances
+from event to event, so experiments are deterministic and run as fast as
+the CPU allows regardless of how much "network time" they cover.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import NetworkError
+
+EventFn = Callable[[], None]
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    fn: EventFn = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Simulator:
+    """A single-threaded event loop over virtual time."""
+
+    def __init__(self) -> None:
+        self._queue: list[_Event] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+        self._processed = 0
+
+    def schedule(self, delay: float, fn: EventFn) -> _Event:
+        """Run ``fn`` after ``delay`` simulated seconds; returns a handle."""
+        if delay < 0:
+            raise NetworkError(f"cannot schedule in the past (delay={delay})")
+        event = _Event(time=self.now + delay, seq=next(self._counter), fn=fn)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, when: float, fn: EventFn) -> _Event:
+        """Run ``fn`` at absolute simulated time ``when``."""
+        return self.schedule(when - self.now, fn)
+
+    def cancel(self, event: _Event) -> None:
+        """Cancel a scheduled event (lazy removal)."""
+        event.cancelled = True
+
+    def run(self, until: float | None = None) -> int:
+        """Process events (up to ``until`` if given); returns events run."""
+        ran = 0
+        while self._queue:
+            event = self._queue[0]
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = max(self.now, event.time)
+            event.fn()
+            ran += 1
+            self._processed += 1
+        if until is not None and self.now < until:
+            self.now = until
+        return ran
+
+    def step(self) -> bool:
+        """Process exactly one event; returns False when idle."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = max(self.now, event.time)
+            event.fn()
+            self._processed += 1
+            return True
+        return False
+
+    @property
+    def pending(self) -> int:
+        """Events still queued (cancelled ones included until popped)."""
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        """Total events executed so far."""
+        return self._processed

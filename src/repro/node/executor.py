@@ -1,0 +1,130 @@
+"""Concurrent speculative execution (the paper's execution phase).
+
+Each node "picks transactions that first appear in all verified blocks
+and simulates their executions concurrently and speculatively based on
+the latest state snapshot" (Section III-B).  The executor runs every
+transaction against the same immutable snapshot — execution order is
+irrelevant, which is what makes the phase embarrassingly parallel — and
+records each transaction's read/write sets through the logger.
+
+``workers > 1`` uses a thread pool to mirror the paper's multi-worker
+setup; the default is in-process serial execution, which is faster under
+CPython's GIL for pure-Python contracts and produces identical results.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence
+
+from repro.errors import ExecutionError
+from repro.txn.rwset import Address, RWSet
+from repro.txn.simulation import SimulationBatch, SimulationResult, SimulationStatus
+from repro.txn.transaction import Transaction
+from repro.vm.logger import LoggedStorage
+from repro.vm.machine import DEFAULT_GAS_LIMIT, ExecutionContext, SVM
+from repro.vm.native import ContractRegistry
+
+ReadFn = Callable[[Address], int]
+
+
+def caller_id(sender: str) -> int:
+    """Numeric caller id from a ``user:NNN`` style sender string."""
+    _, _, suffix = sender.rpartition(":")
+    try:
+        return int(suffix)
+    except ValueError:
+        return 0
+
+
+class ConcurrentExecutor:
+    """Simulates a batch of transactions against one state snapshot."""
+
+    def __init__(
+        self,
+        registry: ContractRegistry | None = None,
+        workers: int = 0,
+        use_vm: bool = False,
+        gas_limit: int = DEFAULT_GAS_LIMIT,
+    ) -> None:
+        self.registry = registry
+        self.workers = workers
+        self.use_vm = use_vm
+        self.gas_limit = gas_limit
+        self._svm = SVM()
+
+    def execute_batch(
+        self,
+        transactions: Sequence[Transaction],
+        read_fn: ReadFn,
+        snapshot_root: bytes = b"",
+    ) -> SimulationBatch:
+        """Speculatively execute every transaction; never mutates state."""
+        ordered = sorted(transactions, key=lambda t: t.txid)
+        if self.workers > 1:
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                results = list(
+                    pool.map(lambda txn: self._execute_one(txn, read_fn), ordered)
+                )
+        else:
+            results = [self._execute_one(txn, read_fn) for txn in ordered]
+        return SimulationBatch(results=tuple(results), snapshot_root=snapshot_root)
+
+    def execute_one(self, txn: Transaction, read_fn: ReadFn) -> SimulationResult:
+        """Speculatively execute a single transaction."""
+        return self._execute_one(txn, read_fn)
+
+    def _execute_one(self, txn: Transaction, read_fn: ReadFn) -> SimulationResult:
+        if txn.contract is None or self.registry is None:
+            return self._passthrough(txn, read_fn)
+        if self.use_vm:
+            return self._execute_vm(txn, read_fn)
+        return self._execute_native(txn, read_fn)
+
+    def _passthrough(self, txn: Transaction, read_fn: ReadFn) -> SimulationResult:
+        """Synthetic transaction: rwset provided up front, reads resolved."""
+        reads = {address: read_fn(address) for address in txn.read_set}
+        rwset = RWSet(reads=reads, writes=dict(txn.rwset.writes))
+        return SimulationResult(transaction=txn, rwset=rwset)
+
+    def _execute_native(self, txn: Transaction, read_fn: ReadFn) -> SimulationResult:
+        contract = self.registry.native(txn.contract)
+        if contract is None:
+            raise ExecutionError(f"contract {txn.contract!r} is not deployed")
+        storage = LoggedStorage(read_fn)
+        receipt = contract.call(
+            txn.function, storage, tuple(txn.args), caller=caller_id(txn.sender)
+        )
+        return self._result_from_receipt(txn, receipt)
+
+    def _execute_vm(self, txn: Transaction, read_fn: ReadFn) -> SimulationResult:
+        code = self.registry.bytecode(txn.contract, txn.function)
+        renderer = self.registry.key_renderer(txn.contract)
+        if code is None or renderer is None:
+            raise ExecutionError(
+                f"no bytecode for {txn.contract!r}.{txn.function!r}"
+            )
+        storage = LoggedStorage(read_fn)
+        context = ExecutionContext(
+            storage=storage,
+            args=tuple(int(a) for a in txn.args),
+            caller=caller_id(txn.sender),
+            gas_limit=self.gas_limit,
+            key_renderer=renderer,
+        )
+        receipt = self._svm.execute(code, context)
+        return self._result_from_receipt(txn, receipt)
+
+    @staticmethod
+    def _result_from_receipt(txn: Transaction, receipt) -> SimulationResult:
+        status = (
+            SimulationStatus.SUCCESS if receipt.success else SimulationStatus.REVERTED
+        )
+        return SimulationResult(
+            transaction=txn,
+            rwset=receipt.rwset,
+            status=status,
+            gas_used=receipt.gas_used,
+            return_value=receipt.return_value,
+            error=receipt.error,
+        )

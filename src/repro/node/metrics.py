@@ -1,0 +1,156 @@
+"""Node observability: counters, gauges, and histograms.
+
+A dependency-free metrics registry in the style of Prometheus clients.
+The full node updates it after every epoch (when given one), and the
+snapshot serialises to plain dicts/JSON for dashboards or test
+assertions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.analysis.metrics import percentile
+from repro.errors import ReproError
+
+
+class MetricsError(ReproError):
+    """Metric misuse (wrong type for an existing name)."""
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count."""
+
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise MetricsError("counters cannot decrease")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A value that can move in both directions."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        self.value = value
+
+    def add(self, amount: float) -> None:
+        """Adjust the current value."""
+        self.value += amount
+
+
+@dataclass
+class Histogram:
+    """Sample distribution with simple summary statistics."""
+
+    samples: list[float] = field(default_factory=list)
+    max_samples: int = 10_000
+
+    def observe(self, value: float) -> None:
+        """Record one sample (oldest samples are dropped past the cap)."""
+        self.samples.append(value)
+        if len(self.samples) > self.max_samples:
+            del self.samples[: len(self.samples) - self.max_samples]
+
+    @property
+    def count(self) -> int:
+        """Number of retained samples."""
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        """Sum of retained samples."""
+        return sum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        """Mean of retained samples (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, fraction: float) -> float:
+        """Linear-interpolated quantile of retained samples."""
+        return percentile(sorted(self.samples), fraction)
+
+    def summary(self) -> dict[str, float]:
+        """count / mean / p50 / p95 / max."""
+        ordered = sorted(self.samples)
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": percentile(ordered, 0.50),
+            "p95": percentile(ordered, 0.95),
+            "max": ordered[-1] if ordered else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """Named metric registry with typed accessors."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create a counter."""
+        return self._typed(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create a gauge."""
+        return self._typed(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create a histogram."""
+        return self._typed(name, Histogram)
+
+    def _typed(self, name: str, kind: type) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind()
+            self._metrics[name] = metric
+        if not isinstance(metric, kind):
+            raise MetricsError(
+                f"metric {name!r} is a {type(metric).__name__}, not {kind.__name__}"
+            )
+        return metric
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict view of every metric."""
+        out: dict[str, Any] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                out[name] = metric.summary()
+            else:
+                out[name] = metric.value
+        return out
+
+    def to_json(self, indent: int | None = None) -> str:
+        """JSON rendering of :meth:`snapshot`."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+
+def record_epoch(metrics: MetricsRegistry, report) -> None:
+    """Fold one :class:`~repro.node.phases.EpochReport` into the registry."""
+    metrics.counter("epochs_total").inc()
+    metrics.counter("txns_input_total").inc(report.input_transactions)
+    metrics.counter("txns_committed_total").inc(report.committed)
+    metrics.counter("txns_aborted_total").inc(report.aborted)
+    metrics.counter("txns_failed_simulation_total").inc(report.failed_simulation)
+    metrics.gauge("last_epoch_index").set(report.epoch_index)
+    metrics.gauge("last_abort_rate").set(report.abort_rate)
+    metrics.histogram("epoch_latency_seconds").observe(report.phases.total)
+    metrics.histogram("cc_latency_seconds").observe(report.phases.concurrency_control)
+    metrics.histogram("commit_group_count").observe(report.commit_group_count)
+    if report.scheduler_failed:
+        metrics.counter("scheduler_failures_total").inc()

@@ -1,0 +1,138 @@
+"""A full node: chain state, world state, and the processing pipeline.
+
+The paper measures everything on the full node that synchronises the
+entire system state.  :class:`FullNode` validates incoming blocks
+structurally (PoW, chain assignment, parentage) and contextually (the
+carried state root must match the previous epoch), appends them to its
+parallel chains, and runs the transaction pipeline over each completed
+epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dag.block import Block
+from repro.dag.blockstore import BlockStore
+from repro.dag.chain import ParallelChains
+from repro.dag.epochs import Epoch, extract_epoch
+from repro.errors import BlockValidationError
+from repro.node.metrics import MetricsRegistry, record_epoch
+from repro.node.phases import EpochReport
+from repro.node.pipeline import PipelineConfig, Scheduler, TransactionPipeline
+from repro.state.statedb import StateDB
+from repro.vm.native import ContractRegistry
+
+
+@dataclass
+class FullNode:
+    """One fully-validating node of the DAG-based blockchain."""
+
+    chains: ParallelChains
+    state: StateDB
+    scheduler: Scheduler
+    registry: ContractRegistry | None = None
+    config: PipelineConfig = field(default_factory=PipelineConfig)
+    reports: list[EpochReport] = field(default_factory=list)
+    blockstore: BlockStore | None = None
+    metrics: "MetricsRegistry | None" = None
+
+    def __post_init__(self) -> None:
+        self.pipeline = TransactionPipeline(
+            state=self.state,
+            scheduler=self.scheduler,
+            registry=self.registry,
+            config=self.config,
+        )
+        self._next_epoch = min(
+            (self.chains.height(c) for c in range(self.chains.chain_count)),
+            default=0,
+        )
+        # Seed duplicate protection from any pre-loaded chain history
+        # (restored nodes must not re-execute archived transactions).
+        self._seen_txids: set[int] = {
+            txn.txid
+            for block in self.chains.blocks.values()
+            for txn in block.transactions
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        blockstore: BlockStore,
+        state: StateDB,
+        scheduler: Scheduler,
+        chain_count: int,
+        registry: ContractRegistry | None = None,
+        config: PipelineConfig | None = None,
+        pow_params=None,
+    ) -> "FullNode":
+        """Rebuild a node from a persisted block archive.
+
+        The caller provides a ``StateDB`` opened at the archive's recorded
+        state root (``blockstore.state_root()``); chains are replayed from
+        the archive through full validation.
+        """
+        chains = blockstore.load_chains(chain_count, pow_params)
+        return cls(
+            chains=chains,
+            state=state,
+            scheduler=scheduler,
+            registry=registry,
+            config=config or PipelineConfig(),
+            blockstore=blockstore,
+        )
+
+    def receive_epoch(self, blocks: list[Block]) -> EpochReport:
+        """Validate, append, and process one epoch's concurrent blocks.
+
+        Invalid blocks are discarded (the paper: "each node will consider
+        this block invalid and discard it"); the epoch proceeds with the
+        surviving blocks.
+        """
+        accepted = 0
+        for block in blocks:
+            if block.header.state_root != self.state.root:
+                continue  # Discard: stale or wrong state root.
+            try:
+                self.chains.append(block)
+            except BlockValidationError:
+                continue  # Discard: structural failure.
+            if self.blockstore is not None:
+                self.blockstore.put_block(block)
+            accepted += 1
+        if accepted == 0:
+            raise BlockValidationError("every block of the epoch was discarded")
+        epoch = extract_epoch(self.chains, self._next_epoch)
+        if epoch is None:
+            raise BlockValidationError(f"epoch {self._next_epoch} is empty")
+        report = self.process_epoch(epoch)
+        self._next_epoch += 1
+        if self.blockstore is not None:
+            self.blockstore.set_state_root(report.state_root)
+        return report
+
+    def process_epoch(self, epoch: Epoch) -> EpochReport:
+        """Run the pipeline on an already-validated epoch.
+
+        Transactions already processed in earlier epochs (a lagging miner
+        re-packing them) are excluded from the batch.
+        """
+        report = self.pipeline.process_epoch(epoch, exclude_txids=self._seen_txids)
+        self._seen_txids.update(
+            txn.txid for block in epoch.blocks for txn in block.transactions
+        )
+        self.reports.append(report)
+        if self.metrics is not None:
+            record_epoch(self.metrics, report)
+        return report
+
+    @property
+    def committed_total(self) -> int:
+        """Transactions committed across all processed epochs."""
+        return sum(report.committed for report in self.reports)
+
+    @property
+    def state_root(self) -> bytes:
+        """The node's current world-state root."""
+        return self.state.root

@@ -1,0 +1,77 @@
+"""Per-epoch reports: phase latencies and transaction accounting.
+
+The paper reports the latency of simulating executions ("e") separately
+from concurrency control and commitment ("c") — see Table IV — plus the
+per-sub-phase breakdown of Figure 10.  Every pipeline run produces an
+:class:`EpochReport` carrying exactly those measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+@dataclass
+class PhaseLatencies:
+    """Wall-clock seconds of each pipeline phase."""
+
+    validation: float = 0.0
+    execution: float = 0.0
+    concurrency_control: float = 0.0
+    commitment: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """End-to-end transaction processing latency."""
+        return self.validation + self.execution + self.concurrency_control + self.commitment
+
+    @property
+    def control_and_commit(self) -> float:
+        """The paper's "(c)" number: concurrency control plus commitment."""
+        return self.concurrency_control + self.commitment
+
+    def as_dict(self) -> dict[str, float]:
+        """Phase name -> seconds."""
+        return {
+            "validation": self.validation,
+            "execution": self.execution,
+            "concurrency_control": self.concurrency_control,
+            "commitment": self.commitment,
+        }
+
+
+@dataclass
+class EpochReport:
+    """Everything measured while processing one epoch."""
+
+    epoch_index: int
+    scheme: str
+    block_concurrency: int
+    input_transactions: int
+    committed: int
+    aborted: int
+    failed_simulation: int
+    state_root: bytes
+    phases: PhaseLatencies = field(default_factory=PhaseLatencies)
+    scheme_phases: Mapping[str, float] = field(default_factory=dict)
+    commit_group_count: int = 0
+    scheduler_failed: bool = False
+
+    @property
+    def abort_rate(self) -> float:
+        """Aborted fraction of scheduled (non-failed) transactions."""
+        scheduled = self.committed + self.aborted
+        return self.aborted / scheduled if scheduled else 0.0
+
+    @property
+    def effective_transactions(self) -> int:
+        """Valid transactions that persisted state (the paper's metric)."""
+        return self.committed
+
+    @property
+    def commit_concurrency(self) -> float:
+        """Mean commit-group size (1.0 for fully serial schedules)."""
+        if self.commit_group_count == 0:
+            return 0.0
+        return self.committed / self.commit_group_count

@@ -1,0 +1,240 @@
+"""The four-phase concurrent transaction processing pipeline.
+
+Implements the paper's workflow (Section III-B) over one epoch's
+concurrent blocks:
+
+1. **Validation** — verify each block's carried state root against the
+   previous epoch's root (structural/PoW checks belong to the chain
+   layer; the full node calls both).
+2. **Concurrent execution** — speculatively simulate all first-appearance
+   transactions on the epoch snapshot, logging read/write sets.
+3. **Concurrency control** — run the configured scheme (Nezha, CG, OCC)
+   over the simulated summaries to obtain a commit schedule.
+4. **Commitment** — apply write values group by group and flush the new
+   state root.
+
+The Serial scheme replaces phases 2-4 with the classic execute-and-commit
+loop over the deterministic block order, exactly as current DAG-based
+blockchains do.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+from repro.core.schedule import Schedule
+from repro.dag.block import Block
+from repro.dag.epochs import Epoch
+from repro.errors import BlockValidationError
+from repro.node.committer import Committer, SerialExecutorCommitter
+from repro.node.executor import ConcurrentExecutor
+from repro.node.phases import EpochReport, PhaseLatencies
+from repro.state.statedb import StateDB
+from repro.txn.transaction import Transaction
+from repro.vm.native import ContractRegistry
+
+
+class Scheduler(Protocol):
+    """Any concurrency-control scheme: Nezha, CG, OCC, or Serial."""
+
+    name: str
+
+    def schedule(self, transactions: Sequence[Transaction]) -> object:
+        """Produce an object exposing ``.schedule`` (a Schedule)."""
+
+
+@dataclass
+class PipelineConfig:
+    """Pipeline tunables."""
+
+    workers: int = 0
+    use_vm: bool = False
+    validate_blocks: bool = True
+
+
+class TransactionPipeline:
+    """Drives one node's transaction processing across epochs."""
+
+    def __init__(
+        self,
+        state: StateDB,
+        scheduler: Scheduler,
+        registry: ContractRegistry | None = None,
+        config: PipelineConfig | None = None,
+    ) -> None:
+        self.state = state
+        self.scheduler = scheduler
+        self.registry = registry
+        self.config = config or PipelineConfig()
+        self.executor = ConcurrentExecutor(
+            registry=registry,
+            workers=self.config.workers,
+            use_vm=self.config.use_vm,
+        )
+        self.committer = Committer()
+        self._serial = SerialExecutorCommitter(
+            registry=registry, use_vm=self.config.use_vm
+        )
+
+    def process_epoch(
+        self, epoch: Epoch, exclude_txids: frozenset[int] | set[int] = frozenset()
+    ) -> EpochReport:
+        """Run the four phases over one epoch and return its report.
+
+        ``exclude_txids`` suppresses transactions committed in earlier
+        epochs (cross-epoch duplicate protection).
+        """
+        phases = PhaseLatencies()
+        previous_root = self.state.root
+
+        start = time.perf_counter()
+        if self.config.validate_blocks:
+            self._validate_blocks(epoch.blocks, previous_root)
+        transactions = epoch.transactions(exclude=exclude_txids)
+        phases.validation = time.perf_counter() - start
+
+        if self.scheduler.name == "serial":
+            return self._process_serial(epoch, transactions, phases)
+
+        if getattr(self.scheduler, "uses_declared_rwsets", False):
+            # Locking schemes (PCC) need no speculation: they lock the
+            # declared read/write sets and execute wave by wave.
+            start = time.perf_counter()
+            result = self.scheduler.schedule(transactions)
+            phases.concurrency_control = time.perf_counter() - start
+            return self._process_reexecuted(
+                epoch, transactions, None, result, result.schedule, phases
+            )
+
+        start = time.perf_counter()
+        snapshot = self.state.snapshot()
+        batch = self.executor.execute_batch(
+            transactions, snapshot.get, snapshot_root=previous_root
+        )
+        simulated = batch.transactions()
+        phases.execution = time.perf_counter() - start
+
+        start = time.perf_counter()
+        result = self.scheduler.schedule(simulated)
+        schedule: Schedule = result.schedule
+        phases.concurrency_control = time.perf_counter() - start
+
+        if getattr(result, "requires_reexecution", False):
+            return self._process_reexecuted(
+                epoch, transactions, batch, result, schedule, phases
+            )
+
+        start = time.perf_counter()
+        failed = bool(getattr(result, "failed", False))
+        if failed:
+            commit_root = self.state.root
+            group_count = 0
+            committed = 0
+        else:
+            report = self.committer.commit(schedule, batch.write_values(), self.state)
+            commit_root = report.state_root
+            group_count = report.group_count
+            committed = report.committed_count
+        phases.commitment = time.perf_counter() - start
+
+        timings = getattr(result, "timings", None)
+        scheme_phases = timings.as_dict() if timings is not None else {}
+        return EpochReport(
+            epoch_index=epoch.index,
+            scheme=self.scheduler.name,
+            block_concurrency=epoch.concurrency,
+            input_transactions=len(transactions),
+            committed=committed,
+            aborted=schedule.aborted_count,
+            failed_simulation=batch.failed_count,
+            state_root=commit_root,
+            phases=phases,
+            scheme_phases=scheme_phases,
+            commit_group_count=group_count,
+            scheduler_failed=failed,
+        )
+
+    def _process_reexecuted(
+        self,
+        epoch: Epoch,
+        transactions: list[Transaction],
+        batch,
+        result,
+        schedule: Schedule,
+        phases: PhaseLatencies,
+    ) -> EpochReport:
+        """Commit path for locking schemes (PCC): re-execute wave by wave.
+
+        Each commit group executes against the state left by the previous
+        groups (the dirty StateDB view), exactly as lock-holders would
+        observe each other's writes; the snapshot-speculated values from
+        the execution phase are discarded.
+        """
+        by_id = {t.txid: t for t in transactions}
+        start = time.perf_counter()
+        committed = 0
+        for group in schedule.iter_groups():
+            for txid in group.txids:
+                txn = by_id[txid]
+                if txn.contract is None or self.registry is None:
+                    for address, value in txn.rwset.writes.items():
+                        self.state.set(address, int(value) if value is not None else 0)
+                    committed += 1
+                    continue
+                sim = self.executor.execute_one(txn, self.state.get)
+                if sim.ok:
+                    for address, value in sim.rwset.writes.items():
+                        self.state.set(address, int(value))
+                    committed += 1
+        commit_root = self.state.commit()
+        phases.commitment = time.perf_counter() - start
+        timings = getattr(result, "timings", None)
+        scheme_phases = timings.as_dict() if timings is not None else {}
+        if not scheme_phases and hasattr(result, "as_dict"):
+            scheme_phases = result.as_dict()
+        return EpochReport(
+            epoch_index=epoch.index,
+            scheme=self.scheduler.name,
+            block_concurrency=epoch.concurrency,
+            input_transactions=len(transactions),
+            committed=committed,
+            aborted=schedule.aborted_count,
+            failed_simulation=len(transactions) - committed - schedule.aborted_count,
+            state_root=commit_root,
+            phases=phases,
+            scheme_phases=scheme_phases,
+            commit_group_count=len(schedule.groups),
+        )
+
+    def _process_serial(
+        self,
+        epoch: Epoch,
+        transactions: list[Transaction],
+        phases: PhaseLatencies,
+    ) -> EpochReport:
+        start = time.perf_counter()
+        report = self._serial.run(transactions, self.state)
+        phases.commitment = time.perf_counter() - start
+        return EpochReport(
+            epoch_index=epoch.index,
+            scheme="serial",
+            block_concurrency=epoch.concurrency,
+            input_transactions=len(transactions),
+            committed=report.committed_count,
+            aborted=0,
+            failed_simulation=len(transactions) - report.committed_count,
+            state_root=report.state_root,
+            phases=phases,
+            commit_group_count=report.group_count,
+        )
+
+    @staticmethod
+    def _validate_blocks(blocks: Sequence[Block], expected_root: bytes) -> None:
+        """The paper's validation phase: state roots must match epoch e-1."""
+        for block in blocks:
+            if block.header.state_root != expected_root:
+                raise BlockValidationError(
+                    f"block {block.hash.hex()[:12]} carries stale state root"
+                )

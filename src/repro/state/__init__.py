@@ -1,0 +1,25 @@
+"""Account state: MPT-authenticated world state with snapshots."""
+
+from repro.state.account import Account, decode_int, encode_int
+from repro.state.cache import CacheStats, LRUCacheMapping
+from repro.state.mpt import EMPTY_ROOT, MerklePatriciaTrie, NodeStore, verify_proof
+from repro.state.pruning import PruneReport, collect_reachable, prune
+from repro.state.statedb import KVNodeMapping, StateDB, StateSnapshot
+
+__all__ = [
+    "Account",
+    "CacheStats",
+    "LRUCacheMapping",
+    "PruneReport",
+    "EMPTY_ROOT",
+    "KVNodeMapping",
+    "MerklePatriciaTrie",
+    "NodeStore",
+    "StateDB",
+    "StateSnapshot",
+    "collect_reachable",
+    "decode_int",
+    "encode_int",
+    "prune",
+    "verify_proof",
+]

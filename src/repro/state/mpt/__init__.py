@@ -1,0 +1,40 @@
+"""Merkle Patricia Trie: authenticated state storage."""
+
+from repro.state.mpt.codec import rlp_decode, rlp_encode
+from repro.state.mpt.nibbles import (
+    bytes_to_nibbles,
+    common_prefix_length,
+    hp_decode,
+    hp_encode,
+    nibbles_to_bytes,
+)
+from repro.state.mpt.nodes import (
+    EMPTY_REF,
+    BranchNode,
+    ExtensionNode,
+    LeafNode,
+    decode_node,
+    hash_node,
+)
+from repro.state.mpt.proof import verify_proof
+from repro.state.mpt.trie import EMPTY_ROOT, MerklePatriciaTrie, NodeStore
+
+__all__ = [
+    "BranchNode",
+    "EMPTY_REF",
+    "EMPTY_ROOT",
+    "ExtensionNode",
+    "LeafNode",
+    "MerklePatriciaTrie",
+    "NodeStore",
+    "bytes_to_nibbles",
+    "common_prefix_length",
+    "decode_node",
+    "hash_node",
+    "hp_decode",
+    "hp_encode",
+    "nibbles_to_bytes",
+    "rlp_decode",
+    "rlp_encode",
+    "verify_proof",
+]

@@ -1,0 +1,65 @@
+"""Nibble paths and hex-prefix (compact) encoding for the MPT.
+
+Trie keys are sequences of 4-bit nibbles.  Node paths are stored with
+Ethereum's hex-prefix encoding, which packs two flag bits (odd length,
+leaf vs extension) into the first nibble.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TrieError
+
+Nibbles = tuple[int, ...]
+
+
+def bytes_to_nibbles(key: bytes) -> Nibbles:
+    """Split each byte into its high and low nibble."""
+    out: list[int] = []
+    for byte in key:
+        out.append(byte >> 4)
+        out.append(byte & 0x0F)
+    return tuple(out)
+
+
+def nibbles_to_bytes(nibbles: Nibbles) -> bytes:
+    """Inverse of :func:`bytes_to_nibbles`; requires even length."""
+    if len(nibbles) % 2:
+        raise TrieError("odd nibble count cannot form whole bytes")
+    return bytes(
+        (nibbles[i] << 4) | nibbles[i + 1] for i in range(0, len(nibbles), 2)
+    )
+
+
+def common_prefix_length(left: Nibbles, right: Nibbles) -> int:
+    """Length of the longest shared prefix."""
+    limit = min(len(left), len(right))
+    for index in range(limit):
+        if left[index] != right[index]:
+            return index
+    return limit
+
+
+def hp_encode(nibbles: Nibbles, is_leaf: bool) -> bytes:
+    """Hex-prefix encode a path with its leaf flag."""
+    flag = 2 if is_leaf else 0
+    if len(nibbles) % 2:
+        prefixed = (flag + 1, *nibbles)
+    else:
+        prefixed = (flag, 0, *nibbles)
+    return nibbles_to_bytes(prefixed)
+
+
+def hp_decode(data: bytes) -> tuple[Nibbles, bool]:
+    """Decode a hex-prefix path, returning ``(nibbles, is_leaf)``."""
+    if not data:
+        raise TrieError("empty hex-prefix path")
+    nibbles = bytes_to_nibbles(data)
+    flag = nibbles[0]
+    if flag not in (0, 1, 2, 3):
+        raise TrieError(f"invalid hex-prefix flag {flag}")
+    is_leaf = flag >= 2
+    if flag % 2:  # odd length
+        return nibbles[1:], is_leaf
+    if nibbles[1] != 0:
+        raise TrieError("non-zero padding nibble in hex-prefix path")
+    return nibbles[2:], is_leaf

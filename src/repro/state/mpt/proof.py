@@ -1,0 +1,72 @@
+"""Merkle proof verification for the MPT.
+
+A proof is the list of encoded nodes along the lookup path.  The verifier
+re-hashes each node, checks it against the reference expected from its
+parent (the first against the claimed root), and walks the key path.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ProofError
+from repro.state.mpt.nibbles import bytes_to_nibbles
+from repro.state.mpt.nodes import (
+    EMPTY_REF,
+    BranchNode,
+    ExtensionNode,
+    LeafNode,
+    decode_node,
+    hash_node,
+)
+from repro.state.mpt.trie import EMPTY_ROOT
+
+
+def verify_proof(root: bytes, key: bytes, proof: Sequence[bytes]) -> bytes | None:
+    """Verify a proof against ``root`` and return the proven value.
+
+    Returns the value for an inclusion proof, or ``None`` for a valid
+    exclusion proof.  Raises :class:`~repro.errors.ProofError` when the
+    proof does not authenticate against the root or is malformed.
+    """
+    if root == EMPTY_ROOT:
+        if proof:
+            raise ProofError("empty trie cannot have proof nodes")
+        return None
+    if not proof:
+        raise ProofError("missing proof for non-empty root")
+    expected = root
+    path = bytes_to_nibbles(key)
+    for position, encoded in enumerate(proof):
+        if hash_node(encoded) != expected:
+            raise ProofError(f"proof node {position} does not match expected hash")
+        node = decode_node(encoded)
+        if isinstance(node, LeafNode):
+            if position != len(proof) - 1:
+                raise ProofError("leaf node before end of proof")
+            if node.path == path:
+                return node.value
+            return None  # Exclusion: diverging leaf.
+        if isinstance(node, ExtensionNode):
+            length = len(node.path)
+            if path[:length] != node.path:
+                if position != len(proof) - 1:
+                    raise ProofError("diverging extension before end of proof")
+                return None  # Exclusion: path diverges inside the extension.
+            path = path[length:]
+            expected = node.child
+            continue
+        # Branch node.
+        if not path:
+            if position != len(proof) - 1:
+                raise ProofError("terminal branch before end of proof")
+            return node.value
+        slot = path[0]
+        child = node.children[slot]
+        if child == EMPTY_REF:
+            if position != len(proof) - 1:
+                raise ProofError("missing child before end of proof")
+            return None  # Exclusion: no child on the key's path.
+        path = path[1:]
+        expected = child
+    raise ProofError("proof ended before reaching a terminal node")

@@ -1,0 +1,360 @@
+"""The Merkle Patricia Trie.
+
+Persistent (copy-on-write) trie over a node store: every mutation writes
+new nodes and returns a new root hash, so any historical root remains
+readable — this is what lets each DAG epoch expose the previous epoch's
+state root for block validation, and lets snapshots be free.
+
+Values must be non-empty byte strings (an empty value would be ambiguous
+with branch-node "no value" slots, as in Ethereum).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterator, MutableMapping
+
+from repro.errors import TrieError
+from repro.state.mpt.nibbles import (
+    Nibbles,
+    bytes_to_nibbles,
+    common_prefix_length,
+    nibbles_to_bytes,
+)
+from repro.state.mpt.nodes import (
+    EMPTY_REF,
+    BranchNode,
+    ExtensionNode,
+    LeafNode,
+    Node,
+    decode_node,
+    hash_node,
+)
+
+EMPTY_ROOT = hashlib.sha256(b"").digest()
+"""Root hash of the empty trie."""
+
+
+class NodeStore:
+    """Content-addressed node storage (hash -> encoded node)."""
+
+    def __init__(self, backing: MutableMapping[bytes, bytes] | None = None) -> None:
+        self._nodes: MutableMapping[bytes, bytes] = backing if backing is not None else {}
+
+    def load(self, ref: bytes) -> Node:
+        """Fetch and decode a node by reference."""
+        try:
+            encoded = self._nodes[ref]
+        except KeyError:
+            raise TrieError(f"missing trie node {ref.hex()[:16]}...") from None
+        return decode_node(encoded)
+
+    def save(self, node: Node) -> bytes:
+        """Encode, hash, and persist a node; returns its reference."""
+        encoded = node.encode()
+        ref = hash_node(encoded)
+        self._nodes[ref] = encoded
+        return ref
+
+    def raw(self, ref: bytes) -> bytes:
+        """The encoded bytes of a node (used to build proofs)."""
+        try:
+            return self._nodes[ref]
+        except KeyError:
+            raise TrieError(f"missing trie node {ref.hex()[:16]}...") from None
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+
+class MerklePatriciaTrie:
+    """Authenticated key-value map with deterministic root hashes."""
+
+    def __init__(self, store: NodeStore | None = None, root: bytes = EMPTY_ROOT) -> None:
+        self.store = store if store is not None else NodeStore()
+        self.root = root
+
+    # ------------------------------------------------------------- queries
+
+    def get(self, key: bytes) -> bytes | None:
+        """Value stored under ``key``, or ``None``."""
+        if self.root == EMPTY_ROOT:
+            return None
+        return self._get(self.root, bytes_to_nibbles(key))
+
+    def _get(self, ref: bytes, path: Nibbles) -> bytes | None:
+        node = self.store.load(ref)
+        if isinstance(node, LeafNode):
+            return node.value if node.path == path else None
+        if isinstance(node, ExtensionNode):
+            length = len(node.path)
+            if path[:length] != node.path:
+                return None
+            return self._get(node.child, path[length:])
+        if not path:
+            return node.value
+        child = node.children[path[0]]
+        if child == EMPTY_REF:
+            return None
+        return self._get(child, path[1:])
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        """All ``(key, value)`` pairs in ascending key order."""
+        if self.root == EMPTY_ROOT:
+            return
+        yield from self._items(self.root, ())
+
+    def items_with_prefix(self, prefix: bytes) -> Iterator[tuple[bytes, bytes]]:
+        """Entries whose key starts with ``prefix``, in key order.
+
+        Descends directly to the prefix's subtree, so enumerating a small
+        namespace (e.g. all ``sav:`` accounts) does not touch the rest of
+        the trie.
+        """
+        if self.root == EMPTY_ROOT:
+            return
+        target = bytes_to_nibbles(prefix)
+        ref = self.root
+        consumed: tuple[int, ...] = ()
+        while True:
+            node = self.store.load(ref)
+            if isinstance(node, LeafNode):
+                full = consumed + node.path
+                if full[: len(target)] == target:
+                    yield nibbles_to_bytes(full), node.value
+                return
+            if isinstance(node, ExtensionNode):
+                length = len(node.path)
+                remaining = target[len(consumed) :]
+                overlap = min(length, len(remaining))
+                if node.path[:overlap] != remaining[:overlap]:
+                    return
+                consumed = consumed + node.path
+                ref = node.child
+                if len(consumed) >= len(target):
+                    yield from self._items_filtered(ref, consumed, target)
+                    return
+                continue
+            # Branch node.
+            if len(consumed) >= len(target):
+                yield from self._items_filtered(ref, consumed, target)
+                return
+            slot = target[len(consumed)]
+            child = node.children[slot]
+            if child == EMPTY_REF:
+                return
+            consumed = consumed + (slot,)
+            ref = child
+            if len(consumed) >= len(target):
+                yield from self._items_filtered(ref, consumed, target)
+                return
+
+    def _items_filtered(
+        self, ref: bytes, prefix: Nibbles, target: Nibbles
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Enumerate a subtree, re-checking the target prefix on each key."""
+        for key, value in self._items(ref, prefix):
+            if bytes_to_nibbles(key)[: len(target)] == target:
+                yield key, value
+
+    def _items(self, ref: bytes, prefix: Nibbles) -> Iterator[tuple[bytes, bytes]]:
+        node = self.store.load(ref)
+        if isinstance(node, LeafNode):
+            yield nibbles_to_bytes(prefix + node.path), node.value
+            return
+        if isinstance(node, ExtensionNode):
+            yield from self._items(node.child, prefix + node.path)
+            return
+        if node.value is not None:
+            yield nibbles_to_bytes(prefix), node.value
+        for index, child in enumerate(node.children):
+            if child != EMPTY_REF:
+                yield from self._items(child, prefix + (index,))
+
+    # ----------------------------------------------------------- mutations
+
+    def put(self, key: bytes, value: bytes) -> bytes:
+        """Insert or overwrite; returns the new root hash."""
+        if not isinstance(value, (bytes, bytearray)) or len(value) == 0:
+            raise TrieError("trie values must be non-empty bytes")
+        path = bytes_to_nibbles(key)
+        if self.root == EMPTY_ROOT:
+            self.root = self.store.save(LeafNode(path=path, value=bytes(value)))
+        else:
+            self.root = self._put(self.root, path, bytes(value))
+        return self.root
+
+    def _put(self, ref: bytes, path: Nibbles, value: bytes) -> bytes:
+        node = self.store.load(ref)
+        if isinstance(node, LeafNode):
+            return self._put_into_leaf(node, path, value)
+        if isinstance(node, ExtensionNode):
+            return self._put_into_extension(node, path, value)
+        return self._put_into_branch(node, path, value)
+
+    def _put_into_leaf(self, node: LeafNode, path: Nibbles, value: bytes) -> bytes:
+        if node.path == path:
+            return self.store.save(LeafNode(path=path, value=value))
+        shared = common_prefix_length(node.path, path)
+        branch = BranchNode()
+        old_rest = node.path[shared:]
+        new_rest = path[shared:]
+        if old_rest:
+            old_ref = self.store.save(LeafNode(path=old_rest[1:], value=node.value))
+            branch = branch.with_child(old_rest[0], old_ref)
+        else:
+            branch = branch.with_value(node.value)
+        if new_rest:
+            new_ref = self.store.save(LeafNode(path=new_rest[1:], value=value))
+            branch = branch.with_child(new_rest[0], new_ref)
+        else:
+            branch = branch.with_value(value)
+        branch_ref = self.store.save(branch)
+        if shared:
+            return self.store.save(ExtensionNode(path=path[:shared], child=branch_ref))
+        return branch_ref
+
+    def _put_into_extension(self, node: ExtensionNode, path: Nibbles, value: bytes) -> bytes:
+        shared = common_prefix_length(node.path, path)
+        if shared == len(node.path):
+            child_ref = self._put(node.child, path[shared:], value)
+            return self.store.save(ExtensionNode(path=node.path, child=child_ref))
+        # Split the extension at the divergence point.
+        branch = BranchNode()
+        ext_rest = node.path[shared:]
+        if len(ext_rest) == 1:
+            branch = branch.with_child(ext_rest[0], node.child)
+        else:
+            inner = self.store.save(ExtensionNode(path=ext_rest[1:], child=node.child))
+            branch = branch.with_child(ext_rest[0], inner)
+        new_rest = path[shared:]
+        if new_rest:
+            leaf = self.store.save(LeafNode(path=new_rest[1:], value=value))
+            branch = branch.with_child(new_rest[0], leaf)
+        else:
+            branch = branch.with_value(value)
+        branch_ref = self.store.save(branch)
+        if shared:
+            return self.store.save(ExtensionNode(path=path[:shared], child=branch_ref))
+        return branch_ref
+
+    def _put_into_branch(self, node: BranchNode, path: Nibbles, value: bytes) -> bytes:
+        if not path:
+            return self.store.save(node.with_value(value))
+        slot = path[0]
+        child = node.children[slot]
+        if child == EMPTY_REF:
+            leaf = self.store.save(LeafNode(path=path[1:], value=value))
+            return self.store.save(node.with_child(slot, leaf))
+        new_child = self._put(child, path[1:], value)
+        return self.store.save(node.with_child(slot, new_child))
+
+    def delete(self, key: bytes) -> bytes:
+        """Remove ``key`` if present; returns the new root hash."""
+        if self.root == EMPTY_ROOT:
+            return self.root
+        result = self._delete(self.root, bytes_to_nibbles(key))
+        if result is _UNCHANGED:
+            return self.root
+        if result is None:
+            self.root = EMPTY_ROOT
+        else:
+            self.root = self.store.save(result)
+        return self.root
+
+    def _delete(self, ref: bytes, path: Nibbles) -> "Node | None | object":
+        """Delete within the subtree at ``ref``.
+
+        Returns the replacement *node* (not ref), ``None`` when the subtree
+        vanishes, or ``_UNCHANGED`` when the key was absent.
+        """
+        node = self.store.load(ref)
+        if isinstance(node, LeafNode):
+            return None if node.path == path else _UNCHANGED
+        if isinstance(node, ExtensionNode):
+            length = len(node.path)
+            if path[:length] != node.path:
+                return _UNCHANGED
+            result = self._delete(node.child, path[length:])
+            if result is _UNCHANGED:
+                return _UNCHANGED
+            if result is None:
+                return None
+            return self._merge_extension(node.path, result)
+        # Branch node.
+        if not path:
+            if node.value is None:
+                return _UNCHANGED
+            return self._collapse_branch(node.with_value(None))
+        slot = path[0]
+        child = node.children[slot]
+        if child == EMPTY_REF:
+            return _UNCHANGED
+        result = self._delete(child, path[1:])
+        if result is _UNCHANGED:
+            return _UNCHANGED
+        if result is None:
+            return self._collapse_branch(node.with_child(slot, EMPTY_REF))
+        return node.with_child(slot, self.store.save(result))
+
+    def _merge_extension(self, prefix: Nibbles, child: Node) -> Node:
+        """Fold an extension over its replacement child."""
+        if isinstance(child, LeafNode):
+            return LeafNode(path=prefix + child.path, value=child.value)
+        if isinstance(child, ExtensionNode):
+            return ExtensionNode(path=prefix + child.path, child=child.child)
+        return ExtensionNode(path=prefix, child=self.store.save(child))
+
+    def _collapse_branch(self, node: BranchNode) -> Node | None:
+        """Re-normalise a branch after a slot or value was cleared."""
+        count = node.child_count()
+        if count == 0:
+            if node.value is None:
+                return None
+            return LeafNode(path=(), value=node.value)
+        if count == 1 and node.value is None:
+            slot, ref = node.only_child()
+            child = self.store.load(ref)
+            return self._merge_extension((slot,), child)
+        return node
+
+    # -------------------------------------------------------------- proofs
+
+    def prove(self, key: bytes) -> list[bytes]:
+        """Merkle proof: the encoded nodes on the path to ``key``.
+
+        Valid both as a proof of inclusion (key present) and exclusion
+        (path shows where the key would diverge).
+        """
+        proof: list[bytes] = []
+        if self.root == EMPTY_ROOT:
+            return proof
+        ref = self.root
+        path = bytes_to_nibbles(key)
+        while True:
+            encoded = self.store.raw(ref)
+            proof.append(encoded)
+            node = decode_node(encoded)
+            if isinstance(node, LeafNode):
+                return proof
+            if isinstance(node, ExtensionNode):
+                length = len(node.path)
+                if path[:length] != node.path:
+                    return proof
+                path = path[length:]
+                ref = node.child
+                continue
+            if not path:
+                return proof
+            child = node.children[path[0]]
+            if child == EMPTY_REF:
+                return proof
+            path = path[1:]
+            ref = child
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.get(key) is not None
+
+
+_UNCHANGED = object()
+"""Sentinel: the delete did not find the key."""

@@ -1,0 +1,81 @@
+"""State pruning: garbage-collecting unreachable trie nodes.
+
+Copy-on-write tries never overwrite nodes, so every epoch's commit grows
+the node store by the rewritten path nodes.  Long-running nodes prune:
+mark every node reachable from the roots worth keeping (usually the last
+few epochs plus any snapshot pinned by an ongoing operation), then sweep
+everything else from the backing store.
+
+Pruning is safe by construction — reachability is computed over the trie
+structure itself — and destructive: un-kept historical roots become
+unreadable afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.state.mpt.nodes import (
+    EMPTY_REF,
+    BranchNode,
+    ExtensionNode,
+    LeafNode,
+    decode_node,
+)
+from repro.state.mpt.trie import EMPTY_ROOT, NodeStore
+
+
+@dataclass(frozen=True)
+class PruneReport:
+    """What one pruning pass did."""
+
+    live_roots: int
+    reachable_nodes: int
+    removed_nodes: int
+
+    @property
+    def kept_nodes(self) -> int:
+        """Nodes that survived the sweep."""
+        return self.reachable_nodes
+
+
+def collect_reachable(store: NodeStore, roots: Iterable[bytes]) -> set[bytes]:
+    """Every node ref reachable from the given roots (iterative DFS)."""
+    reachable: set[bytes] = set()
+    stack = [root for root in roots if root != EMPTY_ROOT]
+    while stack:
+        ref = stack.pop()
+        if ref in reachable or ref == EMPTY_REF:
+            continue
+        reachable.add(ref)
+        node = decode_node(store.raw(ref))
+        if isinstance(node, LeafNode):
+            continue
+        if isinstance(node, ExtensionNode):
+            stack.append(node.child)
+            continue
+        for child in node.children:
+            if child != EMPTY_REF:
+                stack.append(child)
+    return reachable
+
+
+def prune(store: NodeStore, keep_roots: Iterable[bytes]) -> PruneReport:
+    """Remove every node not reachable from ``keep_roots``.
+
+    Returns a report with reachable/removed counts.  The node mapping is
+    mutated in place; on a KV-backed mapping the deletes go through to
+    the storage engine (and are compacted away on its next compaction).
+    """
+    roots = [root for root in keep_roots if root != EMPTY_ROOT]
+    reachable = collect_reachable(store, roots)
+    backing = store._nodes  # noqa: SLF001 - pruning is a NodeStore concern
+    doomed = [ref for ref in list(backing) if ref not in reachable]
+    for ref in doomed:
+        del backing[ref]
+    return PruneReport(
+        live_roots=len(roots),
+        reachable_nodes=len(reachable),
+        removed_nodes=len(doomed),
+    )

@@ -1,0 +1,21 @@
+"""Storage engines: in-memory store and the LSM store (LevelDB role)."""
+
+from repro.storage.api import KVStore, WriteBatch
+from repro.storage.lsm import LSMStore
+from repro.storage.memstore import MemStore
+from repro.storage.memtable import MemTable
+from repro.storage.sstable import BloomFilter, SSTable, write_sstable
+from repro.storage.wal import WriteAheadLog, replay
+
+__all__ = [
+    "BloomFilter",
+    "KVStore",
+    "LSMStore",
+    "MemStore",
+    "MemTable",
+    "SSTable",
+    "WriteAheadLog",
+    "WriteBatch",
+    "replay",
+    "write_sstable",
+]

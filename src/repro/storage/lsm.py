@@ -1,0 +1,232 @@
+"""Log-structured merge store (the LevelDB substitute).
+
+Write path: WAL append -> memtable; the memtable freezes into a new
+SSTable when it exceeds ``flush_bytes``.  Read path: memtable, then
+SSTables newest-first (bloom filters skip most).  When the number of
+tables exceeds ``compaction_threshold`` they are merge-compacted into a
+single table and tombstones are dropped.
+
+The store recovers after a crash by reloading every SSTable named in the
+manifest order (file names carry a monotonically increasing sequence
+number) and replaying the WAL into a fresh memtable.
+"""
+
+from __future__ import annotations
+
+import heapq
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import StorageError
+from repro.storage.api import KVStore, WriteBatch, _check_key
+from repro.storage.memtable import MemTable
+from repro.storage.sstable import SSTable, write_sstable
+from repro.storage.wal import WriteAheadLog, replay
+
+DEFAULT_FLUSH_BYTES = 4 * 1024 * 1024
+DEFAULT_COMPACTION_THRESHOLD = 8
+
+
+class LSMStore(KVStore):
+    """Durable ordered store backed by a WAL, a memtable, and SSTables."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        flush_bytes: int = DEFAULT_FLUSH_BYTES,
+        compaction_threshold: int = DEFAULT_COMPACTION_THRESHOLD,
+    ) -> None:
+        if flush_bytes <= 0:
+            raise StorageError("flush_bytes must be positive")
+        if compaction_threshold < 2:
+            raise StorageError("compaction_threshold must be at least 2")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.flush_bytes = flush_bytes
+        self.compaction_threshold = compaction_threshold
+        self._memtable = MemTable()
+        self._tables: list[SSTable] = []  # oldest first
+        self._next_table_id = 0
+        self._closed = False
+        self._load_tables()
+        self._wal = WriteAheadLog(self.directory / "wal.log")
+        self._recover()
+
+    # ------------------------------------------------------------------ API
+
+    def get(self, key: bytes) -> bytes | None:
+        self._ensure_open()
+        _check_key(key)
+        key = bytes(key)
+        present, value = self._memtable.get(key)
+        if present:
+            return value
+        for table in reversed(self._tables):
+            present, value = table.get(key)
+            if present:
+                return value
+        return None
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._ensure_open()
+        _check_key(key)
+        if value is None:
+            raise StorageError("value must not be None; use delete()")
+        key, value = bytes(key), bytes(value)
+        self._wal.append_put(key, value)
+        self._memtable.put(key, value)
+        self._maybe_flush()
+
+    def delete(self, key: bytes) -> None:
+        self._ensure_open()
+        _check_key(key)
+        key = bytes(key)
+        self._wal.append_delete(key)
+        self._memtable.delete(key)
+        self._maybe_flush()
+
+    def write(self, batch: WriteBatch) -> None:
+        self._ensure_open()
+        operations = [
+            (bytes(key), None if value is None else bytes(value))
+            for key, value in batch.operations
+        ]
+        self._wal.append_many(operations)
+        for key, value in operations:
+            if value is None:
+                self._memtable.delete(key)
+            else:
+                self._memtable.put(key, value)
+        self._maybe_flush()
+
+    def scan(self, prefix: bytes = b"") -> Iterator[tuple[bytes, bytes]]:
+        self._ensure_open()
+        for key, value in self._merged_items():
+            if value is None:
+                continue
+            if key.startswith(prefix):
+                yield key, value
+
+    def scan_range(
+        self, start: bytes = b"", end: bytes | None = None
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Ordered range scan with early termination.
+
+        The merged iterator is already key-ordered, so iteration stops as
+        soon as ``end`` is reached instead of draining every table.
+        """
+        self._ensure_open()
+        for key, value in self._merged_items():
+            if value is None or key < start:
+                continue
+            if end is not None and key >= end:
+                break
+            yield key, value
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.flush()
+        self._wal.close()
+        self._closed = True
+
+    # ----------------------------------------------------------- lifecycle
+
+    def flush(self) -> None:
+        """Freeze the memtable into a new SSTable and truncate the WAL."""
+        self._ensure_open()
+        if len(self._memtable) == 0:
+            return
+        path = self._table_path(self._next_table_id)
+        write_sstable(path, list(self._memtable.items()))
+        self._tables.append(SSTable(path))
+        self._next_table_id += 1
+        self._memtable.clear()
+        self._wal.truncate()
+        if len(self._tables) > self.compaction_threshold:
+            self.compact()
+
+    def compact(self) -> None:
+        """Merge every SSTable into one, dropping shadowed data and tombstones."""
+        self._ensure_open()
+        if len(self._tables) <= 1:
+            return
+        survivors = [
+            (key, value) for key, value in self._merged_table_items() if value is not None
+        ]
+        path = self._table_path(self._next_table_id)
+        write_sstable(path, survivors)
+        old_paths = [table.path for table in self._tables]
+        self._tables = [SSTable(path)]
+        self._next_table_id += 1
+        for old in old_paths:
+            old.unlink(missing_ok=True)
+
+    @property
+    def table_count(self) -> int:
+        """Number of live SSTables (compaction observability)."""
+        return len(self._tables)
+
+    # ------------------------------------------------------------ internals
+
+    def _maybe_flush(self) -> None:
+        if self._memtable.byte_size >= self.flush_bytes:
+            self.flush()
+
+    def _table_path(self, table_id: int) -> Path:
+        return self.directory / f"table-{table_id:08d}.sst"
+
+    def _load_tables(self) -> None:
+        paths = sorted(self.directory.glob("table-*.sst"))
+        for path in paths:
+            self._tables.append(SSTable(path))
+            table_id = int(path.stem.split("-")[1])
+            self._next_table_id = max(self._next_table_id, table_id + 1)
+
+    def _recover(self) -> None:
+        for key, value in replay(self.directory / "wal.log"):
+            if value is None:
+                self._memtable.delete(key)
+            else:
+                self._memtable.put(key, value)
+
+    def _merged_items(self) -> Iterator[tuple[bytes, bytes | None]]:
+        """Merge memtable and tables; newest opinion per key wins."""
+        sources: list[Iterator[tuple[bytes, bytes | None]]] = [
+            table.items() for table in self._tables
+        ]
+        sources.append(self._memtable.items())
+        yield from _merge_newest_wins(sources)
+
+    def _merged_table_items(self) -> Iterator[tuple[bytes, bytes | None]]:
+        """Like :meth:`_merged_items` but over SSTables only (compaction)."""
+        yield from _merge_newest_wins([table.items() for table in self._tables])
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise StorageError("store is closed")
+
+
+def _decorate(
+    source: Iterator[tuple[bytes, bytes | None]], priority: int
+) -> Iterator[tuple[bytes, int, bytes | None]]:
+    """Tag entries with a merge priority (early binding of ``priority``)."""
+    for key, value in source:
+        yield key, priority, value
+
+
+def _merge_newest_wins(
+    sources: list[Iterator[tuple[bytes, bytes | None]]],
+) -> Iterator[tuple[bytes, bytes | None]]:
+    """Heap-merge ordered sources; on duplicate keys the last source wins.
+
+    Sources are ordered oldest-first, so the decorated priority (negated
+    index) makes the newest source's entry sort first for equal keys.
+    """
+    decorated = [_decorate(source, -index) for index, source in enumerate(sources)]
+    last_key: bytes | None = None
+    for key, _, value in heapq.merge(*decorated):
+        if key == last_key:
+            continue
+        last_key = key
+        yield key, value

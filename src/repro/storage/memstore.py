@@ -1,0 +1,62 @@
+"""In-memory key-value store (reference implementation and test double)."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import StorageError
+from repro.storage.api import KVStore, WriteBatch, _check_key
+
+
+class MemStore(KVStore):
+    """Dict-backed store with ordered scans.
+
+    Behaviourally identical to :class:`repro.storage.lsm.LSMStore` (the
+    property tests assert this) but without persistence; used by unit
+    tests and by simulations that do not need durability.
+    """
+
+    def __init__(self) -> None:
+        self._data: dict[bytes, bytes] = {}
+        self._closed = False
+
+    def get(self, key: bytes) -> bytes | None:
+        self._ensure_open()
+        _check_key(key)
+        return self._data.get(bytes(key))
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._ensure_open()
+        _check_key(key)
+        if value is None:
+            raise StorageError("value must not be None; use delete()")
+        self._data[bytes(key)] = bytes(value)
+
+    def delete(self, key: bytes) -> None:
+        self._ensure_open()
+        _check_key(key)
+        self._data.pop(bytes(key), None)
+
+    def write(self, batch: WriteBatch) -> None:
+        self._ensure_open()
+        for key, value in batch.operations:
+            if value is None:
+                self._data.pop(bytes(key), None)
+            else:
+                self._data[bytes(key)] = bytes(value)
+
+    def scan(self, prefix: bytes = b"") -> Iterator[tuple[bytes, bytes]]:
+        self._ensure_open()
+        for key in sorted(self._data):
+            if key.startswith(prefix):
+                yield key, self._data[key]
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise StorageError("store is closed")

@@ -1,0 +1,73 @@
+"""The mutable in-memory layer of the LSM store.
+
+Holds recent writes (including tombstones) until the table grows past the
+flush threshold and is frozen into an SSTable.  Deletions are recorded as
+tombstones so they can shadow older SSTable entries during reads and be
+dropped only at full compaction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+TOMBSTONE = None
+"""Sentinel stored for deleted keys."""
+
+
+class MemTable:
+    """Unordered write buffer with ordered iteration on demand."""
+
+    def __init__(self) -> None:
+        self._entries: dict[bytes, bytes | None] = {}
+        self._byte_size = 0
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite; size accounting tracks the live payload."""
+        self._account(key, value)
+        self._entries[key] = value
+
+    def delete(self, key: bytes) -> None:
+        """Record a tombstone for ``key``."""
+        self._account(key, b"")
+        self._entries[key] = TOMBSTONE
+
+    def get(self, key: bytes) -> tuple[bool, bytes | None]:
+        """Return ``(present, value)``.
+
+        ``present`` is True when the memtable has *an opinion* about the
+        key — including a tombstone, in which case ``value`` is ``None``.
+        """
+        if key in self._entries:
+            return True, self._entries[key]
+        return False, None
+
+    def items(self) -> Iterator[tuple[bytes, bytes | None]]:
+        """All entries (tombstones included) in ascending key order."""
+        for key in sorted(self._entries):
+            yield key, self._entries[key]
+
+    @property
+    def entry_count(self) -> int:
+        """Number of keys with an entry (tombstones included)."""
+        return len(self._entries)
+
+    @property
+    def byte_size(self) -> int:
+        """Approximate retained bytes, used for the flush trigger."""
+        return self._byte_size
+
+    def clear(self) -> None:
+        """Drop everything (after a successful flush)."""
+        self._entries.clear()
+        self._byte_size = 0
+
+    def _account(self, key: bytes, value: bytes) -> None:
+        previous = self._entries.get(key)
+        if previous is not None:
+            self._byte_size -= len(previous)
+        elif key not in self._entries:
+            self._byte_size += len(key)
+        self._byte_size += len(value)
+
+    def __len__(self) -> int:
+        return len(self._entries)

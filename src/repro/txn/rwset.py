@@ -1,0 +1,93 @@
+"""Read/write set abstractions.
+
+A transaction's interaction with state is summarised by the set of
+addresses it reads and the set of addresses it writes, together with the
+observed read values and the produced write values.  Concurrency control
+only inspects the address sets; commitment applies the write values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+from repro.errors import TransactionError
+
+Address = str
+"""Addresses are opaque strings (e.g. ``"acct:000042"`` or a contract slot)."""
+
+
+@dataclass(frozen=True)
+class RWSet:
+    """Immutable read/write summary of one transaction.
+
+    Parameters
+    ----------
+    reads:
+        Mapping from each read address to the value observed during the
+        speculative execution.  The value may be ``None`` when only the
+        address set matters (synthetic workloads).
+    writes:
+        Mapping from each written address to the value the transaction
+        intends to install at commit time.
+    """
+
+    reads: Mapping[Address, Any] = field(default_factory=dict)
+    writes: Mapping[Address, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.reads, Mapping) or not isinstance(self.writes, Mapping):
+            raise TransactionError("reads and writes must be mappings")
+
+    @property
+    def read_addresses(self) -> frozenset[Address]:
+        """Addresses read by the transaction (``RS(T)`` in the paper)."""
+        return frozenset(self.reads)
+
+    @property
+    def write_addresses(self) -> frozenset[Address]:
+        """Addresses written by the transaction (``WS(T)`` in the paper)."""
+        return frozenset(self.writes)
+
+    @property
+    def addresses(self) -> frozenset[Address]:
+        """All addresses the transaction touches."""
+        return self.read_addresses | self.write_addresses
+
+    def conflicts_with(self, other: "RWSet") -> bool:
+        """Return ``True`` if the two sets exhibit a rw, wr, or ww conflict."""
+        mine_w = self.write_addresses
+        theirs_w = other.write_addresses
+        if mine_w & theirs_w:
+            return True
+        if self.read_addresses & theirs_w:
+            return True
+        if other.read_addresses & mine_w:
+            return True
+        return False
+
+    def merged_with(self, other: "RWSet") -> "RWSet":
+        """Combine two summaries; later writes win, reads are unioned."""
+        reads = dict(self.reads)
+        reads.update(other.reads)
+        writes = dict(self.writes)
+        writes.update(other.writes)
+        return RWSet(reads=reads, writes=writes)
+
+    def iter_units(self) -> Iterator[tuple[Address, str]]:
+        """Yield ``(address, kind)`` pairs, reads first, kind in {"R", "W"}."""
+        for address in self.reads:
+            yield address, "R"
+        for address in self.writes:
+            yield address, "W"
+
+    @staticmethod
+    def from_addresses(
+        read_addresses: Iterator[Address] | frozenset[Address] | list[Address] | tuple[Address, ...],
+        write_addresses: Iterator[Address] | frozenset[Address] | list[Address] | tuple[Address, ...],
+    ) -> "RWSet":
+        """Build a value-less summary from plain address collections."""
+        return RWSet(
+            reads={address: None for address in read_addresses},
+            writes={address: None for address in write_addresses},
+        )

@@ -1,0 +1,103 @@
+"""Speculative execution results.
+
+In the paper's workflow (Section III-B) every node simulates the execution
+of all transactions from an epoch's concurrent blocks against the previous
+epoch's state snapshot.  The simulation yields, per transaction, the
+addresses and values read and written; concurrency control consumes only
+these summaries.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.txn.rwset import Address, RWSet
+from repro.txn.transaction import Transaction
+
+
+class SimulationStatus(enum.Enum):
+    """Outcome of one speculative execution."""
+
+    SUCCESS = "success"
+    REVERTED = "reverted"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Read/write summary produced by speculatively executing a transaction.
+
+    Attributes
+    ----------
+    transaction:
+        The executed transaction (without an attached rwset).
+    rwset:
+        Observed reads and produced writes.
+    status:
+        Whether the speculative run succeeded; reverted/failed transactions
+        are excluded from concurrency control and counted separately.
+    gas_used:
+        Gas consumed by the VM (0 for synthetic workloads).
+    return_value:
+        Contract return value, if any.
+    """
+
+    transaction: Transaction
+    rwset: RWSet
+    status: SimulationStatus = SimulationStatus.SUCCESS
+    gas_used: int = 0
+    return_value: Any = None
+    error: str | None = None
+
+    @property
+    def txid(self) -> int:
+        """Id of the simulated transaction."""
+        return self.transaction.txid
+
+    @property
+    def ok(self) -> bool:
+        """True when the speculative run completed without error."""
+        return self.status is SimulationStatus.SUCCESS
+
+    def as_transaction(self) -> Transaction:
+        """Return the transaction with the observed rwset attached."""
+        return self.transaction.with_rwset(self.rwset)
+
+
+@dataclass(frozen=True)
+class SimulationBatch:
+    """All simulation results for one epoch, in transaction-id order."""
+
+    results: tuple[SimulationResult, ...] = ()
+    snapshot_root: bytes = b""
+
+    def successful(self) -> list[SimulationResult]:
+        """Results whose speculative execution succeeded."""
+        return [r for r in self.results if r.ok]
+
+    def transactions(self) -> list[Transaction]:
+        """Successful transactions with rwsets attached, in id order."""
+        txns = [r.as_transaction() for r in self.successful()]
+        return sorted(txns, key=lambda t: t.txid)
+
+    def write_values(self) -> dict[int, Mapping[Address, Any]]:
+        """Map txid -> write values, for the commitment phase."""
+        return {r.txid: r.rwset.writes for r in self.successful()}
+
+    @property
+    def failed_count(self) -> int:
+        """Number of reverted or failed speculative executions."""
+        return sum(1 for r in self.results if not r.ok)
+
+
+def batch_from_transactions(
+    transactions: list[Transaction], snapshot_root: bytes = b""
+) -> SimulationBatch:
+    """Wrap pre-summarised transactions (synthetic workloads) as a batch."""
+    results = tuple(
+        SimulationResult(transaction=t, rwset=t.rwset)
+        for t in sorted(transactions, key=lambda t: t.txid)
+    )
+    return SimulationBatch(results=results, snapshot_root=snapshot_root)

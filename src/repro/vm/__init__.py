@@ -1,0 +1,29 @@
+"""SVM: the stack-machine execution engine (EVM substitute)."""
+
+from repro.vm.assembler import assemble, disassemble
+from repro.vm.logger import LoggedStorage
+from repro.vm.machine import (
+    DEFAULT_GAS_LIMIT,
+    ExecutionContext,
+    Receipt,
+    SVM,
+    default_key_renderer,
+)
+from repro.vm.native import ContractRegistry, NativeContract
+from repro.vm.opcodes import Op, WORD_MASK, op_info
+
+__all__ = [
+    "ContractRegistry",
+    "DEFAULT_GAS_LIMIT",
+    "ExecutionContext",
+    "LoggedStorage",
+    "NativeContract",
+    "Op",
+    "Receipt",
+    "SVM",
+    "WORD_MASK",
+    "assemble",
+    "default_key_renderer",
+    "disassemble",
+    "op_info",
+]

@@ -1,0 +1,128 @@
+"""Assembler for SVM source text.
+
+Grammar (one statement per line, ``;`` starts a comment)::
+
+    label:              -- define a jump target
+    PUSH <int|@label>   -- 8-byte immediate (labels resolve to offsets)
+    ARG <n> / DUP <n> / SWAP <n>
+    <OP>                -- any other opcode, no operand
+
+Two-pass assembly: the first pass sizes instructions and collects label
+offsets, the second emits bytes with labels resolved.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import AssemblyError
+from repro.vm.opcodes import Op, op_info
+
+_PUSH_IMM = struct.Struct("<Q")
+
+
+def assemble(source: str) -> bytes:
+    """Assemble SVM source text into bytecode."""
+    statements = _parse(source)
+    labels = _collect_labels(statements)
+    code = bytearray()
+    for kind, payload, line_no in statements:
+        if kind == "label":
+            continue
+        mnemonic, operand = payload
+        op = _lookup(mnemonic, line_no)
+        info = op_info(op)
+        code.append(int(op))
+        if info.immediate_size == 0:
+            if operand is not None:
+                raise AssemblyError(f"line {line_no}: {mnemonic} takes no operand")
+            continue
+        if operand is None:
+            raise AssemblyError(f"line {line_no}: {mnemonic} requires an operand")
+        value = _resolve(operand, labels, line_no)
+        if info.immediate_size == 8:
+            code.extend(_PUSH_IMM.pack(value))
+        else:
+            if not 0 <= value <= 0xFF:
+                raise AssemblyError(
+                    f"line {line_no}: operand {value} out of byte range"
+                )
+            code.append(value)
+    return bytes(code)
+
+
+def _parse(source: str) -> list[tuple[str, object, int]]:
+    statements: list[tuple[str, object, int]] = []
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line.endswith(":"):
+            name = line[:-1].strip()
+            if not name.isidentifier():
+                raise AssemblyError(f"line {line_no}: bad label name {name!r}")
+            statements.append(("label", name, line_no))
+            continue
+        parts = line.split()
+        if len(parts) > 2:
+            raise AssemblyError(f"line {line_no}: too many tokens")
+        mnemonic = parts[0].upper()
+        operand = parts[1] if len(parts) == 2 else None
+        statements.append(("instr", (mnemonic, operand), line_no))
+    return statements
+
+
+def _collect_labels(statements: list[tuple[str, object, int]]) -> dict[str, int]:
+    labels: dict[str, int] = {}
+    offset = 0
+    for kind, payload, line_no in statements:
+        if kind == "label":
+            name = payload
+            if name in labels:
+                raise AssemblyError(f"line {line_no}: duplicate label {name!r}")
+            labels[name] = offset
+            continue
+        mnemonic, _ = payload
+        info = op_info(_lookup(mnemonic, line_no))
+        offset += 1 + info.immediate_size
+    return labels
+
+
+def _lookup(mnemonic: str, line_no: int) -> Op:
+    try:
+        return Op[mnemonic]
+    except KeyError:
+        raise AssemblyError(f"line {line_no}: unknown opcode {mnemonic!r}") from None
+
+
+def _resolve(operand: str, labels: dict[str, int], line_no: int) -> int:
+    if operand.startswith("@"):
+        name = operand[1:]
+        if name not in labels:
+            raise AssemblyError(f"line {line_no}: undefined label {name!r}")
+        return labels[name]
+    try:
+        return int(operand, 0)
+    except ValueError:
+        raise AssemblyError(f"line {line_no}: bad operand {operand!r}") from None
+
+
+def disassemble(code: bytes) -> list[str]:
+    """Human-readable listing (debugging and test aid)."""
+    out: list[str] = []
+    offset = 0
+    while offset < len(code):
+        info = op_info(code[offset])
+        if info is None:
+            out.append(f"{offset:04d}  ?? 0x{code[offset]:02x}")
+            offset += 1
+            continue
+        if info.immediate_size == 8:
+            (value,) = _PUSH_IMM.unpack_from(code, offset + 1)
+            out.append(f"{offset:04d}  {info.op.name} {value}")
+        elif info.immediate_size == 1:
+            out.append(f"{offset:04d}  {info.op.name} {code[offset + 1]}")
+        else:
+            out.append(f"{offset:04d}  {info.op.name}")
+        offset += 1 + info.immediate_size
+    return out

@@ -1,0 +1,35 @@
+"""Deployable contracts (SmallBank is the paper's benchmark contract)."""
+
+from repro.vm.contracts.token import (
+    NATIVE_TOKEN,
+    TOKEN_ASSEMBLY,
+    allowance_address,
+    balance_address,
+    compile_token,
+    register_token,
+    token_key_renderer,
+)
+from repro.vm.contracts.smallbank import (
+    CONTRACT_NAME,
+    NATIVE_SMALLBANK,
+    SMALLBANK_ASSEMBLY,
+    compile_smallbank,
+    default_registry,
+    smallbank_key_renderer,
+)
+
+__all__ = [
+    "CONTRACT_NAME",
+    "NATIVE_TOKEN",
+    "TOKEN_ASSEMBLY",
+    "allowance_address",
+    "balance_address",
+    "compile_token",
+    "register_token",
+    "token_key_renderer",
+    "NATIVE_SMALLBANK",
+    "SMALLBANK_ASSEMBLY",
+    "compile_smallbank",
+    "default_registry",
+    "smallbank_key_renderer",
+]

@@ -1,0 +1,63 @@
+"""Calibrated execution-cost model.
+
+The paper's absolute latencies are dominated by EVM execution on its
+testbed: Table IV's Serial row implies roughly 11.7 ms per transaction
+(4,700 ms for 2 blocks x 200 transactions), and Nezha's "(e)" row implies
+~0.31 ms per transaction with 16 vCPU worker threads.  Our Python
+substrate executes SmallBank orders of magnitude faster than their full
+EVM + MPT + LevelDB stack, so reproducing the *shape* of Table IV and
+Figure 12 requires charging simulated execution time at the paper's
+calibrated rate rather than our real one (see DESIGN.md substitutions and
+EXPERIMENTS.md).  Concurrency-control costs are never modelled — they are
+always measured for real, because they are the paper's contribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExecutionError
+
+PAPER_SERIAL_MS_PER_TXN = 11.75
+"""Table IV: 4,700 ms serial latency / 400 transactions at omega=2."""
+
+PAPER_WORKER_COUNT = 16
+"""The evaluation machines expose 16 vCPUs."""
+
+PAPER_CONCURRENT_SPEEDUP = 38.0
+"""Table IV: serial 4,700 ms vs Nezha execution 123.4 ms at omega=2."""
+
+
+@dataclass(frozen=True)
+class ExecutionCostModel:
+    """Simulated per-transaction execution charges.
+
+    Attributes
+    ----------
+    serial_seconds_per_txn:
+        Cost of one serial EVM execute-and-commit (Table IV calibration).
+    concurrent_speedup:
+        Speedup of the concurrent speculative-execution phase over serial
+        execution (the paper observes ~38x on 16 vCPUs).
+    """
+
+    serial_seconds_per_txn: float = PAPER_SERIAL_MS_PER_TXN / 1000.0
+    concurrent_speedup: float = PAPER_CONCURRENT_SPEEDUP
+
+    def __post_init__(self) -> None:
+        if self.serial_seconds_per_txn < 0:
+            raise ExecutionError("serial cost must be non-negative")
+        if self.concurrent_speedup <= 0:
+            raise ExecutionError("concurrent speedup must be positive")
+
+    def serial_batch_seconds(self, transaction_count: int) -> float:
+        """Simulated cost of serially executing and committing a batch."""
+        return transaction_count * self.serial_seconds_per_txn
+
+    def concurrent_batch_seconds(self, transaction_count: int) -> float:
+        """Simulated cost of the concurrent speculative-execution phase."""
+        return self.serial_batch_seconds(transaction_count) / self.concurrent_speedup
+
+
+ZERO_COST = ExecutionCostModel(serial_seconds_per_txn=0.0)
+"""No simulated charges: every measurement is real wall-clock."""

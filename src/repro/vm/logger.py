@@ -1,0 +1,61 @@
+"""Read/write logging storage accessor.
+
+The paper implements "an EVM-based read/write logger to record the
+addresses and values that each transaction reads and writes during
+simulation execution" (Section V).  :class:`LoggedStorage` is that
+logger: it wraps a snapshot read function, buffers writes (speculative
+execution never touches real state), and records the observed read
+values and produced write values as an :class:`~repro.txn.rwset.RWSet`.
+
+Reads served from the transaction's own earlier write are *not* logged
+as snapshot reads — they create no cross-transaction dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.txn.rwset import Address, RWSet
+
+ReadFn = Callable[[Address], int]
+
+
+class LoggedStorage:
+    """Speculative storage view with dependency logging."""
+
+    def __init__(self, read_fn: ReadFn) -> None:
+        self._read_fn = read_fn
+        self._reads: dict[Address, int] = {}
+        self._writes: dict[Address, int] = {}
+
+    def load(self, address: Address) -> int:
+        """Read a slot, preferring the transaction's own writes."""
+        if address in self._writes:
+            return self._writes[address]
+        if address in self._reads:
+            return self._reads[address]
+        value = self._read_fn(address)
+        self._reads[address] = value
+        return value
+
+    def store(self, address: Address, value: int) -> None:
+        """Buffer a write; nothing reaches real state until commit."""
+        self._writes[address] = value
+
+    def rwset(self) -> RWSet:
+        """The recorded read/write summary."""
+        return RWSet(reads=dict(self._reads), writes=dict(self._writes))
+
+    def discard(self) -> None:
+        """Forget buffered writes (used when execution reverts)."""
+        self._writes.clear()
+
+    @property
+    def read_count(self) -> int:
+        """Number of distinct snapshot reads."""
+        return len(self._reads)
+
+    @property
+    def write_count(self) -> int:
+        """Number of distinct buffered writes."""
+        return len(self._writes)

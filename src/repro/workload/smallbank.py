@@ -1,0 +1,199 @@
+"""SmallBank benchmark workload (the paper's evaluation workload).
+
+Six transaction types over per-customer checking and savings accounts;
+each call picks its type uniformly and its customers from a Zipfian
+distribution over ``account_count`` customers (the paper uses 10k).
+
+Two representations are produced:
+
+* *intents* — contract calls (``contract="smallbank"``) to be executed by
+  the VM or the native contract during the speculative-execution phase;
+* *summaries* — the same transactions with their read/write address sets
+  precomputed analytically, for concurrency-control-only benchmarks that
+  skip execution (the address sets of SmallBank operations are static
+  functions of their arguments).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import WorkloadError
+from repro.txn.rwset import Address, RWSet
+from repro.txn.transaction import Transaction
+from repro.workload.zipf import ZipfSampler
+
+DEFAULT_ACCOUNT_COUNT = 10_000
+"""The paper's account population."""
+
+DEFAULT_INITIAL_BALANCE = 10_000
+"""Opening balance of every checking and savings account."""
+
+
+class SmallBankOp(enum.Enum):
+    """The six SmallBank transaction types (five writers, one reader)."""
+
+    UPDATE_SAVINGS = "updateSavings"
+    UPDATE_BALANCE = "updateBalance"
+    SEND_PAYMENT = "sendPayment"
+    WRITE_CHECK = "writeCheck"
+    AMALGAMATE = "almagate"  # the paper's (sic) spelling of amalgamate
+    GET_BALANCE = "getBalance"
+
+
+WRITE_OPS = (
+    SmallBankOp.UPDATE_SAVINGS,
+    SmallBankOp.UPDATE_BALANCE,
+    SmallBankOp.SEND_PAYMENT,
+    SmallBankOp.WRITE_CHECK,
+    SmallBankOp.AMALGAMATE,
+)
+
+
+def savings_address(customer: int) -> Address:
+    """State address of a customer's savings account."""
+    return f"sav:{customer:06d}"
+
+
+def checking_address(customer: int) -> Address:
+    """State address of a customer's checking account."""
+    return f"chk:{customer:06d}"
+
+
+@dataclass(frozen=True)
+class SmallBankConfig:
+    """Workload shape parameters.
+
+    Attributes
+    ----------
+    account_count:
+        Number of customers (each owns one savings and one checking slot).
+    skew:
+        Zipfian exponent of account selection; 0 is uniform.
+    seed:
+        PRNG seed; identical configs generate identical workloads.
+    read_only_fraction:
+        Probability of ``getBalance``; the paper selects all six types
+        uniformly, i.e. 1/6.
+    """
+
+    account_count: int = DEFAULT_ACCOUNT_COUNT
+    skew: float = 0.0
+    seed: int = 0
+    read_only_fraction: float = 1.0 / 6.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.read_only_fraction <= 1.0:
+            raise WorkloadError("read_only_fraction must be within [0, 1]")
+
+
+class SmallBankWorkload:
+    """Generates SmallBank transactions with precomputed rw summaries."""
+
+    def __init__(self, config: SmallBankConfig | None = None) -> None:
+        self.config = config or SmallBankConfig()
+        self._sampler = ZipfSampler(
+            population=self.config.account_count,
+            skew=self.config.skew,
+            seed=self.config.seed,
+        )
+        self._rng = random.Random(self.config.seed ^ 0x5333DB)
+        self._next_txid = 0
+
+    def generate(self, count: int) -> list[Transaction]:
+        """Produce ``count`` transactions with fresh consecutive ids."""
+        return [self._generate_one() for _ in range(count)]
+
+    def generate_blocks(self, block_count: int, block_size: int) -> list[list[Transaction]]:
+        """Produce ``block_count`` concurrent blocks of ``block_size`` each.
+
+        Models one epoch of a DAG-based blockchain with block concurrency
+        ``block_count`` (the paper's ``omega``).
+        """
+        return [self.generate(block_size) for _ in range(block_count)]
+
+    def stream(self) -> Iterator[Transaction]:
+        """Endless transaction stream (for the network simulator's client)."""
+        while True:
+            yield self._generate_one()
+
+    def _generate_one(self) -> Transaction:
+        txid = self._next_txid
+        self._next_txid += 1
+        op = self._pick_op()
+        amount = self._rng.randint(1, 100)
+        if op in (SmallBankOp.SEND_PAYMENT, SmallBankOp.AMALGAMATE):
+            src, dst = self._sampler.sample_distinct(2)
+            args: tuple = (src, dst, amount) if op is SmallBankOp.SEND_PAYMENT else (src, dst)
+            customers: tuple = (src, dst)
+        else:
+            customer = self._sampler.sample()
+            args = (customer,) if op is SmallBankOp.GET_BALANCE else (customer, amount)
+            customers = (customer,)
+        rwset = rwset_for(op, customers)
+        return Transaction(
+            txid=txid,
+            rwset=rwset,
+            sender=f"user:{customers[0]:06d}",
+            contract="smallbank",
+            function=op.value,
+            args=args,
+        )
+
+    def _pick_op(self) -> SmallBankOp:
+        """Pick an operation type.
+
+        With the default ``read_only_fraction`` of 1/6 this matches the
+        paper's uniform choice among the six types.
+        """
+        if self._rng.random() < self.config.read_only_fraction:
+            return SmallBankOp.GET_BALANCE
+        return self._rng.choice(WRITE_OPS)
+
+
+def rwset_for(op: SmallBankOp, customers: Sequence[int]) -> RWSet:
+    """Analytic read/write address sets of one SmallBank operation.
+
+    These match what the VM's read/write logger observes when executing
+    the contract (asserted by integration tests), so CC-only benchmarks
+    can skip execution without changing the conflict structure.
+    """
+    if op is SmallBankOp.UPDATE_SAVINGS:
+        address = savings_address(customers[0])
+        return RWSet.from_addresses([address], [address])
+    if op is SmallBankOp.UPDATE_BALANCE:
+        address = checking_address(customers[0])
+        return RWSet.from_addresses([address], [address])
+    if op is SmallBankOp.SEND_PAYMENT:
+        src_chk = checking_address(customers[0])
+        dst_chk = checking_address(customers[1])
+        return RWSet.from_addresses([src_chk, dst_chk], [src_chk, dst_chk])
+    if op is SmallBankOp.WRITE_CHECK:
+        savings = savings_address(customers[0])
+        checking = checking_address(customers[0])
+        return RWSet.from_addresses([savings, checking], [checking])
+    if op is SmallBankOp.AMALGAMATE:
+        src_sav = savings_address(customers[0])
+        src_chk = checking_address(customers[0])
+        dst_chk = checking_address(customers[1])
+        return RWSet.from_addresses(
+            [src_sav, src_chk, dst_chk], [src_sav, src_chk, dst_chk]
+        )
+    if op is SmallBankOp.GET_BALANCE:
+        savings = savings_address(customers[0])
+        checking = checking_address(customers[0])
+        return RWSet.from_addresses([savings, checking], [])
+    raise WorkloadError(f"unknown SmallBank operation: {op}")
+
+
+def initial_state(config: SmallBankConfig | None = None) -> dict[Address, int]:
+    """Opening balances for every account address in the population."""
+    config = config or SmallBankConfig()
+    state: dict[Address, int] = {}
+    for customer in range(config.account_count):
+        state[savings_address(customer)] = DEFAULT_INITIAL_BALANCE
+        state[checking_address(customer)] = DEFAULT_INITIAL_BALANCE
+    return state

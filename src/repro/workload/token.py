@@ -1,0 +1,156 @@
+"""Token-transfer workload (a second contract workload besides SmallBank).
+
+Models a fungible-token economy: mostly peer-to-peer transfers with some
+approvals, delegated transfers, occasional mints, and balance queries.
+Account selection is Zipfian, so skew concentrates transfers on hot
+wallets (exchanges), producing the same contention spectrum the paper
+studies with SmallBank hot accounts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.txn.rwset import Address, RWSet
+from repro.txn.transaction import Transaction
+from repro.vm.contracts.token import (
+    SUPPLY_ADDRESS,
+    allowance_address,
+    balance_address,
+)
+from repro.workload.zipf import ZipfSampler
+
+DEFAULT_HOLDER_COUNT = 10_000
+DEFAULT_TOKEN_BALANCE = 1_000_000
+
+_OP_WEIGHTS = (
+    ("transfer", 0.60),
+    ("approve", 0.10),
+    ("transferFrom", 0.10),
+    ("mint", 0.05),
+    ("balanceOf", 0.15),
+)
+
+
+@dataclass(frozen=True)
+class TokenConfig:
+    """Token workload shape."""
+
+    holder_count: int = DEFAULT_HOLDER_COUNT
+    skew: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.holder_count < 2:
+            raise WorkloadError("token workload needs at least two holders")
+
+
+class TokenWorkload:
+    """Generates token transactions with analytic rw summaries."""
+
+    def __init__(self, config: TokenConfig | None = None) -> None:
+        self.config = config or TokenConfig()
+        self._sampler = ZipfSampler(
+            population=self.config.holder_count,
+            skew=self.config.skew,
+            seed=self.config.seed,
+        )
+        self._rng = random.Random(self.config.seed ^ 0x70CE17)
+        self._next_txid = 0
+
+    def generate(self, count: int) -> list[Transaction]:
+        """Produce ``count`` transactions with fresh consecutive ids."""
+        return [self._generate_one() for _ in range(count)]
+
+    def generate_blocks(self, block_count: int, block_size: int) -> list[list[Transaction]]:
+        """Produce one epoch's worth of concurrent blocks."""
+        return [self.generate(block_size) for _ in range(block_count)]
+
+    def _generate_one(self) -> Transaction:
+        txid = self._next_txid
+        self._next_txid += 1
+        op = self._pick_op()
+        amount = self._rng.randint(1, 500)
+        if op == "transfer":
+            src, dst = self._sampler.sample_distinct(2)
+            caller, args = src, (dst, amount)
+            rwset = transfer_rwset(src, dst)
+        elif op == "approve":
+            owner, spender = self._sampler.sample_distinct(2)
+            caller, args = owner, (spender, amount)
+            rwset = approve_rwset(owner, spender)
+        elif op == "transferFrom":
+            owner, spender, dst = self._sampler.sample_distinct(3)
+            caller, args = spender, (owner, dst, amount)
+            rwset = transfer_from_rwset(owner, spender, dst)
+        elif op == "mint":
+            to = self._sampler.sample()
+            caller, args = 0, (to, amount)
+            rwset = mint_rwset(to)
+        else:  # balanceOf
+            holder = self._sampler.sample()
+            caller, args = holder, (holder,)
+            rwset = balance_of_rwset(holder)
+        return Transaction(
+            txid=txid,
+            rwset=rwset,
+            sender=f"user:{caller:06d}",
+            contract="token",
+            function=op,
+            args=args,
+        )
+
+    def _pick_op(self) -> str:
+        roll = self._rng.random()
+        cumulative = 0.0
+        for name, weight in _OP_WEIGHTS:
+            cumulative += weight
+            if roll < cumulative:
+                return name
+        return _OP_WEIGHTS[-1][0]
+
+
+def transfer_rwset(src: int, dst: int) -> RWSet:
+    """Analytic rw-set of ``transfer`` (matches execution)."""
+    addresses = [balance_address(src), balance_address(dst)]
+    return RWSet.from_addresses(addresses, addresses)
+
+
+def approve_rwset(owner: int, spender: int) -> RWSet:
+    """Analytic rw-set of ``approve`` (blind write)."""
+    return RWSet.from_addresses([], [allowance_address(owner, spender)])
+
+
+def transfer_from_rwset(owner: int, spender: int, dst: int) -> RWSet:
+    """Analytic rw-set of ``transferFrom``."""
+    reads = [
+        allowance_address(owner, spender),
+        balance_address(owner),
+        balance_address(dst),
+    ]
+    writes = reads
+    return RWSet.from_addresses(reads, writes)
+
+
+def mint_rwset(to: int) -> RWSet:
+    """Analytic rw-set of ``mint`` (touches the hot supply counter)."""
+    addresses = [balance_address(to), SUPPLY_ADDRESS]
+    return RWSet.from_addresses(addresses, addresses)
+
+
+def balance_of_rwset(holder: int) -> RWSet:
+    """Analytic rw-set of ``balanceOf`` (read-only)."""
+    return RWSet.from_addresses([balance_address(holder)], [])
+
+
+def initial_token_state(config: TokenConfig | None = None) -> dict[Address, int]:
+    """Opening balances plus the supply counter."""
+    config = config or TokenConfig()
+    state: dict[Address, int] = {
+        balance_address(holder): DEFAULT_TOKEN_BALANCE
+        for holder in range(config.holder_count)
+    }
+    state[SUPPLY_ADDRESS] = DEFAULT_TOKEN_BALANCE * config.holder_count
+    return state

@@ -1,0 +1,90 @@
+"""Workload trace recording and replay.
+
+Benchmark comparability needs byte-identical inputs across runs, schemes,
+and machines.  A *trace* is a JSON-lines file of transactions; replaying
+one yields exactly the recorded batch, independent of generator version
+or PRNG behaviour.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro.errors import WorkloadError
+from repro.txn.codec import decode_transaction, encode_transaction
+from repro.txn.transaction import Transaction
+
+TRACE_VERSION = 1
+
+
+def save_trace(path: str | Path, transactions: Sequence[Transaction]) -> int:
+    """Write transactions to a trace file; returns the count written.
+
+    Line 1 is a header record; each following line is one transaction's
+    canonical binary encoding, base64-wrapped in JSON for greppability.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as out:
+        header = {"version": TRACE_VERSION, "count": len(transactions)}
+        out.write(json.dumps(header) + "\n")
+        for txn in transactions:
+            record = {
+                "txid": txn.txid,
+                "fn": f"{txn.contract or ''}.{txn.function}",
+                "data": base64.b64encode(encode_transaction(txn)).decode(),
+            }
+            out.write(json.dumps(record) + "\n")
+    return len(transactions)
+
+
+def load_trace(path: str | Path) -> list[Transaction]:
+    """Read every transaction from a trace file."""
+    return list(iter_trace(path))
+
+
+def iter_trace(path: str | Path) -> Iterator[Transaction]:
+    """Stream transactions from a trace file."""
+    path = Path(path)
+    if not path.exists():
+        raise WorkloadError(f"trace file {path} does not exist")
+    with open(path) as source:
+        header_line = source.readline()
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise WorkloadError(f"malformed trace header: {exc}") from exc
+        if header.get("version") != TRACE_VERSION:
+            raise WorkloadError(
+                f"unsupported trace version {header.get('version')!r}"
+            )
+        for line_no, line in enumerate(source, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                data = base64.b64decode(record["data"])
+            except (json.JSONDecodeError, KeyError, ValueError) as exc:
+                raise WorkloadError(f"bad trace record at line {line_no}: {exc}") from exc
+            yield decode_transaction(data)
+
+
+def trace_info(path: str | Path) -> dict:
+    """The trace header plus basic shape statistics."""
+    path = Path(path)
+    transactions = load_trace(path)
+    functions: dict[str, int] = {}
+    addresses: set[str] = set()
+    for txn in transactions:
+        name = f"{txn.contract or 'raw'}.{txn.function or 'rwset'}"
+        functions[name] = functions.get(name, 0) + 1
+        addresses.update(txn.rwset.addresses)
+    return {
+        "count": len(transactions),
+        "functions": dict(sorted(functions.items())),
+        "distinct_addresses": len(addresses),
+    }

@@ -1,0 +1,73 @@
+"""Tests for contention analysis."""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import analyze_contention, gini_coefficient
+from repro.txn import make_transaction
+from repro.workload import SmallBankConfig, SmallBankWorkload
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert math.isclose(gini_coefficient([5, 5, 5, 5]), 0.0, abs_tol=1e-9)
+
+    def test_concentrated_is_high(self):
+        assert gini_coefficient([100, 1, 1, 1]) > 0.6
+
+    def test_empty_and_zero(self):
+        assert gini_coefficient([]) == 0.0
+        assert gini_coefficient([0, 0]) == 0.0
+
+    def test_monotone_in_concentration(self):
+        assert gini_coefficient([10, 1, 1]) > gini_coefficient([4, 4, 4])
+
+
+class TestAnalyzeContention:
+    def test_hot_address_identified(self):
+        txns = [make_transaction(i, writes=["hot"]) for i in range(5)]
+        txns.append(make_transaction(9, writes=["cold"]))
+        report = analyze_contention(txns)
+        assert report.hottest[0].address == "hot"
+        assert report.hottest[0].writes == 5
+        assert report.hottest_share == 5 / 6
+
+    def test_reads_and_writes_counted_separately(self):
+        txns = [
+            make_transaction(1, reads=["x"], writes=["x"]),
+            make_transaction(2, reads=["x"]),
+        ]
+        report = analyze_contention(txns)
+        heat = report.hottest[0]
+        assert heat.reads == 2
+        assert heat.writes == 1
+        assert heat.total == 3
+
+    def test_empty_batch(self):
+        report = analyze_contention([])
+        assert report.distinct_addresses == 0
+        assert report.hottest == ()
+        assert report.hottest_share == 0.0
+
+    def test_top_limit(self):
+        txns = [make_transaction(i, writes=[f"a{i}"]) for i in range(20)]
+        report = analyze_contention(txns, top=3)
+        assert len(report.hottest) == 3
+
+    def test_skew_raises_gini(self):
+        uniform = SmallBankWorkload(SmallBankConfig(skew=0.0, seed=1)).generate(400)
+        skewed = SmallBankWorkload(SmallBankConfig(skew=1.2, seed=1)).generate(400)
+        assert (
+            analyze_contention(skewed).gini > analyze_contention(uniform).gini
+        )
+
+    def test_describe_levels(self):
+        low = analyze_contention(
+            [make_transaction(i, writes=[f"a{i}"]) for i in range(10)]
+        )
+        assert "low" in low.describe()
+        high = analyze_contention(
+            [make_transaction(i, writes=["hot"] if i else ["a", "b", "c"]) for i in range(30)]
+        )
+        assert high.gini > low.gini

@@ -1,0 +1,131 @@
+"""Tests for the independent schedule certifier."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import certify_schedule
+from repro.baselines import CGScheduler, OCCScheduler
+from repro.core import CommitGroup, NezhaScheduler, Schedule, check_invariants
+from repro.txn import RWSet, Transaction, make_transaction
+from repro.workload import SmallBankConfig, SmallBankWorkload, flatten_blocks
+
+
+class TestCertifier:
+    def test_valid_schedule_certified(self):
+        txns = [
+            make_transaction(1, reads=["x"]),
+            make_transaction(2, writes=["x"]),
+        ]
+        schedule = Schedule(
+            groups=(CommitGroup(1, (1,)), CommitGroup(2, (2,)))
+        )
+        report = certify_schedule(txns, schedule)
+        assert report.valid
+        assert "CERTIFIED" in report.summary()
+
+    def test_reader_after_writer_rejected(self):
+        txns = [
+            make_transaction(1, reads=["x"]),
+            make_transaction(2, writes=["x"]),
+        ]
+        schedule = Schedule(
+            groups=(CommitGroup(1, (2,)), CommitGroup(2, (1,)))
+        )
+        report = certify_schedule(txns, schedule)
+        assert not report.valid
+        assert report.order_violations
+
+    def test_conflicting_group_rejected(self):
+        txns = [
+            make_transaction(1, writes=["x"]),
+            make_transaction(2, writes=["x"]),
+        ]
+        schedule = Schedule(groups=(CommitGroup(1, (1, 2)),))
+        report = certify_schedule(txns, schedule)
+        assert not report.valid
+        assert report.group_conflicts
+
+    def test_read_read_group_allowed(self):
+        txns = [
+            make_transaction(1, reads=["x"]),
+            make_transaction(2, reads=["x"]),
+        ]
+        schedule = Schedule(groups=(CommitGroup(1, (1, 2)),))
+        assert certify_schedule(txns, schedule).valid
+
+    def test_unknown_txid_rejected(self):
+        schedule = Schedule(groups=(CommitGroup(1, (99,)),))
+        report = certify_schedule([], schedule)
+        assert not report.valid
+        assert report.unknown_txids == [99]
+
+    def test_self_rw_not_a_violation(self):
+        txns = [make_transaction(1, reads=["x"], writes=["x"])]
+        schedule = Schedule(groups=(CommitGroup(1, (1,)),))
+        assert certify_schedule(txns, schedule).valid
+
+    def test_dependency_edges_counted(self):
+        txns = [
+            make_transaction(1, reads=["x"]),
+            make_transaction(2, writes=["x"]),
+            make_transaction(3, writes=["x"]),
+        ]
+        schedule = Schedule(
+            groups=(CommitGroup(1, (1,)), CommitGroup(2, (2,)), CommitGroup(3, (3,)))
+        )
+        report = certify_schedule(txns, schedule)
+        # rw edges: (1,2), (1,3); ww edge: (2,3).
+        assert report.dependency_edge_count == 3
+
+
+class TestCrossValidation:
+    """The certifier and check_invariants must agree on real schedules."""
+
+    def test_nezha_schedules_certified(self):
+        for skew in (0.3, 0.9):
+            workload = SmallBankWorkload(SmallBankConfig(skew=skew, seed=50))
+            txns = flatten_blocks(workload.generate_blocks(2, 80))
+            result = NezhaScheduler().schedule(txns)
+            report = certify_schedule(txns, result.schedule)
+            invariants = check_invariants(
+                txns, result.schedule.sequences(), set(result.schedule.aborted)
+            )
+            assert report.valid == (invariants == []), report.summary()
+            assert report.valid
+
+    def test_cg_and_occ_schedules_certified(self):
+        workload = SmallBankWorkload(SmallBankConfig(skew=0.7, seed=51))
+        txns = flatten_blocks(workload.generate_blocks(2, 60))
+        for scheme in (CGScheduler(), OCCScheduler()):
+            result = scheme.schedule(txns)
+            assert certify_schedule(txns, result.schedule).valid
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.lists(st.sampled_from(["a", "b", "c", "d"]), max_size=2, unique=True),
+                st.lists(st.sampled_from(["a", "b", "c", "d"]), max_size=2, unique=True),
+            ),
+            max_size=25,
+        )
+    )
+    def test_certifier_agrees_with_invariant_checker(self, specs):
+        txns = [
+            Transaction(
+                txid=i + 1,
+                rwset=RWSet(
+                    reads={a: None for a in reads},
+                    writes={a: i for a in writes},
+                ),
+            )
+            for i, (reads, writes) in enumerate(specs)
+        ]
+        result = NezhaScheduler().schedule(txns)
+        report = certify_schedule(txns, result.schedule)
+        invariants = check_invariants(
+            txns, result.schedule.sequences(), set(result.schedule.aborted)
+        )
+        assert report.valid == (invariants == [])
+        assert report.valid

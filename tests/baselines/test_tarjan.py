@@ -1,0 +1,70 @@
+"""Unit tests for the iterative Tarjan SCC implementation."""
+
+from __future__ import annotations
+
+from repro.baselines import nontrivial_components, strongly_connected_components
+
+
+def sccs(vertices, edges):
+    out: dict = {}
+    for src, dst in edges:
+        out.setdefault(src, set()).add(dst)
+    return strongly_connected_components(vertices, out)
+
+
+class TestTarjan:
+    def test_empty_graph(self):
+        assert sccs([], []) == []
+
+    def test_isolated_vertices_are_singletons(self):
+        components = sccs([1, 2, 3], [])
+        assert sorted(map(tuple, components)) == [(1,), (2,), (3,)]
+
+    def test_simple_cycle(self):
+        components = sccs([1, 2, 3], [(1, 2), (2, 3), (3, 1)])
+        assert len(components) == 1
+        assert sorted(components[0]) == [1, 2, 3]
+
+    def test_two_components(self):
+        edges = [(1, 2), (2, 1), (3, 4), (4, 3), (2, 3)]
+        components = sccs([1, 2, 3, 4], edges)
+        assert sorted(sorted(c) for c in components) == [[1, 2], [3, 4]]
+
+    def test_dag_gives_all_singletons(self):
+        components = sccs([1, 2, 3, 4], [(1, 2), (2, 3), (3, 4), (1, 4)])
+        assert all(len(c) == 1 for c in components)
+
+    def test_reverse_topological_emission(self):
+        # Tarjan emits components in reverse topological order.
+        components = sccs([1, 2], [(1, 2)])
+        assert components == [[2], [1]]
+
+    def test_deep_graph_is_iterative(self):
+        n = 30_000
+        edges = [(i, i + 1) for i in range(n - 1)] + [(n - 1, 0)]
+        components = sccs(list(range(n)), edges)
+        assert len(components) == 1
+        assert len(components[0]) == n
+
+    def test_complex_mixed_graph(self):
+        edges = [(1, 2), (2, 3), (3, 1), (3, 4), (4, 5), (5, 4), (5, 6)]
+        components = sccs(range(1, 7), edges)
+        by_size = sorted(sorted(c) for c in components)
+        assert by_size == [[1, 2, 3], [4, 5], [6]]
+
+
+class TestNontrivialComponents:
+    def test_filters_singletons(self):
+        out = {1: {2}, 2: {1}, 3: set()}
+        result = nontrivial_components([1, 2, 3], out)
+        assert len(result) == 1
+        assert sorted(result[0]) == [1, 2]
+
+    def test_self_loop_is_nontrivial(self):
+        out = {1: {1}}
+        result = nontrivial_components([1], out)
+        assert result == [[1]]
+
+    def test_acyclic_graph_has_none(self):
+        out = {1: {2}, 2: {3}}
+        assert nontrivial_components([1, 2, 3], out) == []

@@ -1,0 +1,34 @@
+"""Shared fixtures: the paper's worked example and workload helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.txn import Transaction, make_transaction
+
+
+@pytest.fixture
+def paper_transactions() -> list[Transaction]:
+    """The six transactions of Table III (the paper's running example)."""
+    return [
+        make_transaction(1, reads=["A2"], writes=["A1"]),
+        make_transaction(2, reads=["A3"], writes=["A2"]),
+        make_transaction(3, reads=["A4"], writes=["A2"]),
+        make_transaction(4, reads=["A4"], writes=["A3"]),
+        make_transaction(5, reads=["A4"], writes=["A4"]),
+        make_transaction(6, reads=["A1"], writes=["A3"]),
+    ]
+
+
+@pytest.fixture
+def figure1_transactions() -> list[Transaction]:
+    """Figure 1's scenario: T1 and T2 precede T3 on A1, T3 precedes T4 on A2.
+
+    The expected total order is T1, T2 (concurrent) -> T3 -> T4.
+    """
+    return [
+        make_transaction(1, reads=["A1"], writes=[]),
+        make_transaction(2, reads=["A1"], writes=[]),
+        make_transaction(3, reads=["A2"], writes=["A1"]),
+        make_transaction(4, reads=[], writes=["A2"]),
+    ]

@@ -1,0 +1,98 @@
+"""End-to-end pinning of the paper's worked examples (Sections IV-B/IV-C).
+
+These tests encode Table III, Figure 4, Figure 6, and Figure 7 exactly, so
+any regression in ACG construction, rank division, or sorting that changes
+the published behaviour fails loudly.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    NezhaConfig,
+    NezhaScheduler,
+    build_acg,
+    divide_ranks,
+)
+
+
+class TestACGConstruction:
+    def test_unit_lists_match_figure4(self, paper_transactions):
+        acg = build_acg(paper_transactions)
+        assert acg.rw("A1").reads == [6]
+        assert acg.rw("A1").writes == [1]
+        assert acg.rw("A2").reads == [1]
+        assert acg.rw("A2").writes == [2, 3]
+        assert acg.rw("A3").reads == [2]
+        assert acg.rw("A3").writes == [4, 6]
+        assert acg.rw("A4").reads == [3, 4, 5]
+        assert acg.rw("A4").writes == [5]
+
+    def test_edges_match_figure6(self, paper_transactions):
+        acg = build_acg(paper_transactions)
+        assert set(acg.iter_edges()) == {
+            ("A1", "A2"),
+            ("A2", "A3"),
+            ("A2", "A4"),
+            ("A3", "A4"),
+            ("A3", "A1"),
+        }
+
+    def test_self_access_builds_no_edge(self, paper_transactions):
+        # T5 reads and writes A4: no self-loop may appear.
+        acg = build_acg(paper_transactions)
+        assert ("A4", "A4") not in set(acg.iter_edges())
+
+    def test_edge_multiplicity_counts_transactions(self, paper_transactions):
+        acg = build_acg(paper_transactions)
+        assert acg.edge_multiplicity[("A1", "A2")] == 1
+        assert acg.edge_count == 5
+        assert acg.txn_count == 6
+
+    def test_unit_count(self, paper_transactions):
+        acg = build_acg(paper_transactions)
+        # 6 reads + 6 writes.
+        assert acg.unit_count == 12
+
+
+class TestRankDivision:
+    def test_rank_order_matches_figure6(self, paper_transactions):
+        acg = build_acg(paper_transactions)
+        assert divide_ranks(acg) == ["A2", "A3", "A1", "A4"]
+
+
+class TestHierarchicalSorting:
+    def test_schedule_matches_figure7(self, paper_transactions):
+        result = NezhaScheduler(NezhaConfig(enable_reorder=False)).schedule(
+            paper_transactions
+        )
+        schedule = result.schedule
+        # T1 is the unserializable transaction the paper aborts.
+        assert schedule.aborted == (1,)
+        sequences = schedule.sequences()
+        base = sequences[2]
+        assert sequences == {2: base, 3: base + 1, 4: base + 1, 5: base + 2, 6: base + 2}
+
+    def test_commit_groups_match_figure7d(self, paper_transactions):
+        result = NezhaScheduler(NezhaConfig(enable_reorder=False)).schedule(
+            paper_transactions
+        )
+        groups = [group.txids for group in result.schedule.groups]
+        assert groups == [(2,), (3, 4), (5, 6)]
+
+    def test_reordering_cannot_rescue_single_write_t1(self, paper_transactions):
+        # T1 has a single write unit, so the enhanced design still aborts it.
+        result = NezhaScheduler(NezhaConfig(enable_reorder=True)).schedule(
+            paper_transactions
+        )
+        assert result.schedule.aborted == (1,)
+        assert result.schedule.reordered == ()
+
+
+class TestFigure1:
+    def test_total_order(self, figure1_transactions):
+        result = NezhaScheduler().schedule(figure1_transactions)
+        schedule = result.schedule
+        assert schedule.aborted == ()
+        sequences = schedule.sequences()
+        assert sequences[1] == sequences[2], "T1 and T2 commit concurrently"
+        assert sequences[2] < sequences[3] < sequences[4]

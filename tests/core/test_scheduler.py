@@ -1,0 +1,82 @@
+"""Unit tests for the Nezha scheduler facade."""
+
+from __future__ import annotations
+
+from repro.core import NezhaConfig, NezhaScheduler, check_invariants
+from repro.txn import make_transaction
+from repro.workload import SmallBankConfig, SmallBankWorkload, flatten_blocks
+
+
+class TestSchedulerBasics:
+    def test_empty_batch(self):
+        result = NezhaScheduler().schedule([])
+        assert result.schedule.groups == ()
+        assert result.schedule.aborted == ()
+
+    def test_single_transaction(self):
+        result = NezhaScheduler().schedule([make_transaction(1, writes=["x"])])
+        assert result.schedule.committed == (1,)
+
+    def test_non_conflicting_commit_concurrently(self):
+        txns = [make_transaction(i, writes=[f"w{i}"]) for i in range(1, 6)]
+        result = NezhaScheduler().schedule(txns)
+        assert len(result.schedule.groups) == 1
+        assert result.schedule.groups[0].txids == (1, 2, 3, 4, 5)
+
+    def test_timings_populated(self, paper_transactions):
+        result = NezhaScheduler().schedule(paper_transactions)
+        timings = result.timings.as_dict()
+        assert set(timings) == {
+            "graph_construction",
+            "rank_division",
+            "transaction_sorting",
+            "validation",
+        }
+        assert all(v >= 0 for v in timings.values())
+        assert result.timings.total >= max(timings.values())
+
+    def test_validation_disabled_skips_phase(self, paper_transactions):
+        config = NezhaConfig(enable_validation=False)
+        result = NezhaScheduler(config).schedule(paper_transactions)
+        assert result.timings.validation == 0.0
+
+    def test_rank_order_exposed(self, paper_transactions):
+        result = NezhaScheduler().schedule(paper_transactions)
+        assert result.rank_order == ["A2", "A3", "A1", "A4"]
+
+    def test_aborted_property_mirrors_schedule(self, paper_transactions):
+        result = NezhaScheduler().schedule(paper_transactions)
+        assert result.aborted == result.schedule.aborted
+
+
+class TestSchedulerSerializability:
+    def test_smallbank_schedules_are_serializable(self):
+        for skew in (0.0, 0.5, 0.9):
+            workload = SmallBankWorkload(SmallBankConfig(skew=skew, seed=11))
+            txns = flatten_blocks(workload.generate_blocks(4, 50))
+            result = NezhaScheduler().schedule(txns)
+            problems = check_invariants(
+                txns, result.schedule.sequences(), set(result.schedule.aborted)
+            )
+            assert problems == [], f"skew={skew}: {problems[:3]}"
+
+    def test_equal_sequence_groups_are_conflict_free(self):
+        workload = SmallBankWorkload(SmallBankConfig(skew=0.8, seed=3))
+        txns = flatten_blocks(workload.generate_blocks(2, 100))
+        by_id = {t.txid: t for t in txns}
+        result = NezhaScheduler().schedule(txns)
+        for group in result.schedule.groups:
+            members = [by_id[t] for t in group.txids]
+            for i, first in enumerate(members):
+                for second in members[i + 1 :]:
+                    shared_writes = first.write_set & second.write_set
+                    assert not shared_writes
+                    assert not (first.read_set & second.write_set)
+                    assert not (second.read_set & first.write_set)
+
+    def test_deterministic_across_runs(self):
+        workload = SmallBankWorkload(SmallBankConfig(skew=0.7, seed=21))
+        txns = flatten_blocks(workload.generate_blocks(3, 60))
+        first = NezhaScheduler().schedule(txns)
+        second = NezhaScheduler().schedule(txns)
+        assert first.schedule == second.schedule

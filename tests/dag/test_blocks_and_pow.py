@@ -1,0 +1,129 @@
+"""Unit tests for blocks, PoW, and chain assignment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag import (
+    Block,
+    BlockHeader,
+    GENESIS_HASH,
+    PoWParams,
+    chain_assignment,
+    meets_target,
+    mine,
+    tips_digest,
+    transactions_root,
+)
+from repro.errors import ChainError
+from repro.txn import make_transaction
+
+
+def header(**overrides):
+    defaults = dict(
+        chain_id=0,
+        height=0,
+        parent=GENESIS_HASH,
+        state_root=b"\x01" * 32,
+        tx_root=transactions_root(()),
+        tips_digest=tips_digest([GENESIS_HASH]),
+        miner="m0",
+        nonce=0,
+    )
+    defaults.update(overrides)
+    return BlockHeader(**defaults)
+
+
+class TestBlockStructure:
+    def test_header_hash_deterministic(self):
+        assert header().hash() == header().hash()
+
+    def test_any_field_changes_hash(self):
+        base = header().hash()
+        assert header(height=1).hash() != base
+        assert header(miner="other").hash() != base
+        assert header(nonce=5).hash() != base
+
+    def test_core_hash_excludes_chain_and_parent(self):
+        a = header(chain_id=0, parent=GENESIS_HASH)
+        b = header(chain_id=3, parent=b"\x09" * 32)
+        assert a.core_hash() == b.core_hash()
+        assert a.hash() != b.hash()
+
+    def test_block_body_must_match_tx_root(self):
+        txn = make_transaction(1, writes=["x"])
+        with pytest.raises(ChainError):
+            Block(header=header(), transactions=(txn,))
+
+    def test_block_with_matching_root(self):
+        txn = make_transaction(1, writes=["x"])
+        block = Block(
+            header=header(tx_root=transactions_root((txn,))), transactions=(txn,)
+        )
+        assert block.size == 1
+
+
+class TestTransactionsRoot:
+    def test_empty_root_stable(self):
+        assert transactions_root(()) == transactions_root(())
+
+    def test_order_sensitive(self):
+        a = make_transaction(1, writes=["x"])
+        b = make_transaction(2, writes=["y"])
+        assert transactions_root((a, b)) != transactions_root((b, a))
+
+    def test_odd_count_handled(self):
+        txns = tuple(make_transaction(i, writes=[f"w{i}"]) for i in range(3))
+        assert len(transactions_root(txns)) == 32
+
+    def test_content_sensitive(self):
+        a = make_transaction(1, writes=["x"])
+        b = make_transaction(1, writes=["y"])
+        assert transactions_root((a,)) != transactions_root((b,))
+
+
+class TestPoW:
+    def test_mined_header_meets_target(self):
+        params = PoWParams(difficulty_bits=8)
+        mined = mine(header(), params)
+        assert meets_target(mined.core_hash(), params)
+
+    def test_mining_deterministic(self):
+        params = PoWParams(difficulty_bits=8)
+        assert mine(header(), params).nonce == mine(header(), params).nonce
+
+    def test_zero_difficulty_accepts_everything(self):
+        params = PoWParams(difficulty_bits=0)
+        assert meets_target(b"\xff" * 32, params)
+
+    def test_higher_difficulty_is_harder(self):
+        easy = mine(header(), PoWParams(difficulty_bits=4))
+        hard = mine(header(), PoWParams(difficulty_bits=12))
+        assert not meets_target(easy.core_hash(), PoWParams(difficulty_bits=32))
+        assert meets_target(hard.core_hash(), PoWParams(difficulty_bits=12))
+
+    def test_invalid_difficulty_rejected(self):
+        with pytest.raises(ChainError):
+            PoWParams(difficulty_bits=100)
+
+
+class TestChainAssignment:
+    def test_deterministic(self):
+        digest = header().core_hash()
+        assert chain_assignment(digest, 8) == chain_assignment(digest, 8)
+
+    def test_in_range(self):
+        for nonce in range(50):
+            digest = header(nonce=nonce).core_hash()
+            assert 0 <= chain_assignment(digest, 7) < 7
+
+    def test_roughly_uniform(self):
+        counts = [0] * 4
+        for nonce in range(2000):
+            digest = header(nonce=nonce).core_hash()
+            counts[chain_assignment(digest, 4)] += 1
+        assert min(counts) > 350  # expected 500 each
+
+    def test_zero_chains_rejected(self):
+        with pytest.raises(ChainError):
+            chain_assignment(b"\x00" * 32, 0)

@@ -1,0 +1,41 @@
+"""Error-path tests for the OHIE coordinator and chain config."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag import EpochCoordinator, Mempool, ParallelChains, PoWParams
+from repro.errors import ChainError
+
+
+class TestCoordinatorValidation:
+    def test_requires_miners(self):
+        chains = ParallelChains(chain_count=2)
+        with pytest.raises(ChainError):
+            EpochCoordinator(chains=chains, miners=[], block_size=10)
+
+    def test_requires_positive_block_size(self):
+        chains = ParallelChains(chain_count=2)
+        with pytest.raises(ChainError):
+            EpochCoordinator(chains=chains, miners=["m"], block_size=0)
+
+    def test_chain_count_must_be_positive(self):
+        with pytest.raises(ChainError):
+            ParallelChains(chain_count=0)
+
+    def test_empty_mempool_still_mines_empty_blocks(self):
+        chains = ParallelChains(chain_count=2, pow_params=PoWParams(difficulty_bits=6))
+        coordinator = EpochCoordinator(chains=chains, miners=["m"], block_size=10)
+        blocks = coordinator.mine_epoch(Mempool(), state_root=b"\x01" * 32)
+        assert len(blocks) == 2
+        assert all(block.size == 0 for block in blocks)
+
+    def test_miner_names_rotate(self):
+        chains = ParallelChains(chain_count=4, pow_params=PoWParams(difficulty_bits=4))
+        coordinator = EpochCoordinator(
+            chains=chains, miners=["alpha", "beta"], block_size=5
+        )
+        blocks = coordinator.mine_epoch(Mempool(), state_root=b"\x01" * 32)
+        miners = {block.header.miner for block in blocks}
+        assert miners <= {"alpha", "beta"}
+        assert len(miners) == 2  # both participated

@@ -1,0 +1,106 @@
+"""Unit tests for the concurrent speculative executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.node import ConcurrentExecutor, caller_id
+from repro.txn import Transaction, make_transaction
+from repro.vm.contracts import default_registry
+
+
+def smallbank_txn(txid, function, args, sender="user:000001"):
+    return Transaction(
+        txid=txid, sender=sender, contract="smallbank", function=function, args=args
+    )
+
+
+STATE = {"sav:000001": 100, "chk:000001": 100, "sav:000002": 50, "chk:000002": 50}
+
+
+def read_fn(address):
+    return STATE.get(address, 0)
+
+
+class TestCallerId:
+    def test_parses_suffix(self):
+        assert caller_id("user:000042") == 42
+
+    def test_garbage_is_zero(self):
+        assert caller_id("nobody") == 0
+        assert caller_id("") == 0
+
+
+class TestPassthrough:
+    def test_synthetic_rwset_resolved_against_snapshot(self):
+        executor = ConcurrentExecutor()
+        txn = make_transaction(1, reads=["sav:000001"], writes={"chk:000001": 7})
+        batch = executor.execute_batch([txn], read_fn)
+        result = batch.results[0]
+        assert result.ok
+        assert result.rwset.reads == {"sav:000001": 100}
+        assert result.rwset.writes == {"chk:000001": 7}
+
+    def test_batch_sorted_by_txid(self):
+        executor = ConcurrentExecutor()
+        txns = [make_transaction(i, writes=[f"w{i}"]) for i in (3, 1, 2)]
+        batch = executor.execute_batch(txns, read_fn)
+        assert [r.txid for r in batch.results] == [1, 2, 3]
+
+
+class TestContractExecution:
+    def test_native_execution(self):
+        executor = ConcurrentExecutor(registry=default_registry())
+        txn = smallbank_txn(1, "updateSavings", (1, 10))
+        batch = executor.execute_batch([txn], read_fn)
+        assert batch.results[0].rwset.writes == {"sav:000001": 110}
+
+    def test_vm_execution_matches_native(self):
+        registry = default_registry()
+        native = ConcurrentExecutor(registry=registry, use_vm=False)
+        vm = ConcurrentExecutor(registry=registry, use_vm=True)
+        txns = [
+            smallbank_txn(1, "sendPayment", (1, 2, 30)),
+            smallbank_txn(2, "getBalance", (2,)),
+            smallbank_txn(3, "almagate", (2, 1)),
+        ]
+        native_batch = native.execute_batch(txns, read_fn)
+        vm_batch = vm.execute_batch(txns, read_fn)
+        for n, v in zip(native_batch.results, vm_batch.results):
+            assert n.ok == v.ok
+            assert dict(n.rwset.writes) == dict(v.rwset.writes)
+
+    def test_reverted_excluded_from_schedulable(self):
+        executor = ConcurrentExecutor(registry=default_registry())
+        txns = [
+            smallbank_txn(1, "sendPayment", (1, 2, 1_000_000)),  # overdraft
+            smallbank_txn(2, "updateSavings", (1, 5)),
+        ]
+        batch = executor.execute_batch(txns, read_fn)
+        assert batch.failed_count == 1
+        assert [t.txid for t in batch.transactions()] == [2]
+
+    def test_unknown_contract_raises(self):
+        executor = ConcurrentExecutor(registry=default_registry())
+        txn = Transaction(txid=1, contract="missing", function="f", args=())
+        with pytest.raises(ExecutionError):
+            executor.execute_batch([txn], read_fn)
+
+    def test_thread_pool_matches_serial(self):
+        registry = default_registry()
+        serial = ConcurrentExecutor(registry=registry, workers=0)
+        pooled = ConcurrentExecutor(registry=registry, workers=4)
+        txns = [
+            smallbank_txn(i, "updateBalance", (i % 3, 5), sender=f"user:{i:06d}")
+            for i in range(1, 40)
+        ]
+        a = serial.execute_batch(txns, read_fn)
+        b = pooled.execute_batch(txns, read_fn)
+        assert [r.rwset.writes for r in a.results] == [r.rwset.writes for r in b.results]
+
+    def test_write_values_exposed_for_commit(self):
+        executor = ConcurrentExecutor(registry=default_registry())
+        txn = smallbank_txn(4, "updateSavings", (2, 50))
+        batch = executor.execute_batch([txn], read_fn)
+        assert batch.write_values() == {4: {"sav:000002": 100}}

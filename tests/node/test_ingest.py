@@ -1,0 +1,134 @@
+"""Tests for out-of-order block ingestion."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import NezhaScheduler
+from repro.dag import EpochCoordinator, Mempool, ParallelChains, PoWParams
+from repro.node import FullNode
+from repro.node.ingest import BlockIngest
+from repro.state import StateDB
+from repro.vm.contracts import default_registry
+from repro.workload import SmallBankConfig, SmallBankWorkload, initial_state
+
+POW = PoWParams(difficulty_bits=6)
+CONFIG = SmallBankConfig(account_count=200, skew=0.3, seed=88)
+CHAINS = 3
+
+
+@pytest.fixture
+def setup():
+    state = StateDB()
+    state.seed(initial_state(CONFIG))
+    node = FullNode(
+        chains=ParallelChains(chain_count=CHAINS, pow_params=POW),
+        state=state,
+        scheduler=NezhaScheduler(),
+        registry=default_registry(),
+    )
+    ingest = BlockIngest(node=node)
+    miner_chains = ParallelChains(chain_count=CHAINS, pow_params=POW)
+    coordinator = EpochCoordinator(chains=miner_chains, miners=["m"], block_size=10)
+    pool = Mempool()
+    pool.submit_many(SmallBankWorkload(CONFIG).generate(300))
+
+    def mine():
+        return coordinator.mine_epoch(pool, state_root=node.state_root)
+
+    return node, ingest, mine
+
+
+class TestInOrderDelivery:
+    def test_epoch_completes_on_last_block(self, setup):
+        node, ingest, mine = setup
+        blocks = mine()
+        assert ingest.receive_block(blocks[0]) == []
+        assert ingest.receive_block(blocks[1]) == []
+        reports = ingest.receive_block(blocks[2])
+        assert len(reports) == 1
+        assert reports[0].epoch_index == 0
+        assert ingest.buffered_blocks == 0
+
+    def test_multiple_epochs_sequential(self, setup):
+        node, ingest, mine = setup
+        for epoch in range(3):
+            reports = ingest.receive_blocks(mine())
+            assert len(reports) == 1
+            assert reports[0].epoch_index == epoch
+
+
+class TestOutOfOrderDelivery:
+    def test_shuffled_within_epoch(self, setup):
+        node, ingest, mine = setup
+        blocks = list(mine())
+        random.Random(1).shuffle(blocks)
+        reports = ingest.receive_blocks(blocks)
+        assert len(reports) == 1
+
+    def test_duplicates_dropped(self, setup):
+        node, ingest, mine = setup
+        blocks = mine()
+        ingest.receive_block(blocks[0])
+        ingest.receive_block(blocks[0])
+        assert ingest.stats.duplicates == 1
+        reports = ingest.receive_blocks(blocks[1:])
+        assert len(reports) == 1
+
+    def test_stale_blocks_dropped(self, setup):
+        node, ingest, mine = setup
+        blocks = mine()
+        ingest.receive_blocks(blocks)
+        assert ingest.receive_block(blocks[0]) == []
+        assert ingest.stats.stale == 1
+
+
+class TestCascade:
+    def test_incomplete_epoch_never_processes(self, setup):
+        node, ingest, mine = setup
+        epoch0 = mine()
+        ingest.receive_block(epoch0[0])
+        ingest.receive_block(epoch0[1])
+        assert ingest.stats.epochs_processed == 0
+        assert ingest.buffered_blocks == 2
+        reports = ingest.receive_block(epoch0[2])
+        assert [r.epoch_index for r in reports] == [0]
+
+    def test_held_back_block_releases_epoch_then_flow_continues(self, setup):
+        node, ingest, mine = setup
+        epoch0 = list(mine())
+        held_back = epoch0.pop()
+        ingest.receive_blocks(epoch0)
+        assert ingest.stats.epochs_processed == 0
+        # Completing epoch 0 releases it...
+        reports = ingest.receive_block(held_back)
+        assert [r.epoch_index for r in reports] == [0]
+        # ...and epoch 1 flows normally afterwards.
+        reports = ingest.receive_blocks(mine())
+        assert [r.epoch_index for r in reports] == [1]
+
+
+class TestFlush:
+    def test_flush_processes_partial_epoch(self, setup):
+        node, ingest, mine = setup
+        blocks = mine()
+        ingest.receive_block(blocks[0])
+        ingest.receive_block(blocks[1])
+        report = ingest.flush()
+        assert report is not None
+        assert report.block_concurrency == 2  # one block missing
+        assert ingest.stats.partial_epochs == 1
+
+    def test_flush_with_nothing_buffered(self, setup):
+        _, ingest, _ = setup
+        assert ingest.flush() is None
+
+    def test_late_block_after_flush_is_stale(self, setup):
+        node, ingest, mine = setup
+        blocks = mine()
+        ingest.receive_block(blocks[0])
+        ingest.flush()
+        assert ingest.receive_block(blocks[1]) == []
+        assert ingest.stats.stale == 1

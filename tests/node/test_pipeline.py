@@ -1,0 +1,210 @@
+"""Integration tests for the four-phase pipeline and the full node.
+
+The key property: for any scheme, committing the scheduled transactions
+must leave the state equivalent to a serial replay of exactly those
+transactions in schedule order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import CGScheduler, OCCScheduler, SerialScheduler
+from repro.core import NezhaScheduler
+from repro.dag import EpochCoordinator, Mempool, ParallelChains, PoWParams
+from repro.errors import BlockValidationError
+from repro.node import FullNode, PipelineConfig
+from repro.state import StateDB
+from repro.vm.contracts import default_registry
+from repro.vm.logger import LoggedStorage
+from repro.vm.contracts.smallbank import NATIVE_SMALLBANK
+from repro.workload import SmallBankConfig, SmallBankWorkload, initial_state
+
+WORKLOAD_CONFIG = SmallBankConfig(account_count=300, skew=0.6, seed=17)
+
+
+def build_node(scheduler, pow_bits=6):
+    state = StateDB()
+    state.seed(initial_state(WORKLOAD_CONFIG))
+    return FullNode(
+        chains=ParallelChains(chain_count=3, pow_params=PoWParams(pow_bits)),
+        state=state,
+        scheduler=scheduler,
+        registry=default_registry(),
+    )
+
+
+def mine_epochs(node, epochs=2, block_size=30, seed=17):
+    chains = ParallelChains(chain_count=3, pow_params=node.chains.pow_params)
+    coordinator = EpochCoordinator(chains=chains, miners=["m0", "m1"], block_size=block_size)
+    pool = Mempool()
+    workload = SmallBankWorkload(WORKLOAD_CONFIG)
+    pool.submit_many(workload.generate(epochs * 3 * block_size + 100))
+    reports = []
+    for _ in range(epochs):
+        blocks = coordinator.mine_epoch(pool, state_root=node.state_root)
+        reports.append(node.receive_epoch(blocks))
+    return reports
+
+
+class TestPipelinePhases:
+    def test_reports_cover_phases(self):
+        node = build_node(NezhaScheduler())
+        reports = mine_epochs(node)
+        for report in reports:
+            assert report.phases.execution > 0
+            assert report.phases.concurrency_control > 0
+            assert report.phases.commitment > 0
+            assert report.scheme == "nezha"
+            assert report.committed + report.aborted + report.failed_simulation == (
+                report.input_transactions
+            )
+
+    def test_scheme_phase_breakdown_present(self):
+        node = build_node(NezhaScheduler())
+        report = mine_epochs(node, epochs=1)[0]
+        assert "rank_division" in report.scheme_phases
+
+    def test_state_root_advances_each_epoch(self):
+        node = build_node(NezhaScheduler())
+        reports = mine_epochs(node, epochs=3)
+        roots = [report.state_root for report in reports]
+        assert len(set(roots)) == 3
+
+    def test_stale_state_root_blocks_discarded(self):
+        node = build_node(NezhaScheduler())
+        chains = ParallelChains(chain_count=3, pow_params=node.chains.pow_params)
+        coordinator = EpochCoordinator(chains=chains, miners=["m0"], block_size=5)
+        pool = Mempool()
+        pool.submit_many(SmallBankWorkload(WORKLOAD_CONFIG).generate(100))
+        blocks = coordinator.mine_epoch(pool, state_root=b"\xbb" * 32)  # wrong root
+        with pytest.raises(BlockValidationError):
+            node.receive_epoch(blocks)
+
+
+class TestStateEquivalence:
+    @pytest.mark.parametrize(
+        "scheduler_factory",
+        [NezhaScheduler, CGScheduler, OCCScheduler],
+        ids=["nezha", "cg", "occ"],
+    )
+    def test_committed_state_equals_serial_replay(self, scheduler_factory):
+        node = build_node(scheduler_factory())
+        # Collect the committed transactions in commit order per epoch.
+        chains = ParallelChains(chain_count=3, pow_params=node.chains.pow_params)
+        coordinator = EpochCoordinator(chains=chains, miners=["m0"], block_size=25)
+        pool = Mempool()
+        workload = SmallBankWorkload(WORKLOAD_CONFIG)
+        pool.submit_many(workload.generate(400))
+
+        replay_state = StateDB()
+        replay_state.seed(initial_state(WORKLOAD_CONFIG))
+
+        for _ in range(2):
+            blocks = coordinator.mine_epoch(pool, state_root=node.state_root)
+            epoch_txns = {
+                t.txid: t for block in blocks for t in block.transactions
+            }
+            # Snapshot-execute on the replay side too, to find the commit set.
+            report = node.receive_epoch(blocks)
+            # Serial replay in commit order on a second state.
+            schedule = node.reports[-1]
+            del schedule
+            committed_order = self._committed_order(node, epoch_txns)
+            for txn in committed_order:
+                storage = LoggedStorage(replay_state.get)
+                receipt = NATIVE_SMALLBANK.call(txn.function, storage, tuple(txn.args))
+                assert receipt.success
+                for address, value in receipt.rwset.writes.items():
+                    replay_state.set(address, value)
+            replay_state.commit()
+            assert replay_state.root == report.state_root, (
+                f"{node.scheduler.name if hasattr(node.scheduler,'name') else ''} "
+                "state diverged from serial replay"
+            )
+
+    @staticmethod
+    def _committed_order(node, epoch_txns):
+        """Recover the last epoch's committed transactions in commit order."""
+        # Re-run the scheduler over the same simulated batch to get the
+        # schedule (deterministic), since reports don't carry schedules.
+        from repro.node.executor import ConcurrentExecutor
+
+        report = node.reports[-1]
+        executor = ConcurrentExecutor(registry=node.registry)
+        # The snapshot *before* this epoch is the previous report's root
+        # (or genesis); we replay against the node's stored history.
+        previous_root = (
+            node.reports[-2].state_root if len(node.reports) > 1 else None
+        )
+        snapshot = (
+            node.state.snapshot(previous_root)
+            if previous_root is not None
+            else node.state.snapshot(node._genesis_root)
+        )
+        batch = executor.execute_batch(list(epoch_txns.values()), snapshot.get)
+        result = node.scheduler.schedule(batch.transactions())
+        order = result.schedule.committed
+        assert report.committed == len(order)
+        return [epoch_txns[txid] for txid in order]
+
+
+@pytest.fixture(autouse=True)
+def _stash_genesis_root(monkeypatch):
+    """Record each node's genesis root so tests can snapshot epoch 0."""
+    original = FullNode.__post_init__
+
+    def patched(self):
+        original(self)
+        self._genesis_root = self.state.root
+
+    monkeypatch.setattr(FullNode, "__post_init__", patched)
+
+
+class TestDeterminismAcrossNodes:
+    def test_two_nodes_agree_on_roots(self):
+        first = build_node(NezhaScheduler())
+        second = build_node(NezhaScheduler())
+        chains = ParallelChains(chain_count=3, pow_params=first.chains.pow_params)
+        coordinator = EpochCoordinator(chains=chains, miners=["m0"], block_size=20)
+        pool = Mempool()
+        pool.submit_many(SmallBankWorkload(WORKLOAD_CONFIG).generate(300))
+        for _ in range(3):
+            blocks = coordinator.mine_epoch(pool, state_root=first.state_root)
+            report_a = first.receive_epoch(blocks)
+            report_b = second.receive_epoch(blocks)
+            assert report_a.state_root == report_b.state_root
+            assert report_a.committed == report_b.committed
+
+
+class TestSerialScheme:
+    def test_serial_commits_everything_executable(self):
+        node = build_node(SerialScheduler())
+        reports = mine_epochs(node, epochs=2)
+        for report in reports:
+            assert report.aborted == 0
+            assert report.scheme == "serial"
+            assert report.committed + report.failed_simulation == report.input_transactions
+
+
+class TestSchedulerFailureHandling:
+    def test_cg_budget_failure_commits_nothing_but_node_survives(self):
+        from repro.baselines import CGConfig, CGScheduler
+
+        node = build_node(CGScheduler(CGConfig(cycle_budget=1)))
+        chains = ParallelChains(chain_count=3, pow_params=node.chains.pow_params)
+        coordinator = EpochCoordinator(chains=chains, miners=["m"], block_size=40)
+        pool = Mempool()
+        pool.submit_many(SmallBankWorkload(WORKLOAD_CONFIG).generate(400))
+        root_before = node.state_root
+
+        blocks = coordinator.mine_epoch(pool, state_root=node.state_root)
+        report = node.receive_epoch(blocks)
+        assert report.scheduler_failed
+        assert report.committed == 0
+        assert report.state_root == root_before  # nothing was applied
+
+        # The node keeps processing later epochs on the unchanged root.
+        blocks = coordinator.mine_epoch(pool, state_root=node.state_root)
+        report2 = node.receive_epoch(blocks)
+        assert report2.epoch_index == 1

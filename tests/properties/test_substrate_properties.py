@@ -1,0 +1,192 @@
+"""Property-based tests for the substrates: trie, storage, codec, VM."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.state import StateDB, decode_int, encode_int
+from repro.state.mpt import (
+    MerklePatriciaTrie,
+    bytes_to_nibbles,
+    hp_decode,
+    hp_encode,
+    nibbles_to_bytes,
+    rlp_decode,
+    rlp_encode,
+    verify_proof,
+)
+from repro.storage import MemStore
+from repro.workload import ZipfSampler
+
+keys = st.binary(min_size=1, max_size=12)
+values = st.binary(min_size=1, max_size=24)
+
+
+rlp_items = st.recursive(
+    st.binary(max_size=40),
+    lambda children: st.lists(children, max_size=5),
+    max_leaves=20,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(rlp_items)
+def test_rlp_roundtrip(item):
+    assert rlp_decode(rlp_encode(item)) == item
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.binary(max_size=16))
+def test_nibble_roundtrip(data):
+    assert nibbles_to_bytes(bytes_to_nibbles(data)) == data
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=15), max_size=20),
+    st.booleans(),
+)
+def test_hex_prefix_roundtrip(nibbles, is_leaf):
+    path, leaf = hp_decode(hp_encode(tuple(nibbles), is_leaf))
+    assert path == tuple(nibbles)
+    assert leaf == is_leaf
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.integers(min_value=0, max_value=2**80))
+def test_int_codec_roundtrip(value):
+    assert decode_int(encode_int(value)) == value
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.dictionaries(keys, values, max_size=30))
+def test_trie_matches_dict(entries):
+    trie = MerklePatriciaTrie()
+    for key, value in entries.items():
+        trie.put(key, value)
+    assert dict(trie.items()) == dict(sorted(entries.items()))
+    for key, value in entries.items():
+        assert trie.get(key) == value
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.dictionaries(keys, values, max_size=25))
+def test_trie_root_order_insensitive(entries):
+    ordered = MerklePatriciaTrie()
+    for key in sorted(entries):
+        ordered.put(key, entries[key])
+    reverse = MerklePatriciaTrie()
+    for key in sorted(entries, reverse=True):
+        reverse.put(key, entries[key])
+    assert ordered.root == reverse.root
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.dictionaries(keys, values, min_size=1, max_size=20),
+    st.data(),
+)
+def test_trie_delete_equals_fresh_build(entries, data):
+    doomed = data.draw(
+        st.lists(st.sampled_from(sorted(entries)), unique=True, max_size=len(entries))
+    )
+    trie = MerklePatriciaTrie()
+    for key, value in entries.items():
+        trie.put(key, value)
+    for key in doomed:
+        trie.delete(key)
+    survivors = {k: v for k, v in entries.items() if k not in doomed}
+    fresh = MerklePatriciaTrie()
+    for key, value in survivors.items():
+        fresh.put(key, value)
+    assert trie.root == fresh.root
+    assert dict(trie.items()) == dict(sorted(survivors.items()))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.dictionaries(keys, values, min_size=1, max_size=20), st.data())
+def test_trie_proofs_verify(entries, data):
+    trie = MerklePatriciaTrie()
+    for key, value in entries.items():
+        trie.put(key, value)
+    probe = data.draw(st.one_of(st.sampled_from(sorted(entries)), keys))
+    proof = trie.prove(probe)
+    proven = verify_proof(trie.root, probe, proof)
+    assert proven == entries.get(probe)
+
+
+# Model-based storage test: sequences of put/delete against a dict model.
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["put", "delete", "get"]),
+        st.binary(min_size=1, max_size=6),
+        st.binary(min_size=1, max_size=8),
+    ),
+    max_size=80,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops)
+def test_memstore_matches_model(operations):
+    store = MemStore()
+    model: dict[bytes, bytes] = {}
+    for action, key, value in operations:
+        if action == "put":
+            store.put(key, value)
+            model[key] = value
+        elif action == "delete":
+            store.delete(key)
+            model.pop(key, None)
+        else:
+            assert store.get(key) == model.get(key)
+    assert dict(store.scan()) == dict(sorted(model.items()))
+
+
+@settings(max_examples=25, deadline=None)
+@given(operations=ops)
+def test_lsm_matches_model(tmp_path_factory, operations):
+    from repro.storage import LSMStore
+
+    directory = tmp_path_factory.mktemp("lsm")
+    store = LSMStore(directory, flush_bytes=128, compaction_threshold=3)
+    model: dict[bytes, bytes] = {}
+    for action, key, value in operations:
+        if action == "put":
+            store.put(key, value)
+            model[key] = value
+        elif action == "delete":
+            store.delete(key)
+            model.pop(key, None)
+        else:
+            assert store.get(key) == model.get(key)
+    assert dict(store.scan()) == dict(sorted(model.items()))
+    store.close()
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.dictionaries(st.text(min_size=1, max_size=8), st.integers(min_value=0, max_value=10**9), max_size=20))
+def test_statedb_snapshot_isolation(entries):
+    db = StateDB(store=MemStore())
+    root = db.seed(dict(entries))
+    snap = db.snapshot(root)
+    for address in entries:
+        db.set(address, entries[address] + 1)
+    db.commit()
+    for address, value in entries.items():
+        assert snap.get(address) == value
+        assert db.get(address) == value + 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=500),
+    st.floats(min_value=0.0, max_value=1.5, allow_nan=False),
+    st.integers(min_value=0, max_value=2**16),
+)
+def test_zipf_sampler_in_range_and_seeded(population, skew, seed):
+    sampler = ZipfSampler(population=population, skew=skew, seed=seed)
+    draws = sampler.sample_many(50)
+    assert all(0 <= d < population for d in draws)
+    again = ZipfSampler(population=population, skew=skew, seed=seed).sample_many(50)
+    assert draws == again

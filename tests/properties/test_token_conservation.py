@@ -1,0 +1,123 @@
+"""Economic invariants of the token contract under random operations.
+
+The strongest whole-system property: no sequence of contract calls —
+however interleaved, scheduled, or partially aborted — may create or
+destroy value.  ``sum(balances) == supply`` must hold after every commit.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import NezhaScheduler
+from repro.node import Committer, ConcurrentExecutor
+from repro.state import StateDB
+from repro.txn import Transaction
+from repro.vm.contracts import register_token
+from repro.vm.contracts.token import SUPPLY_ADDRESS
+from repro.vm.native import ContractRegistry
+
+HOLDERS = list(range(6))
+
+
+@st.composite
+def token_ops(draw, max_ops=30):
+    ops = []
+    count = draw(st.integers(min_value=0, max_value=max_ops))
+    for _ in range(count):
+        kind = draw(st.sampled_from(["mint", "transfer", "approve", "transferFrom"]))
+        amount = draw(st.integers(min_value=0, max_value=500))
+        if kind == "mint":
+            ops.append(("mint", 0, (draw(st.sampled_from(HOLDERS)), amount)))
+        elif kind == "transfer":
+            caller = draw(st.sampled_from(HOLDERS))
+            ops.append(("transfer", caller, (draw(st.sampled_from(HOLDERS)), amount)))
+        elif kind == "approve":
+            caller = draw(st.sampled_from(HOLDERS))
+            ops.append(("approve", caller, (draw(st.sampled_from(HOLDERS)), amount)))
+        else:
+            caller = draw(st.sampled_from(HOLDERS))
+            owner = draw(st.sampled_from(HOLDERS))
+            to = draw(st.sampled_from(HOLDERS))
+            ops.append(("transferFrom", caller, (owner, to, amount)))
+    return ops
+
+
+def build_registry() -> ContractRegistry:
+    registry = ContractRegistry()
+    register_token(registry)
+    return registry
+
+
+def total_balances(state: StateDB) -> int:
+    return sum(v for k, v in state.items() if k.startswith("bal:"))
+
+
+def seed(state: StateDB) -> None:
+    values = {f"bal:{holder:06d}": 1_000 for holder in HOLDERS}
+    values[SUPPLY_ADDRESS] = 1_000 * len(HOLDERS)
+    state.seed(values)
+
+
+@settings(max_examples=60, deadline=None)
+@given(token_ops())
+def test_serial_execution_conserves_value(ops):
+    from repro.node import SerialExecutorCommitter
+
+    state = StateDB()
+    seed(state)
+    txns = [
+        Transaction(
+            txid=i, sender=f"user:{caller:06d}", contract="token", function=fn, args=args
+        )
+        for i, (fn, caller, args) in enumerate(ops)
+    ]
+    SerialExecutorCommitter(registry=build_registry()).run(txns, state)
+    assert total_balances(state) == state.get(SUPPLY_ADDRESS)
+
+
+@settings(max_examples=60, deadline=None)
+@given(token_ops())
+def test_nezha_pipeline_conserves_value(ops):
+    state = StateDB()
+    seed(state)
+    txns = [
+        Transaction(
+            txid=i, sender=f"user:{caller:06d}", contract="token", function=fn, args=args
+        )
+        for i, (fn, caller, args) in enumerate(ops)
+    ]
+    executor = ConcurrentExecutor(registry=build_registry())
+    batch = executor.execute_batch(txns, state.snapshot().get)
+    result = NezhaScheduler().schedule(batch.transactions())
+    Committer().commit(result.schedule, batch.write_values(), state)
+    assert total_balances(state) == state.get(SUPPLY_ADDRESS)
+
+
+@settings(max_examples=40, deadline=None)
+@given(token_ops())
+def test_nezha_state_equals_serial_replay_of_commit_order(ops):
+    state = StateDB()
+    seed(state)
+    txns = [
+        Transaction(
+            txid=i, sender=f"user:{caller:06d}", contract="token", function=fn, args=args
+        )
+        for i, (fn, caller, args) in enumerate(ops)
+    ]
+    registry = build_registry()
+    executor = ConcurrentExecutor(registry=registry)
+    batch = executor.execute_batch(txns, state.snapshot().get)
+    result = NezhaScheduler().schedule(batch.transactions())
+    Committer().commit(result.schedule, batch.write_values(), state)
+
+    replay = StateDB()
+    seed(replay)
+    by_id = {t.txid: t for t in txns}
+    for txid in result.schedule.committed:
+        sim = executor.execute_one(by_id[txid], replay.get)
+        assert sim.ok
+        for address, value in sim.rwset.writes.items():
+            replay.set(address, value)
+    replay.commit()
+    assert replay.root == state.root

@@ -1,0 +1,95 @@
+"""Tests for trie garbage collection (state pruning)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TrieError
+from repro.state import collect_reachable, prune
+from repro.state.mpt import MerklePatriciaTrie, NodeStore
+
+
+def grown_trie(versions=10, keys_per_version=20):
+    """A trie with several committed generations; returns (trie, roots)."""
+    trie = MerklePatriciaTrie()
+    roots = []
+    for version in range(versions):
+        for i in range(keys_per_version):
+            trie.put(f"k{i:03d}".encode(), f"v{version}-{i}".encode())
+        roots.append(trie.root)
+    return trie, roots
+
+
+class TestCollectReachable:
+    def test_empty_root_reaches_nothing(self):
+        store = NodeStore()
+        assert collect_reachable(store, [MerklePatriciaTrie(store=store).root]) == set()
+
+    def test_single_leaf(self):
+        trie = MerklePatriciaTrie()
+        trie.put(b"k", b"v")
+        assert collect_reachable(trie.store, [trie.root]) == {trie.root}
+
+    def test_reachable_covers_all_lookups(self):
+        trie, roots = grown_trie(versions=3)
+        reachable = collect_reachable(trie.store, [roots[-1]])
+        # Rebuild a store containing only reachable nodes: all keys must
+        # still resolve.
+        backing = {ref: trie.store.raw(ref) for ref in reachable}
+        view = MerklePatriciaTrie(store=NodeStore(backing), root=roots[-1])
+        assert view.get(b"k000") == b"v2-0"
+        assert len(list(view.items())) == 20
+
+    def test_multiple_roots_union(self):
+        trie, roots = grown_trie(versions=3)
+        both = collect_reachable(trie.store, roots[-2:])
+        latest = collect_reachable(trie.store, roots[-1:])
+        assert latest <= both
+        assert len(both) > len(latest)
+
+
+class TestPrune:
+    def test_prune_keeps_latest_readable(self):
+        trie, roots = grown_trie()
+        before = len(trie.store)
+        report = prune(trie.store, [roots[-1]])
+        assert report.removed_nodes > 0
+        assert len(trie.store) == before - report.removed_nodes
+        assert len(trie.store) == report.reachable_nodes
+        # Latest root fully readable.
+        assert trie.get(b"k000") == b"v9-0"
+        assert len(list(trie.items())) == 20
+
+    def test_pruned_history_is_gone(self):
+        trie, roots = grown_trie()
+        prune(trie.store, [roots[-1]])
+        old_view = MerklePatriciaTrie(store=trie.store, root=roots[0])
+        with pytest.raises(TrieError):
+            old_view.get(b"k000")
+
+    def test_keeping_several_roots(self):
+        trie, roots = grown_trie()
+        prune(trie.store, roots[-3:])
+        for root in roots[-3:]:
+            view = MerklePatriciaTrie(store=trie.store, root=root)
+            assert view.get(b"k000") is not None
+
+    def test_prune_is_idempotent(self):
+        trie, roots = grown_trie()
+        first = prune(trie.store, [roots[-1]])
+        second = prune(trie.store, [roots[-1]])
+        assert second.removed_nodes == 0
+        assert second.reachable_nodes == first.reachable_nodes
+
+    def test_roots_preserved_under_mutation_after_prune(self):
+        trie, roots = grown_trie()
+        prune(trie.store, [roots[-1]])
+        trie.put(b"new-key", b"new-value")
+        assert trie.get(b"new-key") == b"new-value"
+        assert trie.get(b"k005") == b"v9-5"
+
+    def test_report_fields(self):
+        trie, roots = grown_trie(versions=2)
+        report = prune(trie.store, [roots[-1]])
+        assert report.live_roots == 1
+        assert report.kept_nodes == report.reachable_nodes

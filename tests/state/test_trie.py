@@ -1,0 +1,198 @@
+"""Unit tests for the Merkle Patricia Trie."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ProofError, TrieError
+from repro.state.mpt import EMPTY_ROOT, MerklePatriciaTrie, verify_proof
+
+
+@pytest.fixture
+def trie():
+    return MerklePatriciaTrie()
+
+
+class TestBasicOperations:
+    def test_empty_trie(self, trie):
+        assert trie.root == EMPTY_ROOT
+        assert trie.get(b"anything") is None
+        assert list(trie.items()) == []
+
+    def test_single_entry(self, trie):
+        trie.put(b"key", b"value")
+        assert trie.get(b"key") == b"value"
+        assert trie.get(b"kex") is None
+
+    def test_overwrite_changes_root(self, trie):
+        root1 = trie.put(b"key", b"v1")
+        root2 = trie.put(b"key", b"v2")
+        assert root1 != root2
+        assert trie.get(b"key") == b"v2"
+
+    def test_empty_value_rejected(self, trie):
+        with pytest.raises(TrieError):
+            trie.put(b"key", b"")
+
+    def test_shared_prefix_keys(self, trie):
+        trie.put(b"dog", b"1")
+        trie.put(b"doge", b"2")
+        trie.put(b"do", b"3")
+        assert trie.get(b"dog") == b"1"
+        assert trie.get(b"doge") == b"2"
+        assert trie.get(b"do") == b"3"
+
+    def test_key_prefix_of_another(self, trie):
+        trie.put(b"abc", b"1")
+        trie.put(b"abcdef", b"2")
+        assert trie.get(b"abc") == b"1"
+        assert trie.get(b"abcdef") == b"2"
+        assert trie.get(b"abcd") is None
+
+    def test_contains(self, trie):
+        trie.put(b"yes", b"1")
+        assert b"yes" in trie
+        assert b"no" not in trie
+
+    def test_items_sorted(self, trie):
+        keys = [b"zebra", b"apple", b"mango", b"ant"]
+        for key in keys:
+            trie.put(key, key)
+        assert [k for k, _ in trie.items()] == sorted(keys)
+
+
+class TestRootDeterminism:
+    def test_insertion_order_irrelevant(self):
+        entries = {f"addr:{i:04d}".encode(): f"v{i}".encode() for i in range(100)}
+        forward = MerklePatriciaTrie()
+        for key in sorted(entries):
+            forward.put(key, entries[key])
+        backward = MerklePatriciaTrie()
+        for key in sorted(entries, reverse=True):
+            backward.put(key, entries[key])
+        shuffled = MerklePatriciaTrie()
+        order = list(entries)
+        random.Random(0).shuffle(order)
+        for key in order:
+            shuffled.put(key, entries[key])
+        assert forward.root == backward.root == shuffled.root
+
+    def test_delete_restores_previous_root(self, trie):
+        trie.put(b"stay", b"1")
+        root_before = trie.root
+        trie.put(b"gone", b"2")
+        trie.delete(b"gone")
+        assert trie.root == root_before
+
+    def test_delete_to_empty(self, trie):
+        trie.put(b"only", b"1")
+        trie.delete(b"only")
+        assert trie.root == EMPTY_ROOT
+
+    def test_different_content_different_root(self):
+        first = MerklePatriciaTrie()
+        first.put(b"k", b"1")
+        second = MerklePatriciaTrie()
+        second.put(b"k", b"2")
+        assert first.root != second.root
+
+
+class TestDelete:
+    def test_delete_missing_is_noop(self, trie):
+        trie.put(b"keep", b"1")
+        root = trie.root
+        trie.delete(b"missing")
+        assert trie.root == root
+
+    def test_delete_from_branch_collapses(self, trie):
+        trie.put(b"aa", b"1")
+        trie.put(b"ab", b"2")
+        trie.delete(b"ab")
+        assert trie.get(b"aa") == b"1"
+        assert trie.get(b"ab") is None
+        # Root equals a fresh single-entry trie (full collapse).
+        fresh = MerklePatriciaTrie()
+        fresh.put(b"aa", b"1")
+        assert trie.root == fresh.root
+
+    def test_delete_branch_value(self, trie):
+        trie.put(b"ab", b"inner")
+        trie.put(b"abcd", b"leaf")
+        trie.delete(b"ab")
+        assert trie.get(b"ab") is None
+        assert trie.get(b"abcd") == b"leaf"
+        fresh = MerklePatriciaTrie()
+        fresh.put(b"abcd", b"leaf")
+        assert trie.root == fresh.root
+
+    def test_randomised_against_model(self):
+        rng = random.Random(42)
+        trie = MerklePatriciaTrie()
+        model: dict[bytes, bytes] = {}
+        keys = [bytes([a, b]) for a in range(40, 48) for b in range(40, 48)]
+        for step in range(2000):
+            key = rng.choice(keys)
+            if rng.random() < 0.4:
+                trie.delete(key)
+                model.pop(key, None)
+            else:
+                value = f"s{step}".encode()
+                trie.put(key, value)
+                model[key] = value
+        assert dict(trie.items()) == dict(sorted(model.items()))
+        # Rebuild fresh: roots must agree (canonical form after deletes).
+        fresh = MerklePatriciaTrie()
+        for key, value in model.items():
+            fresh.put(key, value)
+        assert fresh.root == trie.root
+
+
+class TestPersistence:
+    def test_old_roots_remain_readable(self, trie):
+        root1 = trie.put(b"a", b"1")
+        trie.put(b"a", b"2")
+        old_view = MerklePatriciaTrie(store=trie.store, root=root1)
+        assert old_view.get(b"a") == b"1"
+        assert trie.get(b"a") == b"2"
+
+
+class TestProofs:
+    def test_inclusion_proof(self, trie):
+        for i in range(50):
+            trie.put(f"key-{i:03d}".encode(), f"value-{i}".encode())
+        for i in (0, 7, 49):
+            key = f"key-{i:03d}".encode()
+            proof = trie.prove(key)
+            assert verify_proof(trie.root, key, proof) == f"value-{i}".encode()
+
+    def test_exclusion_proof(self, trie):
+        trie.put(b"present", b"1")
+        proof = trie.prove(b"absent")
+        assert verify_proof(trie.root, b"absent", proof) is None
+
+    def test_tampered_proof_rejected(self, trie):
+        trie.put(b"key", b"value")
+        trie.put(b"kez", b"other")
+        proof = trie.prove(b"key")
+        tampered = [bytes(reversed(node)) for node in proof]
+        with pytest.raises(ProofError):
+            verify_proof(trie.root, b"key", tampered)
+
+    def test_wrong_root_rejected(self, trie):
+        trie.put(b"key", b"value")
+        proof = trie.prove(b"key")
+        with pytest.raises(ProofError):
+            verify_proof(b"\x12" * 32, b"key", proof)
+
+    def test_empty_trie_proof(self):
+        trie = MerklePatriciaTrie()
+        assert verify_proof(trie.root, b"k", trie.prove(b"k")) is None
+
+    def test_proof_for_all_keys_verifies(self, trie):
+        entries = {f"acct:{i:05d}".encode(): f"{i}".encode() for i in range(200)}
+        for key, value in entries.items():
+            trie.put(key, value)
+        for key, value in entries.items():
+            assert verify_proof(trie.root, key, trie.prove(key)) == value

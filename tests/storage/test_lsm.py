@@ -1,0 +1,219 @@
+"""Unit tests for the LSM store (and MemStore parity)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import LSMStore, MemStore, WriteBatch
+
+
+@pytest.fixture
+def store(tmp_path):
+    lsm = LSMStore(tmp_path / "db", flush_bytes=512, compaction_threshold=3)
+    yield lsm
+    lsm.close()
+
+
+class TestBasicOperations:
+    def test_get_missing(self, store):
+        assert store.get(b"nope") is None
+
+    def test_put_get(self, store):
+        store.put(b"k", b"v")
+        assert store.get(b"k") == b"v"
+
+    def test_overwrite(self, store):
+        store.put(b"k", b"v1")
+        store.put(b"k", b"v2")
+        assert store.get(b"k") == b"v2"
+
+    def test_delete(self, store):
+        store.put(b"k", b"v")
+        store.delete(b"k")
+        assert store.get(b"k") is None
+        assert not store.has(b"k")
+
+    def test_delete_missing_is_noop(self, store):
+        store.delete(b"never")
+        assert store.get(b"never") is None
+
+    def test_empty_key_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.put(b"", b"v")
+
+    def test_batch_is_applied_in_order(self, store):
+        batch = WriteBatch().put(b"a", b"1").put(b"a", b"2").delete(b"b").put(b"b", b"3")
+        store.write(batch)
+        assert store.get(b"a") == b"2"
+        assert store.get(b"b") == b"3"
+
+    def test_scan_prefix(self, store):
+        store.put(b"user:1", b"a")
+        store.put(b"user:2", b"b")
+        store.put(b"post:1", b"c")
+        assert [k for k, _ in store.scan(b"user:")] == [b"user:1", b"user:2"]
+
+    def test_scan_is_sorted(self, store):
+        for key in (b"c", b"a", b"b"):
+            store.put(key, key)
+        assert [k for k, _ in store.scan()] == [b"a", b"b", b"c"]
+
+    def test_closed_store_rejects_access(self, tmp_path):
+        lsm = LSMStore(tmp_path / "db2")
+        lsm.close()
+        with pytest.raises(StorageError):
+            lsm.get(b"k")
+
+
+class TestFlushAndCompaction:
+    def test_flush_creates_sstables(self, store):
+        for i in range(200):
+            store.put(f"key-{i:04d}".encode(), b"x" * 32)
+        assert store.table_count >= 1
+        assert store.get(b"key-0000") == b"x" * 32
+
+    def test_reads_span_memtable_and_tables(self, store):
+        store.put(b"old", b"1")
+        store.flush()
+        store.put(b"new", b"2")
+        assert store.get(b"old") == b"1"
+        assert store.get(b"new") == b"2"
+
+    def test_tombstone_shadows_older_table(self, store):
+        store.put(b"k", b"v")
+        store.flush()
+        store.delete(b"k")
+        store.flush()
+        assert store.get(b"k") is None
+        assert b"k" not in dict(store.scan())
+
+    def test_compaction_bounds_table_count(self, store):
+        for round_no in range(6):
+            for i in range(30):
+                store.put(f"r{round_no}-k{i}".encode(), b"y" * 40)
+            store.flush()
+        assert store.table_count <= store.compaction_threshold + 1
+
+    def test_compaction_preserves_data(self, store):
+        expected = {}
+        for i in range(100):
+            key = f"key-{i:03d}".encode()
+            store.put(key, str(i).encode())
+            expected[key] = str(i).encode()
+            if i % 25 == 0:
+                store.flush()
+        store.compact()
+        assert dict(store.scan()) == expected
+
+    def test_compaction_drops_tombstones(self, store):
+        store.put(b"k", b"v")
+        store.flush()
+        store.delete(b"k")
+        store.flush()
+        store.compact()
+        assert store.table_count == 1
+        assert store.get(b"k") is None
+
+
+class TestRecovery:
+    def test_unflushed_writes_survive_reopen(self, tmp_path):
+        path = tmp_path / "db"
+        first = LSMStore(path)
+        first.put(b"durable", b"yes")
+        # Simulate a crash: no close/flush, just abandon the handle.
+        first._wal.sync()
+        second = LSMStore(path)
+        assert second.get(b"durable") == b"yes"
+        second.close()
+
+    def test_flushed_and_unflushed_both_recovered(self, tmp_path):
+        path = tmp_path / "db"
+        first = LSMStore(path, flush_bytes=64)
+        for i in range(50):
+            first.put(f"k{i:03d}".encode(), b"v" * 16)
+        first.put(b"late", b"entry")
+        first._wal.sync()
+        second = LSMStore(path, flush_bytes=64)
+        assert second.get(b"k000") == b"v" * 16
+        assert second.get(b"late") == b"entry"
+        second.close()
+
+    def test_deletes_survive_reopen(self, tmp_path):
+        path = tmp_path / "db"
+        first = LSMStore(path)
+        first.put(b"k", b"v")
+        first.flush()
+        first.delete(b"k")
+        first._wal.sync()
+        second = LSMStore(path)
+        assert second.get(b"k") is None
+        second.close()
+
+
+class TestMemStoreParity:
+    def test_random_ops_match_memstore(self, tmp_path):
+        import random
+
+        rng = random.Random(7)
+        lsm = LSMStore(tmp_path / "db", flush_bytes=256, compaction_threshold=3)
+        mem = MemStore()
+        keys = [f"key-{i:03d}".encode() for i in range(60)]
+        for step in range(1500):
+            key = rng.choice(keys)
+            action = rng.random()
+            if action < 0.6:
+                value = f"v{step}".encode()
+                lsm.put(key, value)
+                mem.put(key, value)
+            elif action < 0.85:
+                lsm.delete(key)
+                mem.delete(key)
+            else:
+                assert lsm.get(key) == mem.get(key)
+        assert dict(lsm.scan()) == dict(mem.scan())
+        lsm.close()
+
+
+class TestRangeScans:
+    def test_range_basic(self, store):
+        for key in (b"a", b"b", b"c", b"d"):
+            store.put(key, key.upper())
+        assert [k for k, _ in store.scan_range(b"b", b"d")] == [b"b", b"c"]
+
+    def test_range_unbounded_end(self, store):
+        for key in (b"a", b"b", b"c"):
+            store.put(key, b"v")
+        assert [k for k, _ in store.scan_range(b"b")] == [b"b", b"c"]
+
+    def test_range_spans_memtable_and_tables(self, store):
+        store.put(b"k1", b"old")
+        store.flush()
+        store.put(b"k2", b"new")
+        store.put(b"k1", b"updated")
+        result = dict(store.scan_range(b"k0", b"k9"))
+        assert result == {b"k1": b"updated", b"k2": b"new"}
+
+    def test_range_skips_tombstones(self, store):
+        store.put(b"a", b"1")
+        store.put(b"b", b"2")
+        store.delete(b"a")
+        assert dict(store.scan_range(b"a", b"z")) == {b"b": b"2"}
+
+    def test_range_matches_memstore(self, store, tmp_path):
+        import random
+
+        mem = MemStore()
+        rng = random.Random(3)
+        for i in range(200):
+            key = f"k{rng.randint(0, 50):03d}".encode()
+            value = str(i).encode()
+            store.put(key, value)
+            mem.put(key, value)
+        assert list(store.scan_range(b"k010", b"k030")) == list(
+            mem.scan_range(b"k010", b"k030")
+        )
+
+    def test_empty_range(self, store):
+        store.put(b"m", b"v")
+        assert list(store.scan_range(b"x", b"z")) == []

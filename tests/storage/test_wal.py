@@ -1,0 +1,95 @@
+"""Unit tests for the write-ahead log."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CorruptionError
+from repro.storage.wal import WriteAheadLog, replay
+
+
+@pytest.fixture
+def wal_path(tmp_path):
+    return tmp_path / "wal.log"
+
+
+class TestWAL:
+    def test_put_and_delete_roundtrip(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append_put(b"alpha", b"1")
+        wal.append_delete(b"beta")
+        wal.append_put(b"alpha", b"2")
+        wal.close()
+        records = list(replay(wal_path))
+        assert records == [(b"alpha", b"1"), (b"beta", None), (b"alpha", b"2")]
+
+    def test_empty_log_replays_nothing(self, wal_path):
+        WriteAheadLog(wal_path).close()
+        assert list(replay(wal_path)) == []
+
+    def test_missing_file_replays_nothing(self, tmp_path):
+        assert list(replay(tmp_path / "never-created.log")) == []
+
+    def test_batch_append(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append_many([(b"a", b"1"), (b"b", None), (b"c", b"3")])
+        wal.close()
+        assert list(replay(wal_path)) == [(b"a", b"1"), (b"b", None), (b"c", b"3")]
+
+    def test_truncate_discards_records(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append_put(b"a", b"1")
+        wal.truncate()
+        wal.append_put(b"b", b"2")
+        wal.close()
+        assert list(replay(wal_path)) == [(b"b", b"2")]
+
+    def test_torn_tail_is_dropped(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append_put(b"good", b"1")
+        wal.append_put(b"torn", b"2")
+        wal.close()
+        data = wal_path.read_bytes()
+        wal_path.write_bytes(data[:-3])  # tear the final record
+        assert list(replay(wal_path)) == [(b"good", b"1")]
+
+    def test_torn_tail_strict_raises(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append_put(b"good", b"1")
+        wal.close()
+        wal_path.write_bytes(wal_path.read_bytes()[:-1])
+        with pytest.raises(CorruptionError):
+            list(replay(wal_path, strict=True))
+
+    def test_bitflip_detected(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append_put(b"key", b"value")
+        wal.close()
+        data = bytearray(wal_path.read_bytes())
+        data[-1] ^= 0xFF
+        wal_path.write_bytes(bytes(data))
+        assert list(replay(wal_path)) == []
+        with pytest.raises(CorruptionError):
+            list(replay(wal_path, strict=True))
+
+    def test_records_after_corruption_not_replayed(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append_put(b"first", b"1")
+        wal.append_put(b"second", b"2")
+        wal.append_put(b"third", b"3")
+        wal.close()
+        data = bytearray(wal_path.read_bytes())
+        # Flip a byte inside the middle record's payload.
+        data[len(data) // 2] ^= 0xFF
+        wal_path.write_bytes(bytes(data))
+        records = list(replay(wal_path))
+        assert records[0] == (b"first", b"1")
+        assert len(records) < 3
+
+    def test_binary_safe_values(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        key = bytes(range(256))
+        value = b"\x00" * 100 + b"\xff" * 100
+        wal.append_put(key, value)
+        wal.close()
+        assert list(replay(wal_path)) == [(key, value)]

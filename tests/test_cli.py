@@ -1,0 +1,131 @@
+"""Smoke tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explode"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["schedule"])
+        assert args.scheme == "nezha"
+        assert args.workload == "smallbank"
+        assert args.omega == 4
+
+
+class TestCommands:
+    def run(self, argv, capsys):
+        code = main(argv)
+        out = capsys.readouterr().out
+        return code, out
+
+    def test_quickstart(self, capsys):
+        code, out = self.run(["quickstart"], capsys)
+        assert code == 0
+        assert "['A2', 'A3', 'A1', 'A4']" in out
+        assert "T1" in out  # the aborted transaction
+
+    def test_schedule_smallbank(self, capsys):
+        code, out = self.run(
+            ["schedule", "--scheme", "nezha", "--omega", "2", "--block-size", "20",
+             "--skew", "0.5", "--accounts", "200"],
+            capsys,
+        )
+        assert code == 0
+        assert "committed" in out
+        assert "graph_construction" in out
+
+    def test_schedule_token_workload(self, capsys):
+        code, out = self.run(
+            ["schedule", "--workload", "token", "--omega", "2", "--block-size", "15",
+             "--accounts", "100"],
+            capsys,
+        )
+        assert code == 0
+        assert "token" in out
+
+    def test_schedule_synthetic_workload(self, capsys):
+        code, out = self.run(
+            ["schedule", "--workload", "synthetic", "--omega", "2",
+             "--block-size", "15", "--accounts", "50"],
+            capsys,
+        )
+        assert code == 0
+
+    def test_compare(self, capsys):
+        code, out = self.run(
+            ["compare", "--omega", "2", "--block-size", "15", "--accounts", "200"],
+            capsys,
+        )
+        assert code == 0
+        for scheme in ("serial", "occ", "pcc", "cg", "nezha"):
+            assert scheme in out
+
+    def test_conflicts(self, capsys):
+        code, out = self.run(
+            ["conflicts", "--omega", "2", "--block-size", "20", "--skew", "1.0",
+             "--accounts", "100"],
+            capsys,
+        )
+        assert code == 0
+        assert "conflict probability" in out
+
+    def test_simulate(self, capsys):
+        code, out = self.run(
+            ["simulate", "--scheme", "nezha", "--epochs", "1", "--omega", "2",
+             "--block-size", "10", "--accounts", "200"],
+            capsys,
+        )
+        assert code == 0
+        assert "effective throughput" in out
+
+    def test_simulate_rejects_token_workload(self, capsys):
+        code = main(
+            ["simulate", "--workload", "token", "--epochs", "1", "--omega", "2"]
+        )
+        assert code == 2
+
+
+class TestTraceCommands:
+    def test_record_info_run(self, tmp_path, capsys):
+        trace_file = str(tmp_path / "t.jsonl")
+        assert main(
+            ["trace", "record", "--out", trace_file, "--workload", "smallbank",
+             "--omega", "2", "--block-size", "10", "--accounts", "100"]
+        ) == 0
+        capsys.readouterr()
+
+        assert main(["trace", "info", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "transactions" in out
+        assert "smallbank." in out
+
+        assert main(["trace", "run", trace_file, "--scheme", "occ"]) == 0
+        out = capsys.readouterr().out
+        assert "committed" in out
+
+    def test_trace_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+
+class TestHotspots:
+    def test_hotspots_output(self, capsys):
+        code = main(
+            ["hotspots", "--skew", "1.0", "--omega", "1", "--block-size", "50",
+             "--accounts", "200", "--top", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gini=" in out
+        assert out.count("\n") >= 5

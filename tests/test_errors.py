@@ -1,0 +1,63 @@
+"""Error hierarchy contract: one base class, meaningful subclassing."""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+from repro import errors
+from repro.errors import CycleBudgetExceeded, ReproError
+
+
+def all_error_classes():
+    return [
+        obj
+        for _, obj in inspect.getmembers(errors, inspect.isclass)
+        if issubclass(obj, Exception) and obj.__module__ == "repro.errors"
+    ]
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for cls in all_error_classes():
+            assert issubclass(cls, ReproError), cls.__name__
+
+    def test_all_have_docstrings(self):
+        for cls in all_error_classes():
+            assert cls.__doc__, f"{cls.__name__} lacks a docstring"
+
+    def test_catching_base_covers_library_failures(self):
+        from repro.errors import StorageError, TrieError, WorkloadError
+
+        for cls in (StorageError, TrieError, WorkloadError):
+            with pytest.raises(ReproError):
+                raise cls("boom")
+
+    def test_cycle_budget_carries_budget(self):
+        exc = CycleBudgetExceeded(123)
+        assert exc.budget == 123
+        assert "123" in str(exc)
+
+    def test_cycle_budget_custom_message(self):
+        exc = CycleBudgetExceeded(5, "custom")
+        assert str(exc) == "custom"
+
+    def test_domain_groupings(self):
+        from repro.errors import (
+            BlockValidationError,
+            ChainError,
+            CorruptionError,
+            OutOfGas,
+            ExecutionError,
+            ProofError,
+            StorageError,
+            TrieError,
+            VMRevert,
+        )
+
+        assert issubclass(BlockValidationError, ChainError)
+        assert issubclass(CorruptionError, StorageError)
+        assert issubclass(OutOfGas, ExecutionError)
+        assert issubclass(VMRevert, ExecutionError)
+        assert issubclass(ProofError, TrieError)

@@ -1,0 +1,48 @@
+"""Unit tests for the calibrated execution-cost model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.vm.costmodel import (
+    ExecutionCostModel,
+    PAPER_SERIAL_MS_PER_TXN,
+    ZERO_COST,
+)
+
+
+class TestCostModel:
+    def test_default_matches_table4_calibration(self):
+        model = ExecutionCostModel()
+        # omega=2: 400 transactions -> ~4,700 ms serial (Table IV).
+        assert math.isclose(model.serial_batch_seconds(400), 4.7, rel_tol=0.01)
+        # Nezha (e) at omega=2 is ~123 ms.
+        assert math.isclose(model.concurrent_batch_seconds(400), 0.1237, rel_tol=0.01)
+
+    def test_linear_in_batch_size(self):
+        model = ExecutionCostModel()
+        assert model.serial_batch_seconds(200) * 2 == model.serial_batch_seconds(400)
+
+    def test_zero_cost_model(self):
+        assert ZERO_COST.serial_batch_seconds(10_000) == 0.0
+        assert ZERO_COST.concurrent_batch_seconds(10_000) == 0.0
+
+    def test_speedup_relation(self):
+        model = ExecutionCostModel(serial_seconds_per_txn=0.01, concurrent_speedup=10)
+        assert math.isclose(
+            model.serial_batch_seconds(100) / model.concurrent_batch_seconds(100),
+            10.0,
+        )
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ExecutionError):
+            ExecutionCostModel(serial_seconds_per_txn=-1)
+        with pytest.raises(ExecutionError):
+            ExecutionCostModel(concurrent_speedup=0)
+
+    def test_paper_constant_sanity(self):
+        # 4,700 ms / 400 transactions.
+        assert math.isclose(PAPER_SERIAL_MS_PER_TXN, 11.75)

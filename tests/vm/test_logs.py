@@ -1,0 +1,47 @@
+"""Unit tests for the LOG opcode and receipt event logs."""
+
+from __future__ import annotations
+
+from repro.vm import ExecutionContext, LoggedStorage, SVM, assemble
+
+
+def run(source, gas_limit=100_000):
+    storage = LoggedStorage(lambda a: 0)
+    context = ExecutionContext(storage=storage, gas_limit=gas_limit)
+    return SVM().execute(assemble(source), context)
+
+
+class TestLog:
+    def test_single_event(self):
+        receipt = run("PUSH 7\nPUSH 42\nLOG\nPUSH 1\nRETURN")
+        assert receipt.success
+        assert receipt.logs == ((7, 42),)
+
+    def test_emission_order_preserved(self):
+        receipt = run(
+            "PUSH 1\nPUSH 10\nLOG\nPUSH 2\nPUSH 20\nLOG\nPUSH 3\nPUSH 30\nLOG\nSTOP"
+        )
+        assert receipt.logs == ((1, 10), (2, 20), (3, 30))
+
+    def test_reverted_execution_discards_logs(self):
+        receipt = run("PUSH 1\nPUSH 2\nLOG\nREVERT")
+        assert not receipt.success
+        assert receipt.logs == ()
+
+    def test_failed_execution_discards_logs(self):
+        receipt = run("PUSH 1\nPUSH 2\nLOG\nADD")  # stack underflow after LOG
+        assert not receipt.success
+        assert receipt.logs == ()
+
+    def test_log_consumes_gas(self):
+        with_log = run("PUSH 1\nPUSH 2\nLOG\nSTOP")
+        without = run("PUSH 1\nPUSH 2\nPOP\nPOP\nSTOP")
+        assert with_log.gas_used > without.gas_used
+
+    def test_log_underflow_fails_safely(self):
+        receipt = run("PUSH 1\nLOG")
+        assert not receipt.success
+
+    def test_no_logs_is_empty_tuple(self):
+        receipt = run("PUSH 1\nRETURN")
+        assert receipt.logs == ()

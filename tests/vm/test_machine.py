@@ -1,0 +1,234 @@
+"""Unit tests for the SVM interpreter and assembler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.vm import (
+    ExecutionContext,
+    LoggedStorage,
+    SVM,
+    WORD_MASK,
+    assemble,
+    disassemble,
+)
+
+
+def run(source, args=(), state=None, gas_limit=100_000, caller=0):
+    storage = LoggedStorage(lambda addr: (state or {}).get(addr, 0))
+    context = ExecutionContext(
+        storage=storage, args=tuple(args), gas_limit=gas_limit, caller=caller
+    )
+    receipt = SVM().execute(assemble(source), context)
+    return receipt, storage
+
+
+class TestArithmetic:
+    def test_add(self):
+        receipt, _ = run("PUSH 2\nPUSH 3\nADD\nRETURN")
+        assert receipt.return_value == 5
+
+    def test_sub_wraps(self):
+        receipt, _ = run("PUSH 1\nPUSH 2\nSUB\nRETURN")
+        assert receipt.return_value == WORD_MASK  # 1 - 2 mod 2**64
+
+    def test_mul_div_mod(self):
+        receipt, _ = run("PUSH 7\nPUSH 3\nMUL\nPUSH 4\nDIV\nRETURN")
+        assert receipt.return_value == 5  # 21 // 4
+        receipt, _ = run("PUSH 21\nPUSH 4\nMOD\nRETURN")
+        assert receipt.return_value == 1
+
+    def test_div_by_zero_is_zero(self):
+        receipt, _ = run("PUSH 9\nPUSH 0\nDIV\nRETURN")
+        assert receipt.success
+        assert receipt.return_value == 0
+
+    def test_comparisons(self):
+        assert run("PUSH 1\nPUSH 2\nLT\nRETURN")[0].return_value == 1
+        assert run("PUSH 2\nPUSH 1\nGT\nRETURN")[0].return_value == 1
+        assert run("PUSH 5\nPUSH 5\nEQ\nRETURN")[0].return_value == 1
+        assert run("PUSH 0\nISZERO\nRETURN")[0].return_value == 1
+
+    def test_bitwise(self):
+        assert run("PUSH 12\nPUSH 10\nAND\nRETURN")[0].return_value == 8
+        assert run("PUSH 12\nPUSH 10\nOR\nRETURN")[0].return_value == 14
+        assert run("PUSH 0\nNOT\nRETURN")[0].return_value == WORD_MASK
+
+
+class TestStackOps:
+    def test_dup_and_swap(self):
+        receipt, _ = run("PUSH 1\nPUSH 2\nDUP 2\nRETURN")
+        assert receipt.return_value == 1
+        receipt, _ = run("PUSH 1\nPUSH 2\nSWAP 1\nRETURN")
+        assert receipt.return_value == 1
+
+    def test_pop(self):
+        receipt, _ = run("PUSH 9\nPUSH 8\nPOP\nRETURN")
+        assert receipt.return_value == 9
+
+    def test_stack_underflow_fails_safely(self):
+        receipt, _ = run("ADD\nRETURN")
+        assert not receipt.success
+        assert "underflow" in receipt.error
+
+    def test_dup_beyond_stack_fails(self):
+        receipt, _ = run("PUSH 1\nDUP 5\nRETURN")
+        assert not receipt.success
+
+
+class TestControlFlow:
+    def test_unconditional_jump(self):
+        receipt, _ = run(
+            """
+            PUSH @end
+            JUMP
+            PUSH 999
+            end:
+            PUSH 42
+            RETURN
+            """
+        )
+        assert receipt.return_value == 42
+
+    def test_conditional_jump_taken(self):
+        receipt, _ = run(
+            """
+            PUSH @skip
+            PUSH 1
+            JUMPI
+            PUSH 0
+            RETURN
+            skip:
+            PUSH 7
+            RETURN
+            """
+        )
+        assert receipt.return_value == 7
+
+    def test_conditional_jump_not_taken(self):
+        receipt, _ = run(
+            """
+            PUSH @skip
+            PUSH 0
+            JUMPI
+            PUSH 11
+            RETURN
+            skip:
+            PUSH 7
+            RETURN
+            """
+        )
+        assert receipt.return_value == 11
+
+    def test_jump_out_of_range_fails(self):
+        receipt, _ = run("PUSH 10000\nJUMP")
+        assert not receipt.success
+
+    def test_infinite_loop_terminated(self):
+        receipt, _ = run("loop:\nPUSH @loop\nJUMP", gas_limit=10_000_000)
+        assert not receipt.success
+
+    def test_stop_returns_none(self):
+        receipt, _ = run("PUSH 1\nSTOP")
+        assert receipt.success
+        assert receipt.return_value is None
+
+    def test_falling_off_the_end_is_stop(self):
+        receipt, _ = run("PUSH 1")
+        assert receipt.success
+        assert receipt.return_value is None
+
+
+class TestEnvironment:
+    def test_args(self):
+        receipt, _ = run("ARG 0\nARG 1\nADD\nRETURN", args=(30, 12))
+        assert receipt.return_value == 42
+
+    def test_arg_out_of_range(self):
+        receipt, _ = run("ARG 3\nRETURN", args=(1,))
+        assert not receipt.success
+
+    def test_caller(self):
+        receipt, _ = run("CALLER\nRETURN", caller=77)
+        assert receipt.return_value == 77
+
+
+class TestStorageAndGas:
+    def test_sload_reads_state(self):
+        receipt, _ = run(
+            "PUSH 5\nSLOAD\nRETURN", state={"slot:0000000000000005": 99}
+        )
+        assert receipt.return_value == 99
+
+    def test_sstore_buffers_write(self):
+        receipt, storage = run("PUSH 5\nPUSH 123\nSSTORE\nSTOP")
+        assert receipt.success
+        assert storage.rwset().writes == {"slot:0000000000000005": 123}
+
+    def test_rwset_recorded_in_receipt(self):
+        receipt, _ = run("PUSH 1\nSLOAD\nPUSH 2\nPUSH 9\nSSTORE\nSTOP")
+        assert receipt.rwset.read_addresses == {"slot:0000000000000001"}
+        assert receipt.rwset.write_addresses == {"slot:0000000000000002"}
+
+    def test_out_of_gas(self):
+        receipt, _ = run("PUSH 1\nPUSH 2\nSSTORE\nSTOP", gas_limit=10)
+        assert not receipt.success
+        assert "gas" in receipt.error
+
+    def test_revert_discards_writes(self):
+        receipt, storage = run("PUSH 1\nPUSH 2\nSSTORE\nREVERT")
+        assert not receipt.success
+        assert receipt.error == "reverted"
+        assert storage.rwset().writes == {}
+
+    def test_gas_accounting_positive(self):
+        receipt, _ = run("PUSH 1\nPUSH 2\nADD\nRETURN")
+        assert receipt.gas_used > 0
+
+
+class TestAssembler:
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("FLY 1")
+
+    def test_missing_operand_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("PUSH")
+
+    def test_unexpected_operand_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("ADD 1")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("PUSH @nowhere\nJUMP")
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("spot:\nspot:\nSTOP")
+
+    def test_byte_operand_range_checked(self):
+        with pytest.raises(AssemblyError):
+            assemble("ARG 300")
+
+    def test_comments_and_blank_lines_ignored(self):
+        code = assemble("; comment\n\nPUSH 1 ; trailing\nRETURN\n")
+        receipt = SVM().execute(
+            code, ExecutionContext(storage=LoggedStorage(lambda a: 0))
+        )
+        assert receipt.return_value == 1
+
+    def test_disassemble_roundtrip_mentions_ops(self):
+        listing = disassemble(assemble("PUSH 42\nADD\nSTOP"))
+        assert any("PUSH 42" in line for line in listing)
+        assert any("ADD" in line for line in listing)
+
+    def test_unknown_byte_in_disassembly(self):
+        assert "??" in disassemble(b"\xff")[0]
+
+    def test_invalid_bytecode_fails_safely(self):
+        receipt = SVM().execute(
+            b"\xff", ExecutionContext(storage=LoggedStorage(lambda a: 0))
+        )
+        assert not receipt.success

@@ -1,0 +1,45 @@
+"""Opcode table sanity checks."""
+
+from __future__ import annotations
+
+from repro.vm import Op, WORD_MASK, op_info
+
+
+class TestOpcodeTable:
+    def test_every_op_registered(self):
+        for op in Op:
+            info = op_info(op)
+            assert info is not None, f"{op.name} missing from the table"
+            assert info.op is op
+
+    def test_unknown_byte_is_none(self):
+        assert op_info(0xEE) is None
+
+    def test_immediate_sizes(self):
+        assert op_info(Op.PUSH).immediate_size == 8
+        for op in (Op.ARG, Op.DUP, Op.SWAP):
+            assert op_info(op).immediate_size == 1
+        assert op_info(Op.ADD).immediate_size == 0
+
+    def test_storage_ops_cost_most(self):
+        cheapest_storage = min(op_info(Op.SLOAD).gas, op_info(Op.SSTORE).gas)
+        for op in (Op.ADD, Op.PUSH, Op.JUMP, Op.DUP):
+            assert op_info(op).gas < cheapest_storage
+
+    def test_terminators_are_free(self):
+        assert op_info(Op.STOP).gas == 0
+        assert op_info(Op.RETURN).gas == 0
+        assert op_info(Op.REVERT).gas == 0
+
+    def test_opcode_bytes_unique(self):
+        values = [int(op) for op in Op]
+        assert len(values) == len(set(values))
+
+    def test_word_mask(self):
+        assert WORD_MASK == 2**64 - 1
+
+    def test_stack_effects_sane(self):
+        for op in Op:
+            info = op_info(op)
+            assert 0 <= info.stack_in <= 3
+            assert 0 <= info.stack_out <= 1

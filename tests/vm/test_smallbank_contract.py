@@ -1,0 +1,148 @@
+"""SmallBank contract tests: semantics, and VM == native equivalence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.vm import ExecutionContext, LoggedStorage, SVM
+from repro.vm.contracts import (
+    NATIVE_SMALLBANK,
+    compile_smallbank,
+    smallbank_key_renderer,
+)
+from repro.workload import SmallBankOp, rwset_for
+
+STATE = {
+    "sav:000001": 1000,
+    "chk:000001": 500,
+    "sav:000002": 200,
+    "chk:000002": 100,
+}
+
+
+def read_fn(address):
+    return STATE.get(address, 0)
+
+
+@pytest.fixture(scope="module")
+def bytecode():
+    return compile_smallbank()
+
+
+def run_native(function, args):
+    storage = LoggedStorage(read_fn)
+    return NATIVE_SMALLBANK.call(function, storage, tuple(args))
+
+
+def run_vm(bytecode, function, args):
+    storage = LoggedStorage(read_fn)
+    context = ExecutionContext(
+        storage=storage, args=tuple(args), key_renderer=smallbank_key_renderer
+    )
+    return SVM().execute(bytecode[function], context)
+
+
+class TestSemantics:
+    def test_update_savings(self):
+        receipt = run_native("updateSavings", (1, 50))
+        assert receipt.success
+        assert receipt.rwset.writes == {"sav:000001": 1050}
+
+    def test_update_balance(self):
+        receipt = run_native("updateBalance", (1, 50))
+        assert receipt.rwset.writes == {"chk:000001": 550}
+
+    def test_send_payment_moves_funds(self):
+        receipt = run_native("sendPayment", (1, 2, 100))
+        assert receipt.rwset.writes == {"chk:000001": 400, "chk:000002": 200}
+
+    def test_send_payment_insufficient_reverts(self):
+        receipt = run_native("sendPayment", (2, 1, 1_000_000))
+        assert not receipt.success
+        assert receipt.rwset.writes == {}
+
+    def test_write_check_deducts_checking(self):
+        receipt = run_native("writeCheck", (1, 100))
+        assert receipt.rwset.writes == {"chk:000001": 400}
+        # Savings were read for the total check.
+        assert "sav:000001" in receipt.rwset.reads
+
+    def test_write_check_over_total_reverts(self):
+        receipt = run_native("writeCheck", (2, 10_000))
+        assert not receipt.success
+
+    def test_amalgamate_moves_everything(self):
+        receipt = run_native("almagate", (1, 2))
+        assert receipt.rwset.writes == {
+            "sav:000001": 0,
+            "chk:000001": 0,
+            "chk:000002": 100 + 1000 + 500,
+        }
+
+    def test_get_balance_reads_only(self):
+        receipt = run_native("getBalance", (1,))
+        assert receipt.return_value == 1500
+        assert receipt.rwset.writes == {}
+
+    def test_unknown_function_raises(self):
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            run_native("mintMoney", (1,))
+
+
+class TestVMNativeEquivalence:
+    CASES = [
+        ("updateSavings", (1, 25)),
+        ("updateSavings", (2, 1)),
+        ("updateBalance", (1, 75)),
+        ("sendPayment", (1, 2, 100)),
+        ("sendPayment", (2, 1, 99999)),
+        ("writeCheck", (1, 300)),
+        ("writeCheck", (1, 501)),
+        ("writeCheck", (2, 50)),
+        ("almagate", (1, 2)),
+        ("almagate", (2, 1)),
+        ("getBalance", (1,)),
+        ("getBalance", (2,)),
+        ("getBalance", (999,)),
+    ]
+
+    @pytest.mark.parametrize("function,args", CASES)
+    def test_receipts_match(self, bytecode, function, args):
+        vm_receipt = run_vm(bytecode, function, args)
+        native_receipt = run_native(function, args)
+        assert vm_receipt.success == native_receipt.success
+        assert vm_receipt.return_value == native_receipt.return_value
+        assert dict(vm_receipt.rwset.reads) == dict(native_receipt.rwset.reads)
+        assert dict(vm_receipt.rwset.writes) == dict(native_receipt.rwset.writes)
+
+
+class TestWorkloadAlignment:
+    """The analytic rwsets must match what execution actually touches."""
+
+    @pytest.mark.parametrize(
+        "op,function,args,customers",
+        [
+            (SmallBankOp.UPDATE_SAVINGS, "updateSavings", (1, 10), (1,)),
+            (SmallBankOp.UPDATE_BALANCE, "updateBalance", (1, 10), (1,)),
+            (SmallBankOp.SEND_PAYMENT, "sendPayment", (1, 2, 10), (1, 2)),
+            (SmallBankOp.WRITE_CHECK, "writeCheck", (1, 10), (1,)),
+            (SmallBankOp.AMALGAMATE, "almagate", (1, 2), (1, 2)),
+            (SmallBankOp.GET_BALANCE, "getBalance", (1,), (1,)),
+        ],
+    )
+    def test_analytic_addresses_match_execution(self, op, function, args, customers):
+        analytic = rwset_for(op, customers)
+        receipt = run_native(function, args)
+        assert receipt.success
+        assert receipt.rwset.read_addresses == analytic.read_addresses
+        assert receipt.rwset.write_addresses == analytic.write_addresses
+
+
+class TestKeyRenderer:
+    def test_savings_domain(self):
+        assert smallbank_key_renderer(42) == "sav:000042"
+
+    def test_checking_domain(self):
+        assert smallbank_key_renderer((1 << 32) | 42) == "chk:000042"

@@ -1,0 +1,168 @@
+"""Token contract tests: semantics and VM == native equivalence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.vm import ExecutionContext, LoggedStorage, SVM
+from repro.vm.contracts import (
+    NATIVE_TOKEN,
+    allowance_address,
+    balance_address,
+    compile_token,
+    register_token,
+    token_key_renderer,
+)
+from repro.vm.native import ContractRegistry
+
+STATE = {
+    "bal:000001": 1_000,
+    "bal:000002": 50,
+    "alw:000001:000002": 200,  # account 1 lets account 2 spend 200
+    "sup:total": 1_050,
+}
+
+
+def read_fn(address):
+    return STATE.get(address, 0)
+
+
+@pytest.fixture(scope="module")
+def bytecode():
+    return compile_token()
+
+
+def run_native(function, args, caller=0):
+    storage = LoggedStorage(read_fn)
+    return NATIVE_TOKEN.call(function, storage, tuple(args), caller=caller)
+
+
+def run_vm(bytecode, function, args, caller=0):
+    storage = LoggedStorage(read_fn)
+    context = ExecutionContext(
+        storage=storage,
+        args=tuple(args),
+        caller=caller,
+        key_renderer=token_key_renderer,
+    )
+    return SVM().execute(bytecode[function], context)
+
+
+class TestKeyRenderer:
+    def test_balance_keys(self):
+        assert token_key_renderer(7) == "bal:000007"
+
+    def test_allowance_keys(self):
+        key = (1 << 40) | (3 << 20) | 9
+        assert token_key_renderer(key) == "alw:000003:000009"
+
+    def test_supply_key(self):
+        assert token_key_renderer(2 << 40) == "sup:total"
+
+
+class TestSemantics:
+    def test_mint_increases_balance_and_supply(self):
+        receipt = run_native("mint", (5, 100))
+        assert receipt.rwset.writes == {
+            balance_address(5): 100,
+            "sup:total": 1_150,
+        }
+
+    def test_transfer_uses_caller(self):
+        receipt = run_native("transfer", (2, 300), caller=1)
+        assert receipt.rwset.writes == {
+            balance_address(1): 700,
+            balance_address(2): 350,
+        }
+
+    def test_transfer_insufficient_reverts(self):
+        receipt = run_native("transfer", (1, 51), caller=2)
+        assert not receipt.success
+        assert receipt.rwset.writes == {}
+
+    def test_self_transfer_preserves_balance(self):
+        receipt = run_native("transfer", (1, 400), caller=1)
+        assert receipt.success
+        assert receipt.rwset.writes == {balance_address(1): 1_000}
+
+    def test_approve_sets_allowance(self):
+        receipt = run_native("approve", (9, 77), caller=4)
+        assert receipt.rwset.writes == {allowance_address(4, 9): 77}
+
+    def test_transfer_from_spends_allowance(self):
+        receipt = run_native("transferFrom", (1, 3, 150), caller=2)
+        assert receipt.rwset.writes == {
+            balance_address(1): 850,
+            allowance_address(1, 2): 50,
+            balance_address(3): 150,
+        }
+
+    def test_transfer_from_over_allowance_reverts(self):
+        receipt = run_native("transferFrom", (1, 3, 201), caller=2)
+        assert not receipt.success
+
+    def test_transfer_from_over_balance_reverts(self):
+        # Allowance is fine but the owner lacks the funds.
+        stateful = dict(STATE)
+        stateful["bal:000001"] = 10
+        storage = LoggedStorage(lambda a: stateful.get(a, 0))
+        receipt = NATIVE_TOKEN.call("transferFrom", storage, (1, 3, 50), caller=2)
+        assert not receipt.success
+
+    def test_balance_of_and_total_supply(self):
+        assert run_native("balanceOf", (1,)).return_value == 1_000
+        assert run_native("totalSupply", ()).return_value == 1_050
+
+
+class TestVMNativeEquivalence:
+    CASES = [
+        ("mint", (5, 100), 0),
+        ("transfer", (2, 300), 1),
+        ("transfer", (1, 51), 2),  # reverts
+        ("transfer", (1, 400), 1),  # self transfer
+        ("approve", (9, 77), 4),
+        ("transferFrom", (1, 3, 150), 2),
+        ("transferFrom", (1, 3, 201), 2),  # reverts
+        ("balanceOf", (2,), 0),
+        ("totalSupply", (), 0),
+    ]
+
+    @pytest.mark.parametrize("function,args,caller", CASES)
+    def test_receipts_match(self, bytecode, function, args, caller):
+        vm_receipt = run_vm(bytecode, function, args, caller)
+        native_receipt = run_native(function, args, caller)
+        assert vm_receipt.success == native_receipt.success
+        assert vm_receipt.return_value == native_receipt.return_value
+        assert dict(vm_receipt.rwset.reads) == dict(native_receipt.rwset.reads)
+        assert dict(vm_receipt.rwset.writes) == dict(native_receipt.rwset.writes)
+
+
+class TestRegistryIntegration:
+    def test_register_token(self):
+        registry = ContractRegistry()
+        register_token(registry)
+        assert registry.native("token") is not None
+        assert registry.bytecode("token", "transfer") is not None
+        assert registry.key_renderer("token") is token_key_renderer
+        assert "token" in registry.contracts()
+
+    def test_executor_threads_caller(self):
+        from repro.node import ConcurrentExecutor
+        from repro.txn import Transaction
+
+        registry = ContractRegistry()
+        register_token(registry)
+        txn = Transaction(
+            txid=1,
+            sender="user:000001",
+            contract="token",
+            function="transfer",
+            args=(2, 300),
+        )
+        for use_vm in (False, True):
+            executor = ConcurrentExecutor(registry=registry, use_vm=use_vm)
+            batch = executor.execute_batch([txn], read_fn)
+            assert batch.results[0].rwset.writes == {
+                balance_address(1): 700,
+                balance_address(2): 350,
+            }, f"use_vm={use_vm}"

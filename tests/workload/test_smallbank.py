@@ -1,0 +1,120 @@
+"""Unit tests for the SmallBank workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.txn import Transaction
+from repro.workload import (
+    SmallBankConfig,
+    SmallBankOp,
+    SmallBankWorkload,
+    checking_address,
+    initial_state,
+    rwset_for,
+    savings_address,
+)
+
+
+class TestRWSets:
+    def test_update_savings(self):
+        rwset = rwset_for(SmallBankOp.UPDATE_SAVINGS, [7])
+        assert rwset.read_addresses == {savings_address(7)}
+        assert rwset.write_addresses == {savings_address(7)}
+
+    def test_update_balance(self):
+        rwset = rwset_for(SmallBankOp.UPDATE_BALANCE, [7])
+        assert rwset.read_addresses == {checking_address(7)}
+        assert rwset.write_addresses == {checking_address(7)}
+
+    def test_send_payment_touches_both_checkings(self):
+        rwset = rwset_for(SmallBankOp.SEND_PAYMENT, [1, 2])
+        expected = {checking_address(1), checking_address(2)}
+        assert rwset.read_addresses == expected
+        assert rwset.write_addresses == expected
+
+    def test_write_check_reads_savings_writes_checking(self):
+        rwset = rwset_for(SmallBankOp.WRITE_CHECK, [3])
+        assert rwset.read_addresses == {savings_address(3), checking_address(3)}
+        assert rwset.write_addresses == {checking_address(3)}
+
+    def test_amalgamate(self):
+        rwset = rwset_for(SmallBankOp.AMALGAMATE, [1, 2])
+        assert rwset.read_addresses == {
+            savings_address(1),
+            checking_address(1),
+            checking_address(2),
+        }
+        assert rwset.write_addresses == rwset.read_addresses
+
+    def test_get_balance_is_read_only(self):
+        rwset = rwset_for(SmallBankOp.GET_BALANCE, [5])
+        assert rwset.write_addresses == set()
+        assert rwset.read_addresses == {savings_address(5), checking_address(5)}
+
+
+class TestWorkloadGeneration:
+    def test_ids_are_consecutive(self):
+        workload = SmallBankWorkload(SmallBankConfig(seed=1))
+        txns = workload.generate(10)
+        assert [t.txid for t in txns] == list(range(10))
+        more = workload.generate(5)
+        assert [t.txid for t in more] == list(range(10, 15))
+
+    def test_blocks_have_requested_shape(self):
+        workload = SmallBankWorkload(SmallBankConfig(seed=2))
+        blocks = workload.generate_blocks(4, 25)
+        assert len(blocks) == 4
+        assert all(len(b) == 25 for b in blocks)
+
+    def test_reproducible_given_seed(self):
+        first = SmallBankWorkload(SmallBankConfig(seed=3, skew=0.5)).generate(50)
+        second = SmallBankWorkload(SmallBankConfig(seed=3, skew=0.5)).generate(50)
+        assert [(t.function, t.args) for t in first] == [
+            (t.function, t.args) for t in second
+        ]
+
+    def test_all_ops_appear(self):
+        workload = SmallBankWorkload(SmallBankConfig(seed=4))
+        functions = {t.function for t in workload.generate(500)}
+        assert functions == {op.value for op in SmallBankOp}
+
+    def test_read_only_fraction_zero(self):
+        config = SmallBankConfig(seed=5, read_only_fraction=0.0)
+        txns = SmallBankWorkload(config).generate(100)
+        assert all(t.function != SmallBankOp.GET_BALANCE.value for t in txns)
+
+    def test_read_only_fraction_one(self):
+        config = SmallBankConfig(seed=5, read_only_fraction=1.0)
+        txns = SmallBankWorkload(config).generate(100)
+        assert all(t.function == SmallBankOp.GET_BALANCE.value for t in txns)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(WorkloadError):
+            SmallBankConfig(read_only_fraction=1.5)
+
+    def test_transactions_carry_contract_metadata(self):
+        txn = SmallBankWorkload(SmallBankConfig(seed=6)).generate(1)[0]
+        assert isinstance(txn, Transaction)
+        assert txn.contract == "smallbank"
+        assert txn.function
+        assert txn.rwset.addresses
+
+    def test_skew_reduces_distinct_addresses(self):
+        uniform = SmallBankWorkload(SmallBankConfig(seed=7, skew=0.0)).generate(400)
+        skewed = SmallBankWorkload(SmallBankConfig(seed=7, skew=1.2)).generate(400)
+
+        def distinct(txns):
+            return len({a for t in txns for a in t.rwset.addresses})
+
+        assert distinct(skewed) < distinct(uniform)
+
+
+class TestInitialState:
+    def test_covers_all_accounts(self):
+        config = SmallBankConfig(account_count=10)
+        state = initial_state(config)
+        assert len(state) == 20
+        assert state[savings_address(0)] > 0
+        assert state[checking_address(9)] > 0

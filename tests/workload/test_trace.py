@@ -1,0 +1,90 @@
+"""Tests for workload trace recording and replay."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload import (
+    SmallBankConfig,
+    SmallBankWorkload,
+    TokenConfig,
+    TokenWorkload,
+    load_trace,
+    save_trace,
+    trace_info,
+)
+
+
+class TestTraceRoundtrip:
+    def test_smallbank_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        original = SmallBankWorkload(SmallBankConfig(seed=9, skew=0.6)).generate(50)
+        assert save_trace(path, original) == 50
+        replayed = load_trace(path)
+        assert replayed == original
+        for a, b in zip(original, replayed):
+            assert dict(a.rwset.writes) == dict(b.rwset.writes)
+            assert a.args == b.args
+
+    def test_token_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        original = TokenWorkload(TokenConfig(seed=9)).generate(30)
+        save_trace(path, original)
+        assert load_trace(path) == original
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_trace(path, [])
+        assert load_trace(path) == []
+
+    def test_replay_drives_identical_schedules(self, tmp_path):
+        from repro.core import NezhaScheduler
+
+        path = tmp_path / "trace.jsonl"
+        original = SmallBankWorkload(SmallBankConfig(seed=4, skew=0.9)).generate(100)
+        save_trace(path, original)
+        replayed = load_trace(path)
+        assert (
+            NezhaScheduler().schedule(original).schedule
+            == NezhaScheduler().schedule(replayed).schedule
+        )
+
+
+class TestTraceErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            load_trace(tmp_path / "absent.jsonl")
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(json.dumps({"version": 99, "count": 0}) + "\n")
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+    def test_corrupt_record(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_trace(path, SmallBankWorkload(SmallBankConfig(seed=1)).generate(2))
+        with open(path, "a") as out:
+            out.write('{"data": "!!!not-base64!!!"}\n')
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+
+class TestTraceInfo:
+    def test_shape_statistics(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_trace(path, SmallBankWorkload(SmallBankConfig(seed=2)).generate(40))
+        info = trace_info(path)
+        assert info["count"] == 40
+        assert info["distinct_addresses"] > 0
+        assert all(name.startswith("smallbank.") for name in info["functions"])
+        assert sum(info["functions"].values()) == 40
