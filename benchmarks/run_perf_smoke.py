@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Perf smoke gate for the CC fast path (< 30 s).
+
+Re-measures the dense fast path against the string-keyed reference on
+the standard contended epoch (skew 0.6, ω=12) and fails when the fast
+path has regressed more than 20% against the committed baseline in
+``benchmarks/results/BENCH_cc_fastpath.json``.  The comparison uses the
+*speedup ratio* (reference p50 / fast p50 on rank_division +
+transaction_sorting), which is stable across machines, rather than
+absolute milliseconds.  On success (or with ``--update``) the JSON is
+rewritten with the fresh numbers.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_perf_smoke.py [--update]
+
+Equivalent pytest entry point::
+
+    PYTHONPATH=src python -m pytest benchmarks -m perf_smoke -q
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from bench_cc_fastpath import (  # noqa: E402
+    RESULTS_PATH,
+    SPEEDUP_FLOOR,
+    measure_fastpath,
+    write_results,
+)
+
+REGRESSION_TOLERANCE = 0.20
+SMOKE_ROUNDS = 5
+
+
+def load_baseline(path: Path = RESULTS_PATH) -> dict | None:
+    """The committed benchmark artifact, or ``None`` when absent."""
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def main(argv: list[str]) -> int:
+    update_only = "--update" in argv
+    started = time.perf_counter()
+    baseline = load_baseline()
+    payload = measure_fastpath(rounds=SMOKE_ROUNDS)
+    elapsed = time.perf_counter() - started
+    speedup = payload["speedup_rank_plus_sort_p50"]
+    print(f"fast-path rank+sort speedup: {speedup:.2f}x ({elapsed:.1f}s)")
+
+    failed = False
+    if speedup < SPEEDUP_FLOOR:
+        print(f"FAIL: speedup below the {SPEEDUP_FLOOR}x floor")
+        failed = True
+    if baseline is not None and not update_only:
+        committed = float(baseline.get("speedup_rank_plus_sort_p50", 0.0))
+        minimum = committed * (1.0 - REGRESSION_TOLERANCE)
+        print(
+            f"committed baseline: {committed:.2f}x "
+            f"(tolerated minimum {minimum:.2f}x)"
+        )
+        if committed and speedup < minimum:
+            print("FAIL: fast path regressed >20% against the committed baseline")
+            failed = True
+    elif baseline is None:
+        print("no committed baseline found; writing a fresh one")
+
+    if not failed or update_only:
+        write_results(payload)
+        print(f"wrote {RESULTS_PATH}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,105 @@
+"""Per-batch interning of addresses and transaction ids to dense ints.
+
+The concurrency-control hot path (rank division, transaction sorting,
+validation) spends most of its time hashing address strings and copying
+per-vertex sets when it runs on the string-keyed reference structures.
+The fast path instead interns every address and txid to a contiguous
+integer *once* per batch and runs every later phase on flat arrays
+indexed by those ids.
+
+Two properties make the dense pipeline bit-identical to the reference
+one (see ``tests/core/test_fastpath.py``):
+
+* address ids are assigned in **sorted address order**, so comparing two
+  ids is equivalent to comparing the two address strings — every
+  "smallest address wins" tie-break in Algorithm 1 picks the same vertex;
+* transaction indices are assigned in **ascending txid order**, so the
+  deterministic write-write ordering rule (ascending txid) is preserved
+  by plain integer comparison.
+
+The mapping back to strings is applied only at the ``Schedule`` boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import SchedulingError
+from repro.txn.rwset import Address
+from repro.txn.transaction import Transaction
+
+
+@dataclass
+class InternedBatch:
+    """Dense-id views of one batch of transactions.
+
+    Attributes
+    ----------
+    transactions:
+        The batch in ascending txid order; a transaction's position in
+        this list is its dense index.
+    txids:
+        Dense index -> txid (ascending).
+    txn_index:
+        txid -> dense index.
+    addresses:
+        Dense address id -> address string, in sorted address order.
+    addr_ids:
+        Address string -> dense address id.
+    """
+
+    transactions: list[Transaction]
+    txids: list[int]
+    txn_index: dict[int, int]
+    addresses: list[Address]
+    addr_ids: dict[Address, int]
+
+    @property
+    def txn_count(self) -> int:
+        """Number of transactions in the batch."""
+        return len(self.transactions)
+
+    @property
+    def addr_count(self) -> int:
+        """Number of distinct addresses the batch touches."""
+        return len(self.addresses)
+
+    def address_of(self, addr_id: int) -> Address:
+        """The address string for a dense address id."""
+        return self.addresses[addr_id]
+
+    def txid_of(self, index: int) -> int:
+        """The txid for a dense transaction index."""
+        return self.txids[index]
+
+
+def intern_batch(
+    transactions: Sequence[Transaction] | Iterable[Transaction],
+) -> InternedBatch:
+    """Intern one batch: sort by txid, reject duplicates, number addresses.
+
+    Runs in ``O(N log N + U log U)`` for ``N`` transactions touching ``U``
+    distinct addresses — both sorts are single C-level passes; every
+    subsequent phase then works on ints only.
+    """
+    ordered = sorted(transactions, key=lambda t: t.txid)
+    txids: list[int] = []
+    txn_index: dict[int, int] = {}
+    seen: set[Address] = set()
+    for position, txn in enumerate(ordered):
+        if txn.txid in txn_index:
+            raise SchedulingError(f"duplicate txid {txn.txid} in batch")
+        txn_index[txn.txid] = position
+        txids.append(txn.txid)
+        seen.update(txn.rwset.reads)
+        seen.update(txn.rwset.writes)
+    addresses = sorted(seen)
+    addr_ids = {address: i for i, address in enumerate(addresses)}
+    return InternedBatch(
+        transactions=ordered,
+        txids=txids,
+        txn_index=txn_index,
+        addresses=addresses,
+        addr_ids=addr_ids,
+    )

@@ -24,7 +24,7 @@ import enum
 import heapq
 from typing import Mapping, Sequence
 
-from repro.core.acg import ACG
+from repro.core.acg import ACG, DenseACG
 from repro.txn.rwset import Address
 
 
@@ -131,6 +131,113 @@ def rank_addresses(
             selected = _pop_cycle_breaker(cycle_heap, removed, in_degree, score)
         remove(selected)
     return sequence
+
+
+def divide_ranks_dense(
+    dense: DenseACG, policy: RankPolicy = RankPolicy.MAX_OUT_DEGREE
+) -> list[int]:
+    """Algorithm 1 on dense address ids (the fast path).
+
+    Same lazy-heap algorithm as :func:`rank_addresses`, but vertices are
+    contiguous ints, degrees live in flat lists, and adjacency comes from
+    the CSR buffers — no per-vertex set copies.  Because dense ids are
+    assigned in sorted address order, every heap comparison resolves ties
+    exactly as the string-keyed reference does, so the emission order is
+    identical after id -> address translation.
+    """
+    addr_count = dense.addr_count
+    out_indptr, out_ids = dense.out_indptr, dense.out_ids
+    in_indptr, in_ids = dense.in_indptr, dense.in_ids
+    in_degree = [in_indptr[v + 1] - in_indptr[v] for v in range(addr_count)]
+    out_degree = [out_indptr[v + 1] - out_indptr[v] for v in range(addr_count)]
+
+    if policy is RankPolicy.MIN_ADDRESS:
+        score = [0] * addr_count
+    elif policy is RankPolicy.MAX_UNIT_COUNT:
+        read_indptr, write_indptr = dense.read_indptr, dense.write_indptr
+        score = [
+            (read_indptr[v + 1] - read_indptr[v])
+            + (write_indptr[v + 1] - write_indptr[v])
+            for v in range(addr_count)
+        ]
+    else:
+        score = out_degree  # live out-degree, shared list updated in place
+
+    alive = bytearray(b"\x01") * addr_count
+    zero_heap = [v for v in range(addr_count) if in_degree[v] == 0]
+    # The cycle-breaking heap is built lazily, the first time the zero
+    # in-degree frontier runs dry: the pick only depends on the *current*
+    # (in-degree, -score) of live vertices, so deferring construction (and
+    # the per-degree-change refresh pushes) until a cycle actually has to
+    # be broken changes nothing about which vertex is selected.  On
+    # mostly-acyclic batches this skips the O(E log V) heap traffic
+    # entirely.
+    cycle_heap: list[tuple[int, int, int]] | None = None
+    sequence: list[int] = []
+    track_score = policy is RankPolicy.MAX_OUT_DEGREE
+    push = heapq.heappush
+
+    def remove(vertex: int) -> None:
+        alive[vertex] = 0
+        sequence.append(vertex)
+        for succ in out_ids[out_indptr[vertex] : out_indptr[vertex + 1]]:
+            if not alive[succ]:
+                continue
+            degree = in_degree[succ] = in_degree[succ] - 1
+            if degree == 0:
+                push(zero_heap, succ)
+            if cycle_heap is not None:
+                push(cycle_heap, (degree, -score[succ], succ))
+        if track_score:
+            for pred in in_ids[in_indptr[vertex] : in_indptr[vertex + 1]]:
+                if not alive[pred]:
+                    continue
+                out_degree[pred] -= 1
+                if cycle_heap is not None:
+                    push(cycle_heap, (in_degree[pred], -score[pred], pred))
+
+    while len(sequence) < addr_count:
+        selected = _pop_zero_dense(zero_heap, alive, in_degree)
+        if selected is None:
+            if cycle_heap is None:
+                cycle_heap = [
+                    (in_degree[v], -score[v], v)
+                    for v in range(addr_count)
+                    if alive[v]
+                ]
+                heapq.heapify(cycle_heap)
+            selected = _pop_cycle_breaker_dense(cycle_heap, alive, in_degree, score)
+        remove(selected)
+    return sequence
+
+
+def _pop_zero_dense(
+    zero_heap: list[int], alive: bytearray, in_degree: list[int]
+) -> int | None:
+    """Pop the smallest live zero in-degree vertex id, or ``None``."""
+    while zero_heap:
+        vertex = heapq.heappop(zero_heap)
+        if not alive[vertex] or in_degree[vertex] != 0:
+            continue
+        return vertex
+    return None
+
+
+def _pop_cycle_breaker_dense(
+    cycle_heap: list[tuple[int, int, int]],
+    alive: bytearray,
+    in_degree: list[int],
+    score: list[int],
+) -> int:
+    """Pop the live entry with minimum (in-degree, -score, id)."""
+    while cycle_heap:
+        recorded_in, negative_score, vertex = heapq.heappop(cycle_heap)
+        if not alive[vertex]:
+            continue
+        if recorded_in != in_degree[vertex] or -negative_score != score[vertex]:
+            continue  # stale entry; a fresh one exists
+        return vertex
+    raise AssertionError("graph unexpectedly empty")
 
 
 def _pop_zero(

@@ -9,14 +9,20 @@ reproduce the paper's sub-phase breakdown (Figure 10).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
-from repro.core.acg import ACG, build_acg
-from repro.core.rank import RankPolicy, divide_ranks
+from repro.core.acg import ACG, DenseACG, build_acg, build_dense_acg
+from repro.core.interner import intern_batch
+from repro.core.rank import RankPolicy, divide_ranks, divide_ranks_dense
 from repro.core.schedule import Schedule, schedule_from_sequences
-from repro.core.sorting import INITIAL_SEQUENCE, sort_transactions
-from repro.core.validate import validate_sort
+from repro.core.sorting import (
+    INITIAL_SEQUENCE,
+    UNASSIGNED,
+    sort_transactions,
+    sort_transactions_dense,
+)
+from repro.core.validate import validate_sort, validate_sort_dense
 from repro.txn.transaction import Transaction
 
 
@@ -37,12 +43,18 @@ class NezhaConfig:
     rank_policy:
         Cycle-breaking rule of Algorithm 1 (ablation knob; the default is
         the paper's most-dependencies-first choice).
+    fast_path:
+        Run concurrency control on interned dense ids and flat arrays
+        (default on).  ``False`` selects the string-keyed reference
+        implementation; both produce bit-identical schedules (see
+        ``tests/core/test_fastpath.py``).
     """
 
     enable_reorder: bool = True
     enable_validation: bool = True
     initial_seq: int = INITIAL_SEQUENCE
     rank_policy: RankPolicy = RankPolicy.MAX_OUT_DEGREE
+    fast_path: bool = True
 
 
 @dataclass
@@ -74,14 +86,36 @@ class PhaseTimings:
         }
 
 
-@dataclass
 class NezhaResult:
-    """Everything produced by one scheduling run."""
+    """Everything produced by one scheduling run.
 
-    schedule: Schedule
-    timings: PhaseTimings
-    acg: ACG
-    rank_order: list[str] = field(default_factory=list)
+    ``acg`` is materialised lazily on fast-path runs: the dense pipeline
+    never builds the string-keyed graph, so the first attribute access
+    converts the CSR structures (outside the timed phases).
+    """
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        timings: PhaseTimings,
+        acg: ACG | None = None,
+        rank_order: list[str] | None = None,
+        dense_acg: DenseACG | None = None,
+    ) -> None:
+        self.schedule = schedule
+        self.timings = timings
+        self.rank_order = rank_order if rank_order is not None else []
+        self.dense_acg = dense_acg
+        self._acg = acg
+
+    @property
+    def acg(self) -> ACG:
+        """The address-based conflict graph (built on demand on the fast path)."""
+        if self._acg is None:
+            if self.dense_acg is None:
+                raise ValueError("result carries no conflict graph")
+            self._acg = self.dense_acg.to_acg()
+        return self._acg
 
     @property
     def aborted(self) -> tuple[int, ...]:
@@ -111,7 +145,68 @@ class NezhaScheduler:
         """Produce a commit schedule for a batch of transactions.
 
         The input order is irrelevant; ids provide the deterministic order.
+        Dispatches to the dense fast path unless the config selects the
+        string-keyed reference implementation.
         """
+        if self.config.fast_path:
+            return self._schedule_fast(transactions)
+        return self._schedule_reference(transactions)
+
+    def _schedule_fast(self, transactions: Sequence[Transaction]) -> NezhaResult:
+        """Dense-id pipeline: intern once, then flat-array phases."""
+        timings = PhaseTimings()
+
+        start = time.perf_counter()
+        dense = build_dense_acg(intern_batch(transactions))
+        timings.graph_construction = time.perf_counter() - start
+
+        start = time.perf_counter()
+        rank_ids = divide_ranks_dense(dense, policy=self.config.rank_policy)
+        timings.rank_division = time.perf_counter() - start
+
+        start = time.perf_counter()
+        state = sort_transactions_dense(
+            dense,
+            rank_ids,
+            enable_reorder=self.config.enable_reorder,
+            initial_seq=self.config.initial_seq,
+        )
+        timings.transaction_sorting = time.perf_counter() - start
+
+        if self.config.enable_validation:
+            start = time.perf_counter()
+            validate_sort_dense(
+                dense, state, enable_reorder=self.config.enable_reorder
+            )
+            timings.validation = time.perf_counter() - start
+
+        # Translate dense ids back to txids/addresses only at the
+        # Schedule boundary.
+        txids = dense.batch.txids
+        seq = state.seq
+        alive = state.alive
+        sequences = {
+            txids[i]: seq[i]
+            for i in range(dense.txn_count)
+            if alive[i] and seq[i] != UNASSIGNED
+        }
+        aborted = {txids[i] for i in range(dense.txn_count) if not alive[i]}
+        reordered = {txids[i] for i in state.reordered}
+        schedule = schedule_from_sequences(
+            sequences=sequences, aborted=aborted, reordered=reordered
+        )
+        addresses = dense.batch.addresses
+        return NezhaResult(
+            schedule=schedule,
+            timings=timings,
+            rank_order=[addresses[a] for a in rank_ids],
+            dense_acg=dense,
+        )
+
+    def _schedule_reference(
+        self, transactions: Sequence[Transaction]
+    ) -> NezhaResult:
+        """String-keyed reference pipeline (``fast_path=False``)."""
         timings = PhaseTimings()
         txn_by_id = {t.txid: t for t in transactions}
 

@@ -25,9 +25,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
-from repro.core.acg import ACG
+from repro.core.acg import ACG, DenseACG
 from repro.txn.rwset import Address
 from repro.txn.transaction import Transaction
+
+UNASSIGNED = -1
+"""Dense-path sentinel for "no sequence number yet" (valid numbers are >= 0)."""
 
 INITIAL_SEQUENCE = 1
 """First sequence number handed out (0 is the "no reads" sentinel)."""
@@ -186,19 +189,41 @@ def _resolve_unserializable(
     dependencies: a transaction with more than one write unit is bumped to
     a sequence number greater than the maximum assigned on any address it
     touches, which is valid because the order between write units may be
-    switched.  The bump is optimistic — if the transaction also *reads*
-    contended addresses, moving it later can strand another writer below
-    its read; the safety-validation pass resolves such cases by aborting
-    the reordered transaction itself (see ``validate_sort``), so enabling
-    reordering never aborts more than disabling it.
+    switched.  The bump is gated on the transaction's reads being
+    writer-free: pushing a transaction past every assigned number also
+    pushes its *read* units past any other writer of those addresses,
+    which always violates the R<W invariant — the validator would abort
+    the bumped transaction anyway, after its inflated number has skewed
+    the sorting of every later-ranked address it touches (collateral
+    aborts).  Restricting the rescue to transactions whose read addresses
+    have no other live writer keeps it a pure write-write reorder, which
+    is exactly the case Section IV-D argues is safe.
     """
     txn = transactions.get(txid)
-    if enable_reorder and txn is not None and len(txn.write_set) > 1:
+    rescuable = (
+        enable_reorder
+        and txn is not None
+        and len(txn.write_set) > 1
+        and reads_are_writer_free(acg, txn, state)
+    )
+    if rescuable:
         new_seq = _max_sequence_on_addresses(acg, txn, state) + 1
         state.sequences[txid] = new_seq
         state.reordered.add(txid)
     else:
         state.abort(txid)
+
+
+def reads_are_writer_free(acg: ACG, txn: Transaction, state: SortState) -> bool:
+    """True when no other live transaction writes any address ``txn`` reads."""
+    for address in txn.read_set:
+        rw = acg.rw_lists.get(address)
+        if rw is None:
+            continue
+        for writer in rw.writes:
+            if writer != txn.txid and state.is_live(writer):
+                return False
+    return True
 
 
 def _max_sequence_on_addresses(acg: ACG, txn: Transaction, state: SortState) -> int:
@@ -213,5 +238,244 @@ def _max_sequence_on_addresses(acg: ACG, txn: Transaction, state: SortState) -> 
                 continue
             sequence = state.sequence_of(other)
             if sequence is not None and sequence > best:
+                best = sequence
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Dense fast path: Algorithm 2 over flat unit arrays
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DenseSortState:
+    """Flat-array equivalent of :class:`SortState` on dense txn indices.
+
+    ``seq[i]`` is the sequence number of the transaction at dense index
+    ``i`` (``UNASSIGNED`` until sorted), ``alive[i]`` is 1 until the
+    transaction aborts, and ``reordered`` holds the dense indices rescued
+    by the Section IV-D enhancement.  Requires ``initial_seq >= 0`` (the
+    scheduler's config mandates a positive value).
+    """
+
+    seq: list[int]
+    alive: bytearray
+    reordered: set[int] = field(default_factory=set)
+
+    def abort(self, txn_idx: int) -> None:
+        """Abort the transaction; mirrors :meth:`SortState.abort`."""
+        self.alive[txn_idx] = 0
+        self.seq[txn_idx] = UNASSIGNED
+
+    def aborted_indices(self) -> list[int]:
+        """Dense indices of aborted transactions, ascending."""
+        return [i for i, live in enumerate(self.alive) if not live]
+
+
+def sort_transactions_dense(
+    dense: DenseACG,
+    rank_order: Sequence[int],
+    enable_reorder: bool = True,
+    initial_seq: int = INITIAL_SEQUENCE,
+) -> DenseSortState:
+    """Algorithm 2 on dense ids — the fast-path twin of
+    :func:`sort_transactions`.
+
+    Produces, position for position, the same sequence numbers, aborts and
+    reorder decisions as the reference (dense txn index ``i`` corresponds
+    to the ``i``-th smallest txid); only the data layout differs.
+
+    Two address shapes cover the bulk of realistic batches (an address
+    touched by one or two transactions) and collapse to a constant-time
+    assignment, proven equivalent to the full per-address pass:
+
+    * **reads only** — every unassigned live reader gets the minimum
+      assigned read number (or ``initial_seq`` when none is assigned);
+      the write-unit machinery is vacuous;
+    * **single owner** — all live units belong to one transaction (one
+      write, plus at most a read by the same transaction): an unassigned
+      owner gets ``initial_seq``; an assigned owner is left untouched
+      (``max_read`` is 0 or its own number, so neither the bump, the
+      unserializability test, nor the duplicate test can fire).
+
+    The single-owner shortcut assumes ``initial_seq >= 1`` (the config
+    invariant) so an assigned number can never be ``<= 0 == max_read``;
+    with a nonpositive ``initial_seq`` every address takes the full pass.
+    """
+    txn_count = dense.txn_count
+    state = DenseSortState(
+        seq=[UNASSIGNED] * txn_count, alive=bytearray(b"\x01") * txn_count
+    )
+    seq = state.seq
+    alive = state.alive
+    read_indptr, read_txns = dense.read_indptr, dense.read_txns
+    write_indptr, write_txns = dense.write_indptr, dense.write_txns
+    allow_trivial = initial_seq >= 1
+    for addr_id in rank_order:
+        read_lo, read_hi = read_indptr[addr_id], read_indptr[addr_id + 1]
+        write_lo, write_hi = write_indptr[addr_id], write_indptr[addr_id + 1]
+        reads = [t for t in read_txns[read_lo:read_hi] if alive[t]]
+        writes = [t for t in write_txns[write_lo:write_hi] if alive[t]]
+        if not writes:
+            if not reads:
+                continue
+            # Reads-only address: reads share the minimum assigned number.
+            fill = None
+            for txn_idx in reads:
+                sequence = seq[txn_idx]
+                if sequence != UNASSIGNED and (fill is None or sequence < fill):
+                    fill = sequence
+            if fill is None:
+                fill = initial_seq
+            for txn_idx in reads:
+                if seq[txn_idx] == UNASSIGNED:
+                    seq[txn_idx] = fill
+            continue
+        if (
+            allow_trivial
+            and len(writes) == 1
+            and (not reads or (len(reads) == 1 and reads[0] == writes[0]))
+        ):
+            # Single-owner address: at most one transaction holds units.
+            owner = writes[0]
+            if seq[owner] == UNASSIGNED:
+                seq[owner] = initial_seq
+            continue
+        _sort_address_dense(
+            dense, reads, writes, state, enable_reorder, initial_seq
+        )
+    for txn_idx in range(txn_count):
+        if alive[txn_idx] and seq[txn_idx] == UNASSIGNED:
+            seq[txn_idx] = initial_seq
+    return state
+
+
+def _sort_address_dense(
+    dense: DenseACG,
+    reads: list[int],
+    writes: list[int],
+    state: DenseSortState,
+    enable_reorder: bool,
+    initial_seq: int,
+) -> None:
+    """Assign sequence numbers to the live units of one address (dense).
+
+    ``reads``/``writes`` are the address's live unit lists, pre-filtered
+    by the caller's liveness scan.
+    """
+    seq = state.seq
+    alive = state.alive
+
+    # --- Read units -------------------------------------------------------
+    sorted_reads = [t for t in reads if seq[t] != UNASSIGNED]
+    if not sorted_reads:
+        for txn_idx in reads:
+            seq[txn_idx] = initial_seq
+        max_read = initial_seq if reads else 0
+    else:
+        values = [seq[t] for t in sorted_reads]
+        min_seq = min(values)
+        max_read = max(values)
+        for txn_idx in reads:
+            if seq[txn_idx] == UNASSIGNED:
+                seq[txn_idx] = min_seq
+
+    # --- Previously-assigned write units ----------------------------------
+    read_ids = set(reads)
+    sorted_writes = [t for t in writes if seq[t] != UNASSIGNED]
+
+    for txn_idx in sorted_writes:
+        if txn_idx not in read_ids:
+            continue
+        other_max = max(
+            (
+                seq[reader]
+                for reader in reads
+                if reader != txn_idx and seq[reader] != UNASSIGNED
+            ),
+            default=0,
+        )
+        if seq[txn_idx] <= other_max:
+            seq[txn_idx] = max(max_read, other_max) + 1
+        max_read = max(max_read, seq[txn_idx])
+
+    seen_write_seqs: dict[int, int] = {}
+    for txn_idx in sorted_writes:
+        sequence = seq[txn_idx]
+        duplicate = (
+            sequence in seen_write_seqs and seen_write_seqs[sequence] != txn_idx
+        )
+        too_small = sequence <= max_read and txn_idx not in read_ids
+        if too_small or duplicate:
+            _resolve_unserializable_dense(dense, txn_idx, state, enable_reorder)
+        if alive[txn_idx]:
+            seen_write_seqs[seq[txn_idx]] = txn_idx
+
+    # --- Remaining write units --------------------------------------------
+    write_seq = initial_seq if max_read == 0 else max_read + 1
+    assigned_here = {
+        seq[t] for t in (*reads, *writes) if alive[t] and seq[t] != UNASSIGNED
+    }
+    for txn_idx in writes:
+        if not alive[txn_idx] or seq[txn_idx] != UNASSIGNED:
+            continue
+        while write_seq in assigned_here:
+            write_seq += 1
+        seq[txn_idx] = write_seq
+        assigned_here.add(write_seq)
+
+
+def _resolve_unserializable_dense(
+    dense: DenseACG, txn_idx: int, state: DenseSortState, enable_reorder: bool
+) -> None:
+    """Dense twin of :func:`_resolve_unserializable` (same gate, same bump)."""
+    rescuable = (
+        enable_reorder
+        and dense.write_count_of(txn_idx) > 1
+        and reads_are_writer_free_dense(dense, txn_idx, state)
+    )
+    if rescuable:
+        state.seq[txn_idx] = 1 + max_sequence_on_addresses_dense(
+            dense, txn_idx, state
+        )
+        state.reordered.add(txn_idx)
+    else:
+        state.abort(txn_idx)
+
+
+def reads_are_writer_free_dense(
+    dense: DenseACG, txn_idx: int, state: DenseSortState
+) -> bool:
+    """True when no other live transaction writes any address ``txn_idx`` reads."""
+    alive = state.alive
+    addrs = dense.txn_read_addrs
+    for position in range(
+        dense.txn_read_indptr[txn_idx], dense.txn_read_indptr[txn_idx + 1]
+    ):
+        for writer in dense.writes_of(addrs[position]):
+            if writer != txn_idx and alive[writer]:
+                return False
+    return True
+
+
+def max_sequence_on_addresses_dense(
+    dense: DenseACG, txn_idx: int, state: DenseSortState
+) -> int:
+    """Maximum sequence currently assigned on any address ``txn_idx`` touches."""
+    seq = state.seq
+    alive = state.alive
+    best = 0
+    read_addrs = dense.txn_read_addrs[
+        dense.txn_read_indptr[txn_idx] : dense.txn_read_indptr[txn_idx + 1]
+    ]
+    write_addrs = dense.txn_write_addrs[
+        dense.txn_write_indptr[txn_idx] : dense.txn_write_indptr[txn_idx + 1]
+    ]
+    for addr_id in (*read_addrs, *write_addrs):
+        for other in (*dense.reads_of(addr_id), *dense.writes_of(addr_id)):
+            if not alive[other]:
+                continue
+            sequence = seq[other]
+            if sequence != UNASSIGNED and sequence > best:
                 best = sequence
     return best

@@ -33,8 +33,15 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-from repro.core.acg import ACG
-from repro.core.sorting import SortState
+from repro.core.acg import ACG, DenseACG
+from repro.core.sorting import (
+    UNASSIGNED,
+    DenseSortState,
+    SortState,
+    max_sequence_on_addresses_dense,
+    reads_are_writer_free,
+    reads_are_writer_free_dense,
+)
 from repro.txn.transaction import Transaction
 
 
@@ -67,6 +74,7 @@ def validate_sort(
                 and txid not in attempted
                 and txn is not None
                 and len(txn.write_set) > 1
+                and reads_are_writer_free(acg, txn, state)
             )
             if rescuable:
                 attempted.add(txid)
@@ -101,24 +109,12 @@ def _resurrect(
         txn = transactions.get(txid)
         if txn is None:
             continue
-        if not _reads_are_writer_free(acg, txn, state):
+        if not reads_are_writer_free(acg, txn, state):
             continue
         state.aborted.discard(txid)
         state.sequences[txid] = 1 + _max_sequence_on_addresses(acg, txn, state)
         revived.add(txid)
     return revived
-
-
-def _reads_are_writer_free(acg: ACG, txn: Transaction, state: SortState) -> bool:
-    """True when no live transaction writes any address ``txn`` reads."""
-    for address in txn.read_set:
-        rw = acg.rw_lists.get(address)
-        if rw is None:
-            continue
-        for writer in rw.writes:
-            if writer != txn.txid and state.is_live(writer):
-                return False
-    return True
 
 
 def _max_sequence_on_addresses(acg: ACG, txn: Transaction, state: SortState) -> int:
@@ -198,6 +194,118 @@ def _duplicate_victim(first: int, second: int, state: SortState) -> int:
     if first in state.reordered and second not in state.reordered:
         return first
     if second in state.reordered and first not in state.reordered:
+        return second
+    return max(first, second)
+
+
+# ---------------------------------------------------------------------------
+# Dense fast path: validation over flat unit arrays
+# ---------------------------------------------------------------------------
+
+
+def validate_sort_dense(
+    dense: DenseACG, state: DenseSortState, enable_reorder: bool = False
+) -> set[int]:
+    """Fast-path twin of :func:`validate_sort` on dense ids.
+
+    Same fixpoint sweeps, same rescue gate, same resurrection pass; the
+    returned set holds *dense transaction indices* aborted here.
+    """
+    newly_aborted: set[int] = set()
+    attempted: set[int] = set(state.reordered)
+    while True:
+        violators = _find_violations_dense(dense, state)
+        if not violators:
+            break
+        for txn_idx in sorted(violators):
+            rescuable = (
+                enable_reorder
+                and txn_idx not in attempted
+                and dense.write_count_of(txn_idx) > 1
+                and reads_are_writer_free_dense(dense, txn_idx, state)
+            )
+            if rescuable:
+                attempted.add(txn_idx)
+                state.seq[txn_idx] = 1 + max_sequence_on_addresses_dense(
+                    dense, txn_idx, state
+                )
+                state.reordered.add(txn_idx)
+            else:
+                state.abort(txn_idx)
+                newly_aborted.add(txn_idx)
+    if enable_reorder:
+        newly_aborted -= _resurrect_dense(dense, state)
+    return newly_aborted
+
+
+def _resurrect_dense(dense: DenseACG, state: DenseSortState) -> set[int]:
+    """Dense twin of :func:`_resurrect` (same candidate order, same rule)."""
+    revived: set[int] = set()
+    for txn_idx in state.aborted_indices():
+        if not reads_are_writer_free_dense(dense, txn_idx, state):
+            continue
+        state.alive[txn_idx] = 1
+        state.seq[txn_idx] = 1 + max_sequence_on_addresses_dense(
+            dense, txn_idx, state
+        )
+        revived.add(txn_idx)
+    return revived
+
+
+def _find_violations_dense(dense: DenseACG, state: DenseSortState) -> set[int]:
+    """One sweep over all dense addresses: every transaction to abort."""
+    seq = state.seq
+    alive = state.alive
+    reordered = state.reordered
+    violators: set[int] = set()
+    for addr_id in range(dense.addr_count):
+        top_seq = 0
+        top_reader = -1
+        second_seq = 0
+        reordered_readers: list[tuple[int, int]] = []
+        for txn_idx in dense.reads_of(addr_id):
+            if not alive[txn_idx]:
+                continue
+            sequence = seq[txn_idx]
+            if sequence == UNASSIGNED:
+                continue
+            if txn_idx in reordered:
+                reordered_readers.append((txn_idx, sequence))
+                continue
+            if sequence > top_seq:
+                second_seq = top_seq
+                top_seq = sequence
+                top_reader = txn_idx
+            elif sequence > second_seq:
+                second_seq = sequence
+        seen: dict[int, int] = {}
+        for txn_idx in dense.writes_of(addr_id):
+            if not alive[txn_idx]:
+                continue
+            sequence = seq[txn_idx]
+            if sequence == UNASSIGNED:
+                violators.add(txn_idx)
+                continue
+            limit = second_seq if txn_idx == top_reader else top_seq
+            if sequence <= limit:
+                violators.add(txn_idx)
+            else:
+                for reader, read_seq in reordered_readers:
+                    if reader != txn_idx and sequence <= read_seq:
+                        violators.add(reader)
+            prior = seen.get(sequence)
+            if prior is not None and prior != txn_idx:
+                violators.add(_duplicate_victim_dense(prior, txn_idx, reordered))
+            else:
+                seen[sequence] = txn_idx
+    return violators
+
+
+def _duplicate_victim_dense(first: int, second: int, reordered: set[int]) -> int:
+    """Which of two equal-sequence writers aborts (dense-index rule)."""
+    if first in reordered and second not in reordered:
+        return first
+    if second in reordered and first not in reordered:
         return second
     return max(first, second)
 

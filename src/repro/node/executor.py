@@ -38,7 +38,15 @@ def caller_id(sender: str) -> int:
 
 
 class ConcurrentExecutor:
-    """Simulates a batch of transactions against one state snapshot."""
+    """Simulates a batch of transactions against one state snapshot.
+
+    The worker thread pool is created lazily on the first parallel batch
+    and reused for every later epoch — constructing and tearing down a
+    pool per ``execute_batch`` call costs thread spawns every epoch and
+    dominated small-batch execution.  Call :meth:`close` (or use the
+    executor as a context manager) to release the threads explicitly;
+    otherwise they are reclaimed at interpreter shutdown.
+    """
 
     def __init__(
         self,
@@ -52,6 +60,26 @@ class ConcurrentExecutor:
         self.use_vm = use_vm
         self.gas_limit = gas_limit
         self._svm = SVM()
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-exec"
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the reused worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ConcurrentExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def execute_batch(
         self,
@@ -61,11 +89,18 @@ class ConcurrentExecutor:
     ) -> SimulationBatch:
         """Speculatively execute every transaction; never mutates state."""
         ordered = sorted(transactions, key=lambda t: t.txid)
-        if self.workers > 1:
-            with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                results = list(
-                    pool.map(lambda txn: self._execute_one(txn, read_fn), ordered)
+        if self.workers > 1 and ordered:
+            pool = self._ensure_pool()
+            # Hand each worker a run of transactions instead of one task
+            # per transaction; caps queue traffic at ~4 chunks per worker.
+            chunksize = max(1, len(ordered) // (self.workers * 4))
+            results = list(
+                pool.map(
+                    lambda txn: self._execute_one(txn, read_fn),
+                    ordered,
+                    chunksize=chunksize,
                 )
+            )
         else:
             results = [self._execute_one(txn, read_fn) for txn in ordered]
         return SimulationBatch(results=tuple(results), snapshot_root=snapshot_root)
