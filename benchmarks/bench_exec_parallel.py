@@ -1,0 +1,253 @@
+"""Extension — process-parallel speculative execution scaling.
+
+Not a paper figure: measures the execution phase (Section III-B, the
+part the paper calls embarrassingly parallel) across the three executor
+backends and emits ``benchmarks/results/BENCH_exec_parallel.json``.
+
+Two measurement modes, both on the SmallBank workload:
+
+* **Headline (raw, gated)** — real wall-clock of ``execute_batch`` for
+  the serial backend (snapshot reads through the MPT) versus four
+  process workers (flat delta-synced state replicas, plain dict reads).
+  The process backend must hold ≥ 2×; the win combines replica reads
+  with multi-core execution, and survives even single-core hosts.
+* **Calibrated scaling sweep** — each speculative run additionally pays
+  the paper-calibrated per-transaction EVM latency (see
+  ``repro.vm.costmodel``: our native contracts execute orders of
+  magnitude faster than the paper's EVM stack, so reproducing the
+  *shape* of execution-phase scaling requires charging modelled
+  execution time).  Worker sweep 1/2/4/8 × zipf skew, with serial and
+  thread baselines; coordination overhead (wire codec, pipes, delta
+  sync) is real measured time.
+
+The benchmark also commits both backends' schedules end to end (two
+epochs, delta sync in between) and asserts the resulting state roots are
+bit-identical across serial, thread, and process backends.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench import smallbank_epoch
+from repro.core import NezhaScheduler
+from repro.node import Committer, ConcurrentExecutor
+from repro.state import StateDB
+from repro.vm.contracts import default_registry
+from repro.vm.costmodel import PAPER_CONCURRENT_SPEEDUP, PAPER_SERIAL_MS_PER_TXN
+from repro.workload import SmallBankConfig, initial_state
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_exec_parallel.json"
+
+OMEGA = 8
+BLOCK_SIZE = 100
+SEED = 10
+ACCOUNTS = 10_000
+HEADLINE_SKEW = 0.6
+SWEEP_SKEWS = (0.2, 0.6)
+WORKER_SWEEP = (1, 2, 4, 8)
+ROUNDS = 3
+SPEEDUP_FLOOR = 2.0
+
+CHARGE_SECONDS = (PAPER_SERIAL_MS_PER_TXN / 1000.0) / PAPER_CONCURRENT_SPEEDUP
+"""Modelled per-transaction execution latency of the concurrent phase:
+the paper's effective per-transaction rate (~0.31 ms) on its EVM testbed."""
+
+
+def _config() -> SmallBankConfig:
+    return SmallBankConfig(account_count=ACCOUNTS, skew=HEADLINE_SKEW, seed=SEED)
+
+
+def _seeded_state() -> StateDB:
+    state = StateDB()
+    state.seed(initial_state(_config()))
+    return state
+
+
+def _make_executor(
+    backend: str, workers: int, state: StateDB, charge: float = 0.0
+) -> ConcurrentExecutor:
+    return ConcurrentExecutor(
+        registry=default_registry(),
+        workers=workers,
+        backend=backend,
+        state_provider=lambda: dict(state.items()),
+        txn_cost_seconds=charge,
+    )
+
+
+def _time_batches(executor, txns, read_fn, rounds: int) -> float:
+    """Median wall-clock seconds of ``execute_batch`` over ``rounds``.
+
+    One untimed warm-up run first: pool spawn and replica bootstrap are
+    one-off costs amortised over a node's lifetime, while the steady
+    state per epoch is what the execution phase pays.
+    """
+    executor.execute_batch(txns, read_fn)
+    samples = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        executor.execute_batch(txns, read_fn)
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def measure_headline(rounds: int = ROUNDS) -> dict:
+    """Raw execution-phase latency: serial oracle vs 4 process workers."""
+    txns = smallbank_epoch(OMEGA, BLOCK_SIZE, skew=HEADLINE_SKEW, seed=SEED)
+    state = _seeded_state()
+    snapshot = state.snapshot()
+    with _make_executor("serial", 0, state) as serial:
+        serial_p50 = _time_batches(serial, txns, snapshot.get, rounds)
+    with _make_executor("process", 4, state) as process:
+        process_p50 = _time_batches(process, txns, snapshot.get, rounds)
+        engaged = process.resolved_backend
+    return {
+        "txn_count": len(txns),
+        "serial_p50_ms": round(serial_p50 * 1e3, 3),
+        "process4_p50_ms": round(process_p50 * 1e3, 3),
+        "process_backend_engaged": engaged == "process",
+        "speedup_p50": round(serial_p50 / max(process_p50, 1e-9), 3),
+    }
+
+
+def measure_roots() -> dict:
+    """Commit two epochs per backend; state roots must be bit-identical.
+
+    Epoch 2 executes against epoch 1's committed state, so the process
+    backend's roots are only right if the write-delta replica sync is.
+    """
+    batches = [
+        smallbank_epoch(OMEGA, BLOCK_SIZE, skew=HEADLINE_SKEW, seed=seed)
+        for seed in (SEED, SEED + 1)
+    ]
+    roots: dict[str, str] = {}
+    for label, backend, workers in (
+        ("serial", "serial", 0),
+        ("thread4", "thread", 4),
+        ("process4", "process", 4),
+    ):
+        state = _seeded_state()
+        committer = Committer()
+        with _make_executor(backend, workers, state) as executor:
+            last_root = b""
+            for txns in batches:
+                batch = executor.execute_batch(txns, state.snapshot().get)
+                result = NezhaScheduler().schedule(batch.transactions())
+                report = committer.commit(
+                    result.schedule, batch.write_values(), state
+                )
+                if report.write_delta:
+                    executor.apply_delta(report.write_delta)
+                last_root = report.state_root
+        roots[label] = last_root.hex()
+    return {
+        "roots": roots,
+        "roots_identical": len(set(roots.values())) == 1,
+    }
+
+
+def measure_scaling(rounds: int = ROUNDS) -> dict:
+    """Calibrated sweep: workers × skew at the modelled EVM rate."""
+    sweep: dict[str, dict] = {"charge_ms_per_txn": round(CHARGE_SECONDS * 1e3, 4)}
+    for skew in SWEEP_SKEWS:
+        txns = smallbank_epoch(OMEGA, BLOCK_SIZE, skew=skew, seed=SEED)
+        state = _seeded_state()
+        snapshot = state.snapshot()
+        entry: dict[str, dict] = {}
+        with _make_executor("serial", 0, state, CHARGE_SECONDS) as serial:
+            serial_p50 = _time_batches(serial, txns, snapshot.get, rounds)
+        entry["serial"] = {"p50_ms": round(serial_p50 * 1e3, 3)}
+        with _make_executor("thread", 4, state, CHARGE_SECONDS) as threaded:
+            thread_p50 = _time_batches(threaded, txns, snapshot.get, rounds)
+        entry["thread_w4"] = {
+            "p50_ms": round(thread_p50 * 1e3, 3),
+            "speedup": round(serial_p50 / max(thread_p50, 1e-9), 3),
+        }
+        for workers in WORKER_SWEEP:
+            with _make_executor("process", workers, state, CHARGE_SECONDS) as proc:
+                p50 = _time_batches(proc, txns, snapshot.get, rounds)
+                backend = proc.resolved_backend
+            entry[f"process_w{workers}"] = {
+                "p50_ms": round(p50 * 1e3, 3),
+                "speedup": round(serial_p50 / max(p50, 1e-9), 3),
+                "resolved_backend": backend,
+            }
+        sweep[f"skew_{skew}"] = entry
+    return sweep
+
+
+def measure_exec_parallel(rounds: int = ROUNDS, full: bool = True) -> dict:
+    """The BENCH json payload; ``full=False`` skips the calibrated sweep."""
+    payload = {
+        "benchmark": "exec_parallel",
+        "workload": {
+            "generator": "smallbank",
+            "omega": OMEGA,
+            "block_size": BLOCK_SIZE,
+            "skew": HEADLINE_SKEW,
+            "seed": SEED,
+            "account_count": ACCOUNTS,
+        },
+        "rounds": rounds,
+        "headline": measure_headline(rounds),
+        **measure_roots(),
+    }
+    if full:
+        payload["calibrated"] = measure_scaling(rounds)
+    return payload
+
+
+def write_results(payload: dict, path: Path = RESULTS_PATH) -> None:
+    """Persist the artifact; a headline-only payload keeps the committed
+    calibrated sweep from the previous full run."""
+    if "calibrated" not in payload:
+        try:
+            previous = json.loads(path.read_text())
+        except (OSError, ValueError):
+            previous = {}
+        if "calibrated" in previous:
+            payload = {**payload, "calibrated": previous["calibrated"]}
+    path.parent.mkdir(exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.mark.perf_smoke
+def test_exec_parallel_speedup(report_table):
+    """4 process workers must hold >= 2x on the execution phase, with
+    state roots bit-identical across all three backends."""
+    payload = measure_exec_parallel(full=False)
+    write_results(payload)
+    headline = payload["headline"]
+    lines = [
+        "backend | exec-phase p50 (ms)",
+        f"serial | {headline['serial_p50_ms']:.2f}",
+        f"process x4 | {headline['process4_p50_ms']:.2f}",
+        f"speedup (p50): {headline['speedup_p50']:.2f}x",
+        f"roots identical across backends: {payload['roots_identical']}",
+    ]
+    report_table("exec_parallel", "\n".join(lines))
+    assert headline["process_backend_engaged"]
+    assert payload["roots_identical"], payload["roots"]
+    assert headline["speedup_p50"] >= SPEEDUP_FLOOR
+
+
+def main() -> int:
+    payload = measure_exec_parallel(full=True)
+    write_results(payload)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    speedup = payload["headline"]["speedup_p50"]
+    print(f"\nexecution-phase speedup at 4 process workers: {speedup:.2f}x "
+          f"(floor {SPEEDUP_FLOOR}x)")
+    print(f"roots identical: {payload['roots_identical']}")
+    return 0 if speedup >= SPEEDUP_FLOOR and payload["roots_identical"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

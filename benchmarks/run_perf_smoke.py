@@ -1,14 +1,21 @@
 #!/usr/bin/env python
-"""Perf smoke gate for the CC fast path (< 30 s).
+"""Perf smoke gate for the repo's perf-critical paths (< 60 s).
 
-Re-measures the dense fast path against the string-keyed reference on
-the standard contended epoch (skew 0.6, ω=12) and fails when the fast
-path has regressed more than 20% against the committed baseline in
-``benchmarks/results/BENCH_cc_fastpath.json``.  The comparison uses the
-*speedup ratio* (reference p50 / fast p50 on rank_division +
-transaction_sorting), which is stable across machines, rather than
-absolute milliseconds.  On success (or with ``--update``) the JSON is
-rewritten with the fresh numbers.
+Two gates, both compared against committed baselines by *speedup ratio*
+(stable across machines) rather than absolute milliseconds:
+
+* **CC fast path** — the dense path's rank+sort speedup over the
+  string-keyed reference on the standard contended epoch (skew 0.6,
+  ω=12) must stay within 20% of
+  ``benchmarks/results/BENCH_cc_fastpath.json``.
+* **Parallel execution** — the process backend's execution-phase
+  speedup at 4 workers over the serial backend on SmallBank must clear
+  the 2x floor and stay within tolerance of
+  ``benchmarks/results/BENCH_exec_parallel.json``, with state roots
+  bit-identical across the serial, thread, and process backends.
+
+On success (or with ``--update``) the JSON artifacts are rewritten with
+the fresh numbers.
 
 Usage::
 
@@ -29,17 +36,28 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).parent))
 
 from bench_cc_fastpath import (  # noqa: E402
-    RESULTS_PATH,
-    SPEEDUP_FLOOR,
+    RESULTS_PATH as CC_RESULTS_PATH,
+    SPEEDUP_FLOOR as CC_SPEEDUP_FLOOR,
     measure_fastpath,
-    write_results,
+    write_results as write_cc_results,
+)
+from bench_exec_parallel import (  # noqa: E402
+    RESULTS_PATH as EXEC_RESULTS_PATH,
+    SPEEDUP_FLOOR as EXEC_SPEEDUP_FLOOR,
+    measure_exec_parallel,
+    write_results as write_exec_results,
 )
 
 REGRESSION_TOLERANCE = 0.20
 SMOKE_ROUNDS = 5
+EXEC_SMOKE_ROUNDS = 3
+# The exec speedup crosses process boundaries (scheduler noise, host
+# core count), so its gate tolerates more drift than the single-process
+# CC ratio — the absolute 2x floor still backstops it.
+EXEC_REGRESSION_TOLERANCE = 0.35
 
 
-def load_baseline(path: Path = RESULTS_PATH) -> dict | None:
+def load_baseline(path: Path = CC_RESULTS_PATH) -> dict | None:
     """The committed benchmark artifact, or ``None`` when absent."""
     try:
         return json.loads(path.read_text())
@@ -47,35 +65,83 @@ def load_baseline(path: Path = RESULTS_PATH) -> dict | None:
         return None
 
 
+def _gate(
+    name: str,
+    speedup: float,
+    floor: float,
+    committed: float | None,
+    tolerance: float,
+    update_only: bool,
+) -> bool:
+    """Print one gate's verdict; returns True when it failed."""
+    failed = False
+    if speedup < floor:
+        print(f"FAIL [{name}]: speedup below the {floor}x floor")
+        failed = True
+    if committed and not update_only:
+        minimum = committed * (1.0 - tolerance)
+        print(
+            f"[{name}] committed baseline: {committed:.2f}x "
+            f"(tolerated minimum {minimum:.2f}x)"
+        )
+        if speedup < minimum:
+            print(
+                f"FAIL [{name}]: regressed >{tolerance:.0%} against the "
+                "committed baseline"
+            )
+            failed = True
+    elif not committed:
+        print(f"[{name}] no committed baseline found; writing a fresh one")
+    return failed
+
+
 def main(argv: list[str]) -> int:
     update_only = "--update" in argv
     started = time.perf_counter()
-    baseline = load_baseline()
-    payload = measure_fastpath(rounds=SMOKE_ROUNDS)
-    elapsed = time.perf_counter() - started
-    speedup = payload["speedup_rank_plus_sort_p50"]
-    print(f"fast-path rank+sort speedup: {speedup:.2f}x ({elapsed:.1f}s)")
-
     failed = False
-    if speedup < SPEEDUP_FLOOR:
-        print(f"FAIL: speedup below the {SPEEDUP_FLOOR}x floor")
-        failed = True
-    if baseline is not None and not update_only:
-        committed = float(baseline.get("speedup_rank_plus_sort_p50", 0.0))
-        minimum = committed * (1.0 - REGRESSION_TOLERANCE)
-        print(
-            f"committed baseline: {committed:.2f}x "
-            f"(tolerated minimum {minimum:.2f}x)"
-        )
-        if committed and speedup < minimum:
-            print("FAIL: fast path regressed >20% against the committed baseline")
-            failed = True
-    elif baseline is None:
-        print("no committed baseline found; writing a fresh one")
 
+    cc_baseline = load_baseline(CC_RESULTS_PATH) or {}
+    cc_payload = measure_fastpath(rounds=SMOKE_ROUNDS)
+    cc_speedup = cc_payload["speedup_rank_plus_sort_p50"]
+    print(f"cc fast-path rank+sort speedup: {cc_speedup:.2f}x")
+    failed |= _gate(
+        "cc_fastpath",
+        cc_speedup,
+        CC_SPEEDUP_FLOOR,
+        float(cc_baseline.get("speedup_rank_plus_sort_p50", 0.0)),
+        REGRESSION_TOLERANCE,
+        update_only,
+    )
+
+    exec_baseline = load_baseline(EXEC_RESULTS_PATH) or {}
+    exec_payload = measure_exec_parallel(rounds=EXEC_SMOKE_ROUNDS, full=False)
+    exec_speedup = exec_payload["headline"]["speedup_p50"]
+    print(f"exec-phase speedup (4 process workers): {exec_speedup:.2f}x")
+    if not exec_payload["headline"]["process_backend_engaged"]:
+        print("FAIL [exec_parallel]: process backend fell back")
+        failed = True
+    if not exec_payload["roots_identical"]:
+        print(
+            "FAIL [exec_parallel]: backend state roots diverged: "
+            f"{exec_payload['roots']}"
+        )
+        failed = True
+    failed |= _gate(
+        "exec_parallel",
+        exec_speedup,
+        EXEC_SPEEDUP_FLOOR,
+        float(exec_baseline.get("headline", {}).get("speedup_p50", 0.0)),
+        EXEC_REGRESSION_TOLERANCE,
+        update_only,
+    )
+
+    elapsed = time.perf_counter() - started
+    print(f"smoke wall-clock: {elapsed:.1f}s")
     if not failed or update_only:
-        write_results(payload)
-        print(f"wrote {RESULTS_PATH}")
+        write_cc_results(cc_payload)
+        write_exec_results(exec_payload)
+        print(f"wrote {CC_RESULTS_PATH}")
+        print(f"wrote {EXEC_RESULTS_PATH}")
     return 1 if failed else 0
 
 

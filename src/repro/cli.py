@@ -61,6 +61,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="charge execution at the paper-calibrated EVM rate",
     )
+    simulate.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="execution/commit worker pool size (0 = serial)",
+    )
+    simulate.add_argument(
+        "--exec-backend",
+        choices=("auto", "serial", "thread", "process"),
+        default="auto",
+        help="execution-phase backend (process = multi-core speculative "
+        "execution with delta-synced worker state replicas)",
+    )
 
     conflicts = sub.add_parser("conflicts", help="conflict analysis (Table I)")
     _add_workload_args(conflicts)
@@ -200,10 +213,13 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             skew=args.skew,
             account_count=args.accounts,
             seed=args.seed,
+            workers=args.workers,
+            exec_backend=args.exec_backend,
             cost_model=ExecutionCostModel() if args.paper_costs else ZERO_COST,
         ),
     )
-    run = cluster.run_epochs(args.epochs)
+    with cluster:
+        run = cluster.run_epochs(args.epochs)
     rows = [
         ["epochs", len(run.outcomes)],
         ["committed", run.committed],

@@ -49,6 +49,7 @@ class ClusterConfig:
     seed: int = 0
     workers: int = 0
     use_vm: bool = False
+    exec_backend: str = "auto"
     cost_model: ExecutionCostModel = ZERO_COST
 
     def __post_init__(self) -> None:
@@ -136,9 +137,21 @@ class Cluster:
             scheduler=scheduler,
             registry=default_registry(include_bytecode=self.config.use_vm),
             config=PipelineConfig(
-                workers=self.config.workers, use_vm=self.config.use_vm
+                workers=self.config.workers,
+                use_vm=self.config.use_vm,
+                backend=self.config.exec_backend,
             ),
         )
+
+    def close(self) -> None:
+        """Release the measuring node's worker pools (idempotent)."""
+        self.node.close()
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def feed_client(self, transaction_count: int) -> int:
         """The client node submits a burst of SmallBank transactions."""

@@ -1,7 +1,7 @@
 """Full-node transaction processing: the paper's four-phase pipeline."""
 
 from repro.node.committer import CommitReport, Committer, SerialExecutorCommitter
-from repro.node.executor import ConcurrentExecutor, caller_id
+from repro.node.executor import BACKENDS, ConcurrentExecutor, caller_id
 from repro.node.ingest import BlockIngest, IngestStats
 from repro.node.metrics import (
     Counter,
@@ -15,6 +15,7 @@ from repro.node.phases import EpochReport, PhaseLatencies
 from repro.node.pipeline import PipelineConfig, TransactionPipeline
 
 __all__ = [
+    "BACKENDS",
     "BlockIngest",
     "CommitReport",
     "Committer",

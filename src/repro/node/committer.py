@@ -25,11 +25,21 @@ from repro.vm.native import ContractRegistry
 
 @dataclass(frozen=True)
 class CommitReport:
-    """What the commitment phase produced."""
+    """What the commitment phase produced.
+
+    ``write_delta`` is the epoch's net effect on flat state — every
+    address written, with its final committed value (last writer in
+    group order wins).  The pipeline ships exactly this delta to the
+    process execution backend's worker replicas, so replica sync cost
+    tracks the epoch's write set rather than the world state.  Paths
+    that commit without a schedule (serial execute-and-commit) leave it
+    ``None``.
+    """
 
     state_root: bytes
     committed_count: int
     group_count: int
+    write_delta: "Mapping[Address, int] | None" = None
 
 
 class Committer:
@@ -40,11 +50,13 @@ class Committer:
     conflict-free, so no two threads ever write the same address.  Groups
     themselves always commit in sequence order.  The default is in-process
     serial application, which is faster under CPython's GIL but models the
-    same semantics (tests assert both produce identical roots).
+    same semantics (tests assert both produce identical roots).  The pool
+    is created lazily and reused across epochs; :meth:`close` releases it.
     """
 
     def __init__(self, workers: int = 0) -> None:
         self.workers = workers
+        self._pool = None
 
     def commit(
         self,
@@ -54,6 +66,7 @@ class Committer:
     ) -> CommitReport:
         """Apply the writes of every committed transaction in group order."""
         committed = 0
+        delta: dict[Address, int] = {}
         for group in schedule.iter_groups():
             for txid in group.txids:
                 if txid not in write_values:
@@ -65,12 +78,19 @@ class Committer:
             else:
                 for txid in group.txids:
                     self._apply_one(write_values[txid], state)
+            # Within a group writes are pairwise disjoint, so merging in
+            # txid order equals any interleaving; across groups the later
+            # group overwrites, matching the application order above.
+            for txid in group.txids:
+                for address, value in write_values[txid].items():
+                    delta[address] = int(value)
             committed += len(group.txids)
         root = state.commit()
         return CommitReport(
             state_root=root,
             committed_count=committed,
             group_count=len(schedule.groups),
+            write_delta=delta,
         )
 
     def _apply_group_parallel(
@@ -79,14 +99,23 @@ class Committer:
         write_values: Mapping[int, Mapping[Address, Any]],
         state: StateDB,
     ) -> None:
-        from concurrent.futures import ThreadPoolExecutor
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
 
-        with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            list(
-                pool.map(
-                    lambda txid: self._apply_one(write_values[txid], state), txids
-                )
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-commit"
             )
+        list(
+            self._pool.map(
+                lambda txid: self._apply_one(write_values[txid], state), txids
+            )
+        )
+
+    def close(self) -> None:
+        """Shut down the reused group-apply pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
 
     @staticmethod
     def _apply_one(writes: Mapping[Address, Any], state: StateDB) -> None:
@@ -106,6 +135,10 @@ class SerialExecutorCommitter:
     def __init__(self, registry: ContractRegistry | None = None, use_vm: bool = False) -> None:
         self.registry = registry
         self.executor = ConcurrentExecutor(registry=registry, use_vm=use_vm)
+
+    def close(self) -> None:
+        """Release the inner executor's resources (idempotent)."""
+        self.executor.close()
 
     def run(self, transactions: Sequence[Transaction], state: StateDB) -> CommitReport:
         """Execute and commit serially; returns the new root."""

@@ -7,25 +7,53 @@ transaction against the same immutable snapshot — execution order is
 irrelevant, which is what makes the phase embarrassingly parallel — and
 records each transaction's read/write sets through the logger.
 
-``workers > 1`` uses a thread pool to mirror the paper's multi-worker
-setup; the default is in-process serial execution, which is faster under
-CPython's GIL for pure-Python contracts and produces identical results.
+Three backends implement the phase, selected by ``backend``/``workers``:
+
+* **serial** — in-process loop.  Fastest under CPython's GIL for cheap
+  pure-Python contracts, and the equivalence oracle for the other two.
+* **thread** — a persistent :class:`ThreadPoolExecutor` fed manually
+  built chunks (one task per chunk, not per transaction).  Wins when
+  per-transaction cost releases the GIL (VM gas charges, modelled EVM
+  latency, any I/O).
+* **process** — a pool of persistent worker processes, each bootstrapped
+  once with the pickled contract registry and a **flat replica of the
+  world state**.  The parent keeps replicas in sync by shipping only the
+  per-epoch commit write-delta (see ``apply_delta``), never the full
+  state and never the MPT; workers read the replica with plain dict
+  lookups, faithful to the paper's single-snapshot semantics because
+  replicas only change *between* epochs.  Transactions and results cross
+  the pipe as compact wire tuples (:mod:`repro.txn.codec`).  This is the
+  only backend that escapes the GIL for pure-Python contracts.
+
+The process backend degrades gracefully: an unpicklable registry, a
+missing state provider, ``workers <= 1``, or a worker crash all fall
+back to the thread/serial paths, which produce identical results.
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
 from repro.errors import ExecutionError
+from repro.txn.codec import (
+    simulation_result_from_wire,
+    simulation_result_to_wire,
+    transaction_from_wire,
+    transaction_to_wire,
+)
 from repro.txn.rwset import Address, RWSet
 from repro.txn.simulation import SimulationBatch, SimulationResult, SimulationStatus
 from repro.txn.transaction import Transaction
 from repro.vm.logger import LoggedStorage
 from repro.vm.machine import DEFAULT_GAS_LIMIT, ExecutionContext, SVM
-from repro.vm.native import ContractRegistry
+from repro.vm.native import ContractRegistry, registry_is_picklable
 
 ReadFn = Callable[[Address], int]
+StateProvider = Callable[[], Mapping[Address, int]]
+
+BACKENDS = ("auto", "serial", "thread", "process")
 
 
 def caller_id(sender: str) -> int:
@@ -37,15 +65,160 @@ def caller_id(sender: str) -> int:
         return 0
 
 
+def _worker_main(conn, registry, use_vm, gas_limit, txn_cost_seconds) -> None:
+    """Loop of one persistent worker process.
+
+    The worker is bootstrapped once (registry, VM flags) and then serves
+    commands off its pipe until told to close:
+
+    * ``("sync", state)`` — replace the flat state replica wholesale
+      (initial bootstrap, or resync after the parent marked it stale);
+    * ``("delta", writes)`` — fold one epoch's commit write-delta into
+      the replica (the steady-state path);
+    * ``("exec", wires)`` — speculatively execute a chunk of wire-tuple
+      transactions against the replica and reply with wire results.
+
+    Execution never mutates the replica (speculation buffers writes in
+    ``LoggedStorage``), so a failed ``exec`` leaves the worker reusable.
+    """
+    executor = ConcurrentExecutor(
+        registry=registry,
+        use_vm=use_vm,
+        gas_limit=gas_limit,
+        txn_cost_seconds=txn_cost_seconds,
+    )
+    replica: dict[Address, int] = {}
+    read = lambda address: replica.get(address, 0)  # noqa: E731
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        command = message[0]
+        if command == "exec":
+            try:
+                results = [
+                    simulation_result_to_wire(
+                        executor.execute_one(transaction_from_wire(wire), read)
+                    )
+                    for wire in message[1]
+                ]
+                conn.send(("ok", results))
+            except Exception as exc:  # surfaced in the parent
+                conn.send(("err", f"{type(exc).__name__}: {exc}"))
+        elif command == "delta":
+            replica.update(message[1])
+        elif command == "sync":
+            replica = dict(message[1])
+        elif command == "close":
+            break
+
+
+class _ProcessPool:
+    """Persistent worker processes with delta-synced state replicas."""
+
+    def __init__(
+        self,
+        registry: ContractRegistry | None,
+        workers: int,
+        use_vm: bool,
+        gas_limit: int,
+        txn_cost_seconds: float,
+    ) -> None:
+        import multiprocessing as mp
+
+        method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        context = mp.get_context(method)
+        self._connections = []
+        self._processes = []
+        for _ in range(workers):
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            process = context.Process(
+                target=_worker_main,
+                args=(child_conn, registry, use_vm, gas_limit, txn_cost_seconds),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._connections.append(parent_conn)
+            self._processes.append(process)
+
+    @property
+    def worker_count(self) -> int:
+        return len(self._processes)
+
+    def sync(self, state: Mapping[Address, int]) -> None:
+        """Replace every worker's replica (bootstrap / stale resync)."""
+        for conn in self._connections:
+            conn.send(("sync", dict(state)))
+
+    def apply_delta(self, delta: Mapping[Address, int]) -> None:
+        """Ship one epoch's commit write-delta to every replica."""
+        payload = dict(delta)
+        for conn in self._connections:
+            conn.send(("delta", payload))
+
+    def execute(
+        self, chunks: Sequence[Sequence[Transaction]]
+    ) -> list[list[tuple]]:
+        """Run one chunk per worker; returns wire results per chunk.
+
+        Raises ``ExecutionError`` for a deterministic in-worker failure
+        (the pool stays healthy) and ``OSError``/``EOFError`` for a dead
+        worker (the caller retires the pool).  All replies are drained
+        before either is raised so the pipes never desynchronise.
+        """
+        for conn, chunk in zip(self._connections, chunks):
+            conn.send(("exec", [transaction_to_wire(txn) for txn in chunk]))
+        replies = []
+        transport_error = None
+        for conn, chunk in zip(self._connections, chunks):
+            try:
+                replies.append(conn.recv())
+            except (EOFError, OSError) as exc:
+                transport_error = exc
+                replies.append(None)
+        if transport_error is not None:
+            raise transport_error
+        failures = [detail for status, detail in replies if status == "err"]
+        if failures:
+            raise ExecutionError(failures[0])
+        return [payload for _, payload in replies]
+
+    def close(self) -> None:
+        """Shut every worker down (idempotent)."""
+        for conn in self._connections:
+            try:
+                conn.send(("close",))
+            except (OSError, ValueError):
+                pass
+            conn.close()
+        for process in self._processes:
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+        self._connections = []
+        self._processes = []
+
+
 class ConcurrentExecutor:
     """Simulates a batch of transactions against one state snapshot.
 
-    The worker thread pool is created lazily on the first parallel batch
-    and reused for every later epoch — constructing and tearing down a
-    pool per ``execute_batch`` call costs thread spawns every epoch and
-    dominated small-batch execution.  Call :meth:`close` (or use the
-    executor as a context manager) to release the threads explicitly;
-    otherwise they are reclaimed at interpreter shutdown.
+    Pools (threads or processes) are created lazily on the first
+    parallel batch and reused for every later epoch — constructing and
+    tearing down a pool per ``execute_batch`` call costs spawns every
+    epoch and dominated small-batch execution.  Call :meth:`close` (or
+    use the executor as a context manager) to release them explicitly.
+
+    ``state_provider`` supplies the flat committed state used to
+    bootstrap (and, after :meth:`mark_stale`, resync) the process
+    backend's worker replicas; without one the process backend is not
+    viable and the executor falls back to threads.  ``txn_cost_seconds``
+    charges each speculative execution a fixed modelled latency (the
+    :mod:`repro.vm.costmodel` calibration hook used by the scaling
+    benchmarks); the charge is paid inside whichever backend executes,
+    so parallel backends overlap it.
     """
 
     def __init__(
@@ -54,13 +227,50 @@ class ConcurrentExecutor:
         workers: int = 0,
         use_vm: bool = False,
         gas_limit: int = DEFAULT_GAS_LIMIT,
+        backend: str = "auto",
+        state_provider: StateProvider | None = None,
+        txn_cost_seconds: float = 0.0,
     ) -> None:
+        if backend not in BACKENDS:
+            raise ExecutionError(
+                f"unknown execution backend {backend!r}; expected one of {BACKENDS}"
+            )
         self.registry = registry
         self.workers = workers
         self.use_vm = use_vm
         self.gas_limit = gas_limit
+        self.backend = backend
+        self.state_provider = state_provider
+        self.txn_cost_seconds = txn_cost_seconds
         self._svm = SVM()
         self._pool: ThreadPoolExecutor | None = None
+        self._process_pool: _ProcessPool | None = None
+        self._process_broken = False
+        self._replicas_stale = True  # bootstrap counts as a stale resync
+
+    # ------------------------------------------------------------ backends
+
+    @property
+    def resolved_backend(self) -> str:
+        """The backend the next ``execute_batch`` will actually use."""
+        if self.backend == "serial" or self.workers <= 1:
+            return "serial"
+        if self.backend == "process":
+            if self._process_broken:
+                return "serial"  # a crashed pool degrades to the oracle
+            if self._process_viable():
+                return "process"
+        return "thread"
+
+    @property
+    def process_active(self) -> bool:
+        """True while a live worker-process pool is attached."""
+        return self._process_pool is not None and not self._process_broken
+
+    def _process_viable(self) -> bool:
+        if self._process_broken or self.state_provider is None:
+            return False
+        return registry_is_picklable(self.registry)
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
         if self._pool is None:
@@ -69,17 +279,70 @@ class ConcurrentExecutor:
             )
         return self._pool
 
+    def _ensure_process_pool(self) -> "_ProcessPool | None":
+        if self._process_pool is None:
+            try:
+                self._process_pool = _ProcessPool(
+                    self.registry,
+                    self.workers,
+                    self.use_vm,
+                    self.gas_limit,
+                    self.txn_cost_seconds,
+                )
+            except Exception:
+                self._retire_process_pool()
+                return None
+            self._replicas_stale = True
+        return self._process_pool
+
+    def _retire_process_pool(self) -> None:
+        """Degrade permanently to the thread/serial fallbacks."""
+        self._process_broken = True
+        if self._process_pool is not None:
+            pool, self._process_pool = self._process_pool, None
+            pool.close()
+
     def close(self) -> None:
-        """Shut down the reused worker pool (idempotent)."""
+        """Shut down the reused worker pools (idempotent)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._process_pool is not None:
+            pool, self._process_pool = self._process_pool, None
+            pool.close()
 
     def __enter__(self) -> "ConcurrentExecutor":
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+    # -------------------------------------------------------- replica sync
+
+    def apply_delta(self, delta: Mapping[Address, int]) -> None:
+        """Fold one epoch's commit write-delta into the worker replicas.
+
+        Called by the pipeline after each successful ``Committer.commit``;
+        a no-op unless a process pool is live.  Shipping only the delta
+        (addresses + values actually written) keeps the steady-state sync
+        cost proportional to the epoch's write set, not the world state.
+        """
+        if not self.process_active or self._replicas_stale or not delta:
+            return
+        try:
+            self._process_pool.apply_delta(delta)
+        except (OSError, ValueError):
+            self._retire_process_pool()
+
+    def mark_stale(self) -> None:
+        """Force a full replica resync before the next process batch.
+
+        Used when state changed outside ``Committer.commit`` (e.g. the
+        wave-by-wave re-execution path), where no write-delta exists.
+        """
+        self._replicas_stale = True
+
+    # ----------------------------------------------------------- execution
 
     def execute_batch(
         self,
@@ -89,27 +352,73 @@ class ConcurrentExecutor:
     ) -> SimulationBatch:
         """Speculatively execute every transaction; never mutates state."""
         ordered = sorted(transactions, key=lambda t: t.txid)
-        if self.workers > 1 and ordered:
-            pool = self._ensure_pool()
-            # Hand each worker a run of transactions instead of one task
-            # per transaction; caps queue traffic at ~4 chunks per worker.
-            chunksize = max(1, len(ordered) // (self.workers * 4))
-            results = list(
-                pool.map(
-                    lambda txn: self._execute_one(txn, read_fn),
-                    ordered,
-                    chunksize=chunksize,
-                )
-            )
-        else:
+        results: list[SimulationResult] | None = None
+        if ordered and self.resolved_backend == "process":
+            results = self._execute_process(ordered)
+        if results is None and ordered and self.resolved_backend == "thread":
+            results = self._execute_threaded(ordered, read_fn)
+        if results is None:
             results = [self._execute_one(txn, read_fn) for txn in ordered]
         return SimulationBatch(results=tuple(results), snapshot_root=snapshot_root)
 
+    def _execute_threaded(
+        self, ordered: list[Transaction], read_fn: ReadFn
+    ) -> list[SimulationResult]:
+        pool = self._ensure_pool()
+        # Hand each worker a run of transactions instead of one task per
+        # transaction.  Chunking must be manual: ThreadPoolExecutor.map
+        # accepts ``chunksize`` but silently ignores it (only process
+        # pools honour it), so mapping transactions directly would pay
+        # one queue round-trip per transaction.
+        chunksize = max(1, len(ordered) // (self.workers * 4))
+        futures = [
+            pool.submit(self._execute_chunk, ordered[i : i + chunksize], read_fn)
+            for i in range(0, len(ordered), chunksize)
+        ]
+        return [result for future in futures for result in future.result()]
+
+    def _execute_chunk(
+        self, chunk: Sequence[Transaction], read_fn: ReadFn
+    ) -> list[SimulationResult]:
+        """One thread task: a contiguous run of the ordered batch."""
+        return [self._execute_one(txn, read_fn) for txn in chunk]
+
+    def _execute_process(
+        self, ordered: list[Transaction]
+    ) -> list[SimulationResult] | None:
+        """Fan the batch out to the worker processes; ``None`` on degrade."""
+        pool = self._ensure_process_pool()
+        if pool is None:
+            return None
+        try:
+            if self._replicas_stale:
+                pool.sync(self.state_provider())
+                self._replicas_stale = False
+            chunk_count = min(pool.worker_count, len(ordered))
+            bounds = [
+                (len(ordered) * i // chunk_count, len(ordered) * (i + 1) // chunk_count)
+                for i in range(chunk_count)
+            ]
+            chunks = [ordered[lo:hi] for lo, hi in bounds]
+            wire_chunks = pool.execute(chunks)
+        except ExecutionError:
+            raise  # deterministic contract failure: same as serial would raise
+        except Exception:
+            self._retire_process_pool()
+            return None
+        return [
+            simulation_result_from_wire(wire, txn)
+            for chunk, wires in zip(chunks, wire_chunks)
+            for txn, wire in zip(chunk, wires)
+        ]
+
     def execute_one(self, txn: Transaction, read_fn: ReadFn) -> SimulationResult:
-        """Speculatively execute a single transaction."""
+        """Speculatively execute a single transaction (always in-process)."""
         return self._execute_one(txn, read_fn)
 
     def _execute_one(self, txn: Transaction, read_fn: ReadFn) -> SimulationResult:
+        if self.txn_cost_seconds > 0.0:
+            time.sleep(self.txn_cost_seconds)
         if txn.contract is None or self.registry is None:
             return self._passthrough(txn, read_fn)
         if self.use_vm:

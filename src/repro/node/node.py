@@ -127,6 +127,20 @@ class FullNode:
             record_epoch(self.metrics, report)
         return report
 
+    def close(self) -> None:
+        """Release the pipeline's worker pools (idempotent).
+
+        Nodes configured with the process execution backend own worker
+        processes; closing guarantees none outlive the node.
+        """
+        self.pipeline.close()
+
+    def __enter__(self) -> "FullNode":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     @property
     def committed_total(self) -> int:
         """Transactions committed across all processed epochs."""

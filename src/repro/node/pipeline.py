@@ -47,15 +47,30 @@ class Scheduler(Protocol):
 
 @dataclass
 class PipelineConfig:
-    """Pipeline tunables."""
+    """Pipeline tunables.
+
+    ``backend`` selects the execution-phase implementation ("auto",
+    "serial", "thread", or "process" — see
+    :class:`~repro.node.executor.ConcurrentExecutor`); "auto" keeps the
+    historical behaviour (threads when ``workers > 1``, else serial).
+    ``workers`` feeds both the executor pool and the committer's
+    within-group parallel apply.
+    """
 
     workers: int = 0
     use_vm: bool = False
     validate_blocks: bool = True
+    backend: str = "auto"
 
 
 class TransactionPipeline:
-    """Drives one node's transaction processing across epochs."""
+    """Drives one node's transaction processing across epochs.
+
+    Owns worker pools (threads and, for the process backend, persistent
+    worker processes), so call :meth:`close` — or use the pipeline as a
+    context manager — when done; worker processes must never outlive the
+    node.
+    """
 
     def __init__(
         self,
@@ -72,11 +87,27 @@ class TransactionPipeline:
             registry=registry,
             workers=self.config.workers,
             use_vm=self.config.use_vm,
+            backend=self.config.backend,
+            # Process-backend replicas bootstrap from the committed flat
+            # state; steady-state sync then ships only commit deltas.
+            state_provider=lambda: dict(self.state.items()),
         )
-        self.committer = Committer()
+        self.committer = Committer(workers=self.config.workers)
         self._serial = SerialExecutorCommitter(
             registry=registry, use_vm=self.config.use_vm
         )
+
+    def close(self) -> None:
+        """Release every worker pool the pipeline owns (idempotent)."""
+        self.executor.close()
+        self.committer.close()
+        self._serial.close()
+
+    def __enter__(self) -> "TransactionPipeline":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def process_epoch(
         self, epoch: Epoch, exclude_txids: frozenset[int] | set[int] = frozenset()
@@ -137,6 +168,10 @@ class TransactionPipeline:
             commit_root = report.state_root
             group_count = report.group_count
             committed = report.committed_count
+            if report.write_delta:
+                # Keep the process backend's worker replicas in lockstep
+                # with the committed state before the next epoch executes.
+                self.executor.apply_delta(report.write_delta)
         phases.commitment = time.perf_counter() - start
 
         timings = getattr(result, "timings", None)
@@ -189,6 +224,9 @@ class TransactionPipeline:
                         self.state.set(address, int(value))
                     committed += 1
         commit_root = self.state.commit()
+        # No write-delta exists for wave-by-wave commits, so the process
+        # backend must resync its replicas from state before executing.
+        self.executor.mark_stale()
         phases.commitment = time.perf_counter() - start
         timings = getattr(result, "timings", None)
         scheme_phases = timings.as_dict() if timings is not None else {}

@@ -1,6 +1,13 @@
 """Transaction model: read/write sets and speculative execution results."""
 
-from repro.txn.codec import decode_transaction, encode_transaction
+from repro.txn.codec import (
+    decode_transaction,
+    encode_transaction,
+    simulation_result_from_wire,
+    simulation_result_to_wire,
+    transaction_from_wire,
+    transaction_to_wire,
+)
 from repro.txn.rwset import Address, RWSet
 from repro.txn.simulation import (
     SimulationBatch,
@@ -21,4 +28,8 @@ __all__ = [
     "decode_transaction",
     "encode_transaction",
     "make_transaction",
+    "simulation_result_from_wire",
+    "simulation_result_to_wire",
+    "transaction_from_wire",
+    "transaction_to_wire",
 ]

@@ -1,4 +1,4 @@
-"""Binary serialisation of transactions (RLP-based).
+"""Binary serialisation of transactions (RLP-based) and IPC wire tuples.
 
 Blocks must be persisted and (in a real deployment) shipped over the
 wire, so transactions need a canonical byte encoding.  Layout::
@@ -8,6 +8,16 @@ wire, so transactions need a canonical byte encoding.  Layout::
 where args are tagged scalars (none / int / str) and reads/writes are
 ``[address, tagged-value]`` pairs.  ``decode_transaction`` is the exact
 inverse of ``encode_transaction`` (property-tested).
+
+The module also carries the *wire-tuple* codec used by the process
+execution backend: transactions and simulation results are flattened to
+tuples of primitives (ints/strings/None) before crossing the worker
+pipe.  Primitive tuples serialise at C speed and stay compact — no
+class-instance overhead per object — which matters because the parent
+encodes one epoch's whole batch on the critical path.  A
+``SimulationResult`` travels *without* its transaction: the parent
+already holds the ``Transaction`` objects and re-attaches them by txid
+(``simulation_result_from_wire`` refuses a mismatch).
 """
 
 from __future__ import annotations
@@ -17,6 +27,7 @@ from typing import Any
 from repro.errors import TransactionError
 from repro.state.mpt.codec import rlp_decode, rlp_encode
 from repro.txn.rwset import RWSet
+from repro.txn.simulation import SimulationResult, SimulationStatus
 from repro.txn.transaction import Transaction
 
 _TAG_NONE = b"\x00"
@@ -114,4 +125,72 @@ def decode_transaction(data: bytes) -> Transaction:
             reads={addr.decode(): _decode_scalar(val) for addr, val in reads},
             writes={addr.decode(): _decode_scalar(val) for addr, val in writes},
         ),
+    )
+
+
+# ------------------------------------------------------------- wire tuples
+
+_STATUS_TO_CODE = {
+    SimulationStatus.SUCCESS: 0,
+    SimulationStatus.REVERTED: 1,
+    SimulationStatus.FAILED: 2,
+}
+_CODE_TO_STATUS = {code: status for status, code in _STATUS_TO_CODE.items()}
+
+
+def transaction_to_wire(txn: Transaction) -> tuple:
+    """Flatten a transaction to a primitive tuple for worker IPC."""
+    return (
+        txn.txid,
+        txn.sender,
+        txn.contract,
+        txn.function,
+        tuple(txn.args),
+        tuple(txn.rwset.reads.items()),
+        tuple(txn.rwset.writes.items()),
+    )
+
+
+def transaction_from_wire(wire: tuple) -> Transaction:
+    """Rebuild a transaction from its wire tuple."""
+    txid, sender, contract, function, args, reads, writes = wire
+    return Transaction(
+        txid=txid,
+        sender=sender,
+        contract=contract,
+        function=function,
+        args=tuple(args),
+        rwset=RWSet(reads=dict(reads), writes=dict(writes)),
+    )
+
+
+def simulation_result_to_wire(result: SimulationResult) -> tuple:
+    """Flatten a simulation result (minus its transaction) for worker IPC."""
+    return (
+        result.txid,
+        _STATUS_TO_CODE[result.status],
+        result.gas_used,
+        result.return_value,
+        result.error,
+        tuple(result.rwset.reads.items()),
+        tuple(result.rwset.writes.items()),
+    )
+
+
+def simulation_result_from_wire(
+    wire: tuple, transaction: Transaction
+) -> SimulationResult:
+    """Re-attach the parent's transaction to a worker's wire result."""
+    txid, status_code, gas_used, return_value, error, reads, writes = wire
+    if txid != transaction.txid:
+        raise TransactionError(
+            f"wire result for T{txid} paired with transaction T{transaction.txid}"
+        )
+    return SimulationResult(
+        transaction=transaction,
+        rwset=RWSet(reads=dict(reads), writes=dict(writes)),
+        status=_CODE_TO_STATUS[status_code],
+        gas_used=gas_used,
+        return_value=return_value,
+        error=error,
     )
