@@ -1,0 +1,219 @@
+"""Abstract value domain for the SVM verifier.
+
+The verifier interprets bytecode over an abstract stack whose slots are
+:class:`AbsVal` terms — a constant-propagation lattice extended with
+*symbolic expressions* over the execution inputs (``ARG i``/``CALLER``).
+Symbolic terms are what make static read/write **key** sets possible:
+SmallBank computes its checking key as ``arg0 + 2**32`` and the token
+contract derives allowance keys from ``caller``, so a purely constant
+domain would collapse every interesting key to ⊤.
+
+The lattice (ordered by precision)::
+
+    Const(v)   --  exactly the 64-bit word v
+    Arg(i), Caller, BinExpr, NotExpr  -- symbolic over the inputs
+    TOP        --  any word (SLOAD results, widened expressions)
+
+Join is equality-based: ``a ⊔ b = a`` when structurally equal, ``TOP``
+otherwise — each slot can only coarsen once, so fixpoints terminate.
+``evaluate`` replays a symbolic term under concrete inputs with exactly
+the interpreter's modular semantics (wrap-around, ``DIV``/``MOD`` by
+zero yielding zero), which is what lets a symbolic key set be checked
+for containment against a concrete :class:`~repro.vm.logger.LoggedStorage`
+observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.vm.opcodes import WORD_MASK, Op
+
+_MAX_EXPR_NODES = 32
+"""Symbolic terms wider than this widen to TOP (keeps states small)."""
+
+
+class AbsVal:
+    """Base class for abstract words; concrete subclasses are frozen."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Top(AbsVal):
+    """Any 64-bit word (unknown)."""
+
+    def __repr__(self) -> str:
+        return "⊤"
+
+
+TOP = Top()
+
+
+@dataclass(frozen=True)
+class Const(AbsVal):
+    """Exactly one 64-bit word."""
+
+    value: int
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Arg(AbsVal):
+    """The transaction argument at a fixed index."""
+
+    index: int
+
+    def __repr__(self) -> str:
+        return f"arg{self.index}"
+
+
+@dataclass(frozen=True)
+class Caller(AbsVal):
+    """The transaction sender id (the ``CALLER`` opcode)."""
+
+    def __repr__(self) -> str:
+        return "caller"
+
+
+@dataclass(frozen=True)
+class BinExpr(AbsVal):
+    """A binary operation over two abstract words (``left op right``)."""
+
+    op: Op
+    left: AbsVal
+    right: AbsVal
+
+    def __repr__(self) -> str:
+        symbol = _OP_SYMBOLS.get(self.op, self.op.name)
+        return f"({self.left!r} {symbol} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class NotExpr(AbsVal):
+    """Bitwise complement of an abstract word."""
+
+    operand: AbsVal
+
+    def __repr__(self) -> str:
+        return f"~{self.operand!r}"
+
+
+_OP_SYMBOLS = {
+    Op.ADD: "+",
+    Op.SUB: "-",
+    Op.MUL: "*",
+    Op.DIV: "//",
+    Op.MOD: "%",
+    Op.AND: "&",
+    Op.OR: "|",
+    Op.LT: "<",
+    Op.GT: ">",
+    Op.EQ: "==",
+}
+
+
+def _node_count(value: AbsVal) -> int:
+    if isinstance(value, BinExpr):
+        return 1 + _node_count(value.left) + _node_count(value.right)
+    if isinstance(value, NotExpr):
+        return 1 + _node_count(value.operand)
+    return 1
+
+
+def _fold(op: Op, a: int, b: int) -> int:
+    """Concrete binary semantics, byte-identical to the interpreter."""
+    if op is Op.ADD:
+        return (a + b) & WORD_MASK
+    if op is Op.SUB:
+        return (a - b) & WORD_MASK
+    if op is Op.MUL:
+        return (a * b) & WORD_MASK
+    if op is Op.DIV:
+        return 0 if b == 0 else a // b
+    if op is Op.MOD:
+        return 0 if b == 0 else a % b
+    if op is Op.LT:
+        return 1 if a < b else 0
+    if op is Op.GT:
+        return 1 if a > b else 0
+    if op is Op.EQ:
+        return 1 if a == b else 0
+    if op is Op.AND:
+        return a & b
+    if op is Op.OR:
+        return a | b
+    raise ValueError(f"not a binary opcode: {op.name}")
+
+
+def apply_binary(op: Op, left: AbsVal, right: AbsVal) -> AbsVal:
+    """Abstract transfer for a binary opcode (``left`` is the deeper slot)."""
+    if isinstance(left, Const) and isinstance(right, Const):
+        return Const(_fold(op, left.value, right.value))
+    if isinstance(left, Top) or isinstance(right, Top):
+        return TOP
+    expr = BinExpr(op, left, right)
+    if _node_count(expr) > _MAX_EXPR_NODES:
+        return TOP
+    return expr
+
+
+def apply_not(operand: AbsVal) -> AbsVal:
+    """Abstract transfer for ``NOT``."""
+    if isinstance(operand, Const):
+        return Const(operand.value ^ WORD_MASK)
+    if isinstance(operand, Top):
+        return TOP
+    expr = NotExpr(operand)
+    if _node_count(expr) > _MAX_EXPR_NODES:
+        return TOP
+    return expr
+
+
+def apply_iszero(operand: AbsVal) -> AbsVal:
+    """Abstract transfer for ``ISZERO`` (non-constant operands widen)."""
+    if isinstance(operand, Const):
+        return Const(1 if operand.value == 0 else 0)
+    return TOP
+
+
+def join(a: AbsVal, b: AbsVal) -> AbsVal:
+    """Lattice join: equal terms stay, differing terms widen to TOP."""
+    if a == b:
+        return a
+    return TOP
+
+
+def evaluate(value: AbsVal, args: tuple[int, ...], caller: int) -> int | None:
+    """Concretize a term under inputs; ``None`` when it contains TOP.
+
+    Mirrors the interpreter exactly: arguments and the caller are
+    reduced modulo 2**64 on use, and every operation wraps.
+    """
+    if isinstance(value, Const):
+        return value.value
+    if isinstance(value, Arg):
+        if value.index >= len(args):
+            return None
+        return args[value.index] & WORD_MASK
+    if isinstance(value, Caller):
+        return caller & WORD_MASK
+    if isinstance(value, BinExpr):
+        left = evaluate(value.left, args, caller)
+        right = evaluate(value.right, args, caller)
+        if left is None or right is None:
+            return None
+        return _fold(value.op, left, right)
+    if isinstance(value, NotExpr):
+        operand = evaluate(value.operand, args, caller)
+        if operand is None:
+            return None
+        return operand ^ WORD_MASK
+    return None  # TOP
+
+
+def is_exact(value: AbsVal) -> bool:
+    """Whether a term concretizes to exactly one key per input vector."""
+    return not isinstance(value, Top)

@@ -1,0 +1,180 @@
+"""Control-flow graph over verified bytecode.
+
+Built *after* abstract interpretation, because SVM jump targets live on
+the stack: only the abstract pass can resolve them to constants.  The
+CFG covers the reachable instructions, split into basic blocks at every
+jump, terminator, and join point, and supports two analyses:
+
+* :func:`gas_bound` — the worst-case gas cost over any acyclic path
+  from the entry block (``None`` when the graph contains a cycle that
+  the analysis cannot reduce to a constant trip count, i.e. the cost is
+  reported as *unbounded*);
+* :func:`unreachable_ranges` — byte ranges the abstract pass never
+  visited (dead blocks, trailing junk).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.vm.decoder import BytecodeLayout, Instruction
+
+from repro.analysis.static.absint import AbstractResult
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """A maximal straight-line run of reachable instructions."""
+
+    start: int
+    instructions: tuple[Instruction, ...]
+    successors: tuple[int, ...]
+    gas: int
+    """Sum of the static gas charge of every instruction in the block."""
+    terminal: bool
+    """Whether execution can end in this block (RETURN/REVERT/STOP/end)."""
+
+    @property
+    def end(self) -> int:
+        """First pc past the block."""
+        last = self.instructions[-1]
+        return last.pc + last.size
+
+
+@dataclass(frozen=True)
+class CFG:
+    """Blocks keyed by start pc; entry is pc 0 when any code is reachable."""
+
+    blocks: dict[int, BasicBlock]
+    entry: int = 0
+
+    @property
+    def block_count(self) -> int:
+        return len(self.blocks)
+
+
+def build_cfg(layout: BytecodeLayout, result: AbstractResult) -> CFG:
+    """Assemble basic blocks from the abstract pass's resolved edges."""
+    visited = result.visited
+    if not visited:
+        return CFG(blocks={})
+    # Leaders: the entry, every resolved jump target, and every
+    # instruction that follows a multi-successor or non-fallthrough
+    # instruction (i.e. any pc with more than one predecessor edge shape).
+    leaders: set[int] = {0} if 0 in visited else set()
+    fallthrough_of: dict[int, int] = {}
+    for pc in visited:
+        instruction = layout.instruction_at(pc)
+        if instruction is not None:
+            fallthrough_of[pc] = pc + instruction.size
+    for pc, successors in result.edges.items():
+        plain_fallthrough = successors == (fallthrough_of.get(pc),)
+        for successor in successors:
+            if successor in visited and not plain_fallthrough:
+                leaders.add(successor)
+        if pc in result.terminators or not plain_fallthrough:
+            follower = fallthrough_of.get(pc)
+            if follower in visited:
+                leaders.add(follower)
+    for pc in result.terminators:
+        follower = fallthrough_of.get(pc)
+        if follower is not None and follower in visited:
+            leaders.add(follower)
+    # Any visited pc with two or more distinct predecessors is a join.
+    predecessor_count: dict[int, int] = {}
+    for successors in result.edges.values():
+        for successor in successors:
+            predecessor_count[successor] = predecessor_count.get(successor, 0) + 1
+    for pc, count in predecessor_count.items():
+        if count > 1 and pc in visited:
+            leaders.add(pc)
+
+    blocks: dict[int, BasicBlock] = {}
+    for leader in sorted(leaders):
+        instructions: list[Instruction] = []
+        pc = leader
+        terminal = False
+        successors: tuple[int, ...] = ()
+        while pc in visited:
+            instruction = layout.instruction_at(pc)
+            if instruction is None:  # pragma: no cover - visited implies decoded
+                break
+            instructions.append(instruction)
+            if pc in result.terminators:
+                terminal = True
+            edge = result.edges.get(pc, ())
+            following = pc + instruction.size
+            ends_block = (
+                edge != (following,)
+                or following in leaders
+                or following not in visited
+            )
+            if ends_block:
+                successors = tuple(s for s in edge if s in visited)
+                break
+            pc = following
+        if instructions:
+            gas = sum(i.info.gas for i in instructions if i.info is not None)
+            blocks[leader] = BasicBlock(
+                start=leader,
+                instructions=tuple(instructions),
+                successors=successors,
+                gas=gas,
+                terminal=terminal,
+            )
+    return CFG(blocks=blocks)
+
+
+def gas_bound(cfg: CFG) -> int | None:
+    """Worst-case gas over any acyclic path; ``None`` when cyclic.
+
+    A cycle means some path re-enters a block, and without a constant
+    trip count no finite bound exists — callers report it as
+    ``unbounded`` (the interpreter still stops such programs via its gas
+    and step limits).
+    """
+    if not cfg.blocks:
+        return 0
+    # Kahn's topological sort doubles as the cycle check.
+    indegree: dict[int, int] = {start: 0 for start in cfg.blocks}
+    for block in cfg.blocks.values():
+        for successor in block.successors:
+            indegree[successor] += 1
+    queue = sorted(start for start, degree in indegree.items() if degree == 0)
+    order: list[int] = []
+    while queue:
+        start = queue.pop()
+        order.append(start)
+        for successor in cfg.blocks[start].successors:
+            indegree[successor] -= 1
+            if indegree[successor] == 0:
+                queue.append(successor)
+    if len(order) != len(cfg.blocks):
+        return None
+    # Longest-path DP in topological order: worst[b] is the maximum gas
+    # spent along any path from the entry through the end of block b.
+    worst: dict[int, int] = {}
+    for start in order:
+        block = cfg.blocks[start]
+        cost = worst.setdefault(start, block.gas)
+        for successor in block.successors:
+            candidate = cost + cfg.blocks[successor].gas
+            if candidate > worst.get(successor, -1):
+                worst[successor] = candidate
+    return max(worst.values(), default=0)
+
+
+def unreachable_ranges(
+    layout: BytecodeLayout, visited: set[int]
+) -> list[tuple[int, int]]:
+    """Contiguous ``[start, end)`` byte ranges never visited."""
+    ranges: list[tuple[int, int]] = []
+    for instruction in layout.instructions:
+        if instruction.pc in visited:
+            continue
+        end = instruction.pc + instruction.size
+        if ranges and ranges[-1][1] == instruction.pc:
+            ranges[-1] = (ranges[-1][0], end)
+        else:
+            ranges.append((instruction.pc, end))
+    return ranges

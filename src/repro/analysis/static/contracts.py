@@ -1,0 +1,191 @@
+"""Shipped-contract bridge for the static analyzer.
+
+Knows every contract the repo deploys (SmallBank and the token), their
+assembly sources, per-method arities, and key renderers, and implements
+the seeded *containment sweep*: execute each method's bytecode under
+random-but-valid arguments and assert that the verifier's static RW key
+set covers everything ``LoggedStorage`` observed (static ⊇ dynamic).
+Both the CI gate (``repro-nezha analyze bytecode --check-containment``)
+and the differential test suite drive this module.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.vm.assembler import assemble_with_debug
+from repro.vm.contracts.smallbank import (
+    SMALLBANK_ARITIES,
+    SMALLBANK_ASSEMBLY,
+    smallbank_key_renderer,
+)
+from repro.vm.contracts.smallbank import CONTRACT_NAME as SMALLBANK_NAME
+from repro.vm.contracts.token import (
+    TOKEN_ARITIES,
+    TOKEN_ASSEMBLY,
+    token_key_renderer,
+)
+from repro.vm.contracts.token import CONTRACT_NAME as TOKEN_NAME
+from repro.vm.logger import LoggedStorage
+from repro.vm.machine import SVM, ExecutionContext, KeyRenderer
+
+from repro.analysis.static.verifier import (
+    ContainmentResult,
+    MethodReport,
+    check_containment,
+    verify_contract,
+)
+
+_SWEEP_IDS = 64
+"""Account/holder ids are drawn from ``[0, _SWEEP_IDS)`` — small enough
+to collide (exercising self-transfers) and within every contract's id
+encoding (20-bit token holders, 32-bit SmallBank customers)."""
+
+_SWEEP_AMOUNT = 30_000
+"""Amounts are drawn from ``[0, _SWEEP_AMOUNT)``; the default balance in
+the sweep state is 10k, so roughly a third of mutating calls revert,
+covering the revert paths' RW-sets too."""
+
+_DEFAULT_BALANCE = 10_000
+_SWEEP_GAS_LIMIT = 1_000_000
+
+
+@dataclass(frozen=True)
+class ShippedContract:
+    """One contract the repo deploys, with everything the analyzer needs."""
+
+    name: str
+    assembly: Mapping[str, str]
+    arities: Mapping[str, int]
+    key_renderer: KeyRenderer
+
+
+def shipped_contracts() -> tuple[ShippedContract, ...]:
+    """Every contract deployed by the repo, in deterministic order."""
+    return (
+        ShippedContract(
+            name=SMALLBANK_NAME,
+            assembly=SMALLBANK_ASSEMBLY,
+            arities=SMALLBANK_ARITIES,
+            key_renderer=smallbank_key_renderer,
+        ),
+        ShippedContract(
+            name=TOKEN_NAME,
+            assembly=TOKEN_ASSEMBLY,
+            arities=TOKEN_ARITIES,
+            key_renderer=token_key_renderer,
+        ),
+    )
+
+
+def verify_shipped_contract(contract: ShippedContract) -> dict[str, MethodReport]:
+    """Verify every method, with assembler debug info threaded through."""
+    units = {
+        method: assemble_with_debug(source)
+        for method, source in contract.assembly.items()
+    }
+    return verify_contract(
+        contract.name,
+        {method: unit.code for method, unit in units.items()},
+        arities=contract.arities,
+        debug={method: unit.lines for method, unit in units.items()},
+    )
+
+
+@dataclass(frozen=True)
+class ContainmentFailure:
+    """One execution whose observed RW-set escaped the static set."""
+
+    contract: str
+    method: str
+    args: tuple[int, ...]
+    caller: int
+    result: ContainmentResult
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "contract": self.contract,
+            "method": self.method,
+            "args": list(self.args),
+            "caller": self.caller,
+            "missing_reads": sorted(self.result.missing_reads),
+            "missing_writes": sorted(self.result.missing_writes),
+        }
+
+
+@dataclass
+class SweepResult:
+    """Outcome of a containment sweep over one contract."""
+
+    contract: str
+    reports: dict[str, MethodReport]
+    executions: int = 0
+    reverted: int = 0
+    failures: list[ContainmentFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """All methods verified clean and no containment violations."""
+        return not self.failures and all(r.ok for r in self.reports.values())
+
+
+def sample_args(arity: int, rng: random.Random) -> tuple[int, ...]:
+    """One random argument vector: ids and amounts, interleaved odds."""
+    values: list[int] = []
+    for _ in range(arity):
+        if rng.random() < 0.5:
+            values.append(rng.randrange(_SWEEP_IDS))
+        else:
+            values.append(rng.randrange(_SWEEP_AMOUNT))
+    return tuple(values)
+
+
+def run_containment_sweep(
+    contract: ShippedContract,
+    *,
+    sweeps: int = 40,
+    seed: int = 0,
+) -> SweepResult:
+    """Execute each method ``sweeps`` times and check static ⊇ dynamic."""
+    reports = verify_shipped_contract(contract)
+    bytecode = {
+        method: assemble_with_debug(source).code
+        for method, source in contract.assembly.items()
+    }
+    result = SweepResult(contract=contract.name, reports=reports)
+    vm = SVM()
+    for method in sorted(bytecode):
+        report = reports[method]
+        arity = contract.arities[method]
+        rng = random.Random((seed, contract.name, method).__repr__())
+        for _ in range(sweeps):
+            args = sample_args(arity, rng)
+            caller = rng.randrange(_SWEEP_IDS)
+            storage = LoggedStorage(lambda _address: _DEFAULT_BALANCE)
+            context = ExecutionContext(
+                storage=storage,
+                args=args,
+                caller=caller,
+                gas_limit=_SWEEP_GAS_LIMIT,
+                key_renderer=contract.key_renderer,
+            )
+            receipt = vm.execute(bytecode[method], context)
+            result.executions += 1
+            if receipt.error == "reverted":
+                result.reverted += 1
+            containment = check_containment(
+                report, receipt.rwset, args, caller, contract.key_renderer
+            )
+            if not containment.ok:
+                result.failures.append(
+                    ContainmentFailure(
+                        contract=contract.name,
+                        method=method,
+                        args=args,
+                        caller=caller,
+                        result=containment,
+                    )
+                )
+    return result

@@ -1,0 +1,416 @@
+"""Determinism/concurrency linter for consensus-critical Python.
+
+Every replica must derive bit-identical state roots from the same DAG,
+so the Python that builds blocks, orders transactions, and commits state
+(``src/repro/core``, ``dag``, ``state``, ``node``) must be deterministic
+and process-pool safe.  This AST pass flags the failure modes that have
+actually bitten DAG-ledger reproductions:
+
+* ``ND101`` — iterating an *unordered* ``set``/``frozenset`` into
+  ordered output (hashes, lists, joins).  Python string hashing is
+  randomized per process, so set order differs between replicas.
+* ``ND102`` — wall-clock reads (``time.time``, ``datetime.now``) in a
+  consensus path.  (Monotonic clocks like ``time.perf_counter`` are
+  allowed: the repo uses them for phase metrics that never feed
+  committed state.)
+* ``ND103`` — the process-global ``random`` module (or an unseeded
+  ``random.Random()``): different replicas draw different values.
+* ``ND104`` — mutable default arguments: cross-call shared state that
+  makes outcomes depend on call history.
+* ``ND105`` — lambdas or nested functions shipped to a *process* pool:
+  they cannot pickle, so the process execution backend would crash at
+  dispatch time (thread pools are exempt — nothing pickles).
+
+Suppression: append ``# nd: ignore`` to silence every rule on a line,
+or ``# nd: ignore[ND102]`` (comma-separated codes) to silence specific
+rules; a ``# nd: ignore-file`` comment in the first five lines skips the
+whole file.  Suppressions are expected to carry a justification comment.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+RULES: dict[str, str] = {
+    "ND101": "unordered set iteration feeds ordered output",
+    "ND102": "wall-clock read in a consensus path",
+    "ND103": "process-global or unseeded random number generator",
+    "ND104": "mutable default argument",
+    "ND105": "unpicklable callable shipped to a process pool",
+}
+
+DEFAULT_LINT_PACKAGES: tuple[str, ...] = ("core", "dag", "state", "node")
+"""``repro`` sub-packages whose determinism is consensus-critical."""
+
+_IGNORE_LINE = re.compile(r"#\s*nd:\s*ignore(?:\[(?P<codes>[A-Z0-9,\s]+)\])?")
+_IGNORE_FILE = re.compile(r"#\s*nd:\s*ignore-file")
+
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.localtime",
+        "time.ctime",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+    }
+)
+
+_GLOBAL_RANDOM_FNS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "getrandbits",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "gauss",
+        "normalvariate",
+        "betavariate",
+        "seed",
+    }
+)
+
+_POOL_CONSTRUCTORS = frozenset({"ProcessPoolExecutor", "Pool"})
+_POOL_DISPATCH = frozenset(
+    {"submit", "map", "apply", "apply_async", "imap", "imap_unordered", "starmap"}
+)
+_ORDERING_SINKS = frozenset({"tuple", "list", "iter", "enumerate", "next"})
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One determinism-lint diagnostic."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+def _dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for nested Attribute/Name chains, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: str, select: frozenset[str]) -> None:
+        self.path = path
+        self.select = select
+        self.findings: list[LintFinding] = []
+        self._function_depth = 0
+        self._nested_function_names: set[str] = set()
+        self._random_imports: set[str] = set()
+        self._process_pools: set[str] = set()
+
+    # ------------------------------------------------------------- helpers
+
+    def _flag(self, rule: str, node: ast.AST, message: str) -> None:
+        if rule not in self.select:
+            return
+        self.findings.append(
+            LintFinding(
+                rule=rule,
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+            )
+        )
+
+    def _is_set_typed(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            callee = _dotted_name(node.func)
+            if callee in ("set", "frozenset"):
+                return True
+            if isinstance(node.func, ast.Attribute) and node.func.attr in (
+                "union",
+                "intersection",
+                "difference",
+                "symmetric_difference",
+            ):
+                return self._is_set_typed(node.func.value)
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._is_set_typed(node.left) or self._is_set_typed(node.right)
+        return False
+
+    def _check_unordered_iteration(self, iterable: ast.AST, site: ast.AST) -> None:
+        if self._is_set_typed(iterable):
+            self._flag(
+                "ND101",
+                site,
+                "iteration order of a set is not deterministic across "
+                "processes; wrap the expression in sorted(...)",
+            )
+
+    # ------------------------------------------------------------- imports
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name in _GLOBAL_RANDOM_FNS:
+                    self._random_imports.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    # ------------------------------------------------------- ND101 sinks
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_unordered_iteration(node.iter, node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_unordered_iteration(node.iter, node.iter)
+        self.generic_visit(node)
+
+    # ----------------------------------------------------------- functions
+
+    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        if self._function_depth > 0:
+            self._nested_function_names.add(node.name)
+        for default in [*node.args.defaults, *node.args.kw_defaults]:
+            if default is None:
+                continue
+            if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+                self._flag(
+                    "ND104",
+                    default,
+                    f"mutable default argument in {node.name}(); "
+                    "default to None and allocate inside the function",
+                )
+            elif isinstance(default, ast.Call) and _dotted_name(default.func) in (
+                "list",
+                "dict",
+                "set",
+                "bytearray",
+                "collections.defaultdict",
+                "defaultdict",
+            ):
+                self._flag(
+                    "ND104",
+                    default,
+                    f"mutable default argument in {node.name}(); "
+                    "default to None and allocate inside the function",
+                )
+        self._function_depth += 1
+        self.generic_visit(node)
+        self._function_depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    # ------------------------------------------------------- pool tracking
+
+    def _is_process_pool_constructor(self, node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        name = _dotted_name(node.func)
+        if name is None:
+            # e.g. multiprocessing.get_context("fork").Pool(...)
+            return (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _POOL_CONSTRUCTORS
+            )
+        return name.rsplit(".", 1)[-1] in _POOL_CONSTRUCTORS
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._is_process_pool_constructor(node.value):
+            for target in node.targets:
+                dotted = _dotted_name(target)
+                if dotted is not None:
+                    self._process_pools.add(dotted)
+        self.generic_visit(node)
+
+    def _is_unpicklable_callable(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Lambda):
+            return True
+        if isinstance(node, ast.Name) and node.id in self._nested_function_names:
+            return True
+        return False
+
+    # ---------------------------------------------------------- call sites
+
+    def visit_Call(self, node: ast.Call) -> None:
+        callee = _dotted_name(node.func)
+
+        # ND101: set-typed expression materialized into ordered output.
+        if callee in _ORDERING_SINKS and node.args:
+            self._check_unordered_iteration(node.args[0], node)
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+            and node.args
+        ):
+            self._check_unordered_iteration(node.args[0], node)
+
+        # ND102: wall-clock reads.
+        if callee is not None:
+            suffix = callee.split(".", 1)[-1] if "." in callee else callee
+            if callee in _WALL_CLOCK_CALLS or suffix in _WALL_CLOCK_CALLS:
+                self._flag(
+                    "ND102",
+                    node,
+                    f"{callee}() is wall-clock and differs between replicas; "
+                    "consensus paths must derive time from block metadata",
+                )
+
+        # ND103: the process-global RNG, or an unseeded Random().
+        if callee is not None and "." in callee:
+            head, _, tail = callee.partition(".")
+            if head == "random" and tail in _GLOBAL_RANDOM_FNS:
+                self._flag(
+                    "ND103",
+                    node,
+                    f"{callee}() uses the process-global RNG; use an "
+                    "explicitly seeded random.Random(seed) instance",
+                )
+            if head == "random" and tail == "Random" and not node.args:
+                self._flag(
+                    "ND103",
+                    node,
+                    "random.Random() without a seed draws from OS entropy; "
+                    "pass an explicit seed",
+                )
+        elif callee in self._random_imports:
+            self._flag(
+                "ND103",
+                node,
+                f"{callee}() was imported from the random module and uses "
+                "the process-global RNG; use a seeded random.Random(seed)",
+            )
+
+        # ND105: unpicklable callables crossing the process boundary.
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _POOL_DISPATCH
+            and _dotted_name(node.func.value) in self._process_pools
+        ):
+            for argument in node.args:
+                if self._is_unpicklable_callable(argument):
+                    self._flag(
+                        "ND105",
+                        argument,
+                        "lambda/nested function cannot pickle into a "
+                        "process pool; pass a module-level function",
+                    )
+        if callee is not None and callee.rsplit(".", 1)[-1] == "Process":
+            for keyword in node.keywords:
+                if keyword.arg == "target" and self._is_unpicklable_callable(
+                    keyword.value
+                ):
+                    self._flag(
+                        "ND105",
+                        keyword.value,
+                        "lambda/nested function cannot pickle as a Process "
+                        "target; pass a module-level function",
+                    )
+        self.generic_visit(node)
+
+
+def _suppressed_rules(line_text: str) -> frozenset[str] | None:
+    """Rules suppressed on a line: empty set = all, None = none."""
+    match = _IGNORE_LINE.search(line_text)
+    if match is None:
+        return None
+    codes = match.group("codes")
+    if codes is None:
+        return frozenset()
+    return frozenset(code.strip() for code in codes.split(",") if code.strip())
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    select: Iterable[str] | None = None,
+) -> list[LintFinding]:
+    """Lint one module's source text, honouring suppression comments."""
+    selected = frozenset(RULES) if select is None else frozenset(select)
+    lines = source.splitlines()
+    for early in lines[:5]:
+        if _IGNORE_FILE.search(early):
+            return []
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            LintFinding(
+                rule="ND100",
+                path=path,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    linter = _Linter(path, selected)
+    linter.visit(tree)
+    kept: list[LintFinding] = []
+    for finding in sorted(linter.findings, key=lambda f: (f.line, f.col, f.rule)):
+        line_text = lines[finding.line - 1] if finding.line - 1 < len(lines) else ""
+        suppressed = _suppressed_rules(line_text)
+        if suppressed is not None and (not suppressed or finding.rule in suppressed):
+            continue
+        kept.append(finding)
+    return kept
+
+
+def lint_paths(
+    paths: Sequence[Path | str],
+    *,
+    select: Iterable[str] | None = None,
+) -> list[LintFinding]:
+    """Lint files and directory trees (``*.py``, deterministic order)."""
+    findings: list[LintFinding] = []
+    for entry in paths:
+        root = Path(entry)
+        if root.is_dir():
+            files = sorted(root.rglob("*.py"))
+        else:
+            files = [root]
+        for file in files:
+            findings.extend(
+                lint_source(
+                    file.read_text(encoding="utf-8"), str(file), select=select
+                )
+            )
+    return findings
+
+
+def default_lint_paths(repo_src: Path) -> list[Path]:
+    """The consensus-critical packages under a ``src/repro`` root."""
+    return [repo_src / package for package in DEFAULT_LINT_PACKAGES]

@@ -1,0 +1,116 @@
+"""Rendering for static-analysis results: human tables and JSON.
+
+The CLI (``repro-nezha analyze``) and the CI gate share these renderers
+so the machine-readable report is always generated from the same data
+the human-readable one is.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping, Sequence
+
+from repro.analysis.static.contracts import SweepResult
+from repro.analysis.static.lint import RULES, LintFinding
+
+
+def bytecode_report_json(
+    sweeps: Sequence[SweepResult], *, containment_checked: bool
+) -> str:
+    """The ``analyze bytecode`` JSON document."""
+    payload: dict[str, object] = {
+        "report": "svm-bytecode-verifier",
+        "ok": all(s.ok for s in sweeps),
+        "containment_checked": containment_checked,
+        "contracts": [
+            {
+                "contract": sweep.contract,
+                "ok": sweep.ok,
+                "executions": sweep.executions,
+                "reverted": sweep.reverted,
+                "containment_failures": [f.to_json() for f in sweep.failures],
+                "methods": [
+                    sweep.reports[m].to_json() for m in sorted(sweep.reports)
+                ],
+            }
+            for sweep in sweeps
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def bytecode_report_text(
+    sweeps: Sequence[SweepResult], *, containment_checked: bool
+) -> str:
+    """Human-readable summary of the verifier run."""
+    lines: list[str] = []
+    for sweep in sweeps:
+        lines.append(f"contract {sweep.contract}:")
+        for method in sorted(sweep.reports):
+            report = sweep.reports[method]
+            verdict = "ok" if report.ok else "REJECTED"
+            gas = "unbounded" if report.gas_unbounded else str(report.gas_bound)
+            reads = ", ".join(repr(k) for k in report.static_reads) or "-"
+            writes = ", ".join(repr(k) for k in report.static_writes) or "-"
+            lines.append(
+                f"  {method}: {verdict}  blocks={report.block_count} "
+                f"gas<={gas} stack<={report.max_stack_depth}"
+            )
+            lines.append(f"    reads:  {reads}")
+            lines.append(f"    writes: {writes}")
+            for finding in report.findings:
+                where = f"pc {finding.pc}" if finding.pc is not None else "-"
+                if finding.line is not None:
+                    where += f" (line {finding.line})"
+                lines.append(
+                    f"    {finding.code} {finding.severity} @ {where}: "
+                    f"{finding.message}"
+                )
+        if containment_checked:
+            status = "ok" if not sweep.failures else "VIOLATED"
+            lines.append(
+                f"  containment (static ⊇ dynamic): {status} over "
+                f"{sweep.executions} executions ({sweep.reverted} reverted)"
+            )
+            for failure in sweep.failures:
+                lines.append(
+                    f"    {failure.method}{failure.args} caller={failure.caller}: "
+                    f"missing reads {sorted(failure.result.missing_reads)} "
+                    f"writes {sorted(failure.result.missing_writes)}"
+                )
+    return "\n".join(lines)
+
+
+def lint_report_json(
+    findings: Sequence[LintFinding], *, paths: Sequence[str]
+) -> str:
+    """The ``analyze lint`` JSON document."""
+    payload: dict[str, object] = {
+        "report": "determinism-lint",
+        "ok": not findings,
+        "paths": list(paths),
+        "rules": dict(RULES),
+        "findings": [finding.to_json() for finding in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def lint_report_text(
+    findings: Sequence[LintFinding], *, paths: Sequence[str]
+) -> str:
+    """Human-readable lint summary."""
+    if not findings:
+        scanned = ", ".join(paths)
+        return f"determinism lint clean over {scanned}"
+    lines = [finding.render() for finding in findings]
+    counts: Mapping[str, int] = _count_by_rule(findings)
+    summary = ", ".join(f"{rule}: {count}" for rule, count in sorted(counts.items()))
+    lines.append(f"{len(findings)} finding(s) ({summary})")
+    return "\n".join(lines)
+
+
+def _count_by_rule(findings: Sequence[LintFinding]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return counts

@@ -1,0 +1,215 @@
+"""SVM bytecode verifier: the user-facing facade.
+
+Ties the decoder, abstract interpreter, and CFG analyses together into a
+:class:`MethodReport` per bytecode unit, and implements the containment
+check that anchors Nezha's correctness story: the verifier's *static*
+read/write key sets must be a superset of whatever ``LoggedStorage``
+observes when the same method actually executes (static ⊇ dynamic).  An
+under-declared write would be a serializability hole the ACG sorter can
+never repair, so the check runs over every shipped contract in CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.txn.rwset import RWSet
+from repro.vm.decoder import decode
+from repro.vm.machine import KeyRenderer, default_key_renderer
+
+from repro.analysis.static.absdomain import AbsVal, evaluate, is_exact
+from repro.analysis.static.absint import (
+    UNREACHABLE_CODE,
+    Finding,
+    interpret,
+)
+from repro.analysis.static.cfg import CFG, build_cfg, gas_bound, unreachable_ranges
+
+
+@dataclass(frozen=True)
+class MethodReport:
+    """Verification result for one bytecode unit (one contract method)."""
+
+    contract: str | None
+    method: str | None
+    code_size: int
+    instruction_count: int
+    block_count: int
+    ok: bool
+    """True when no error-severity finding was raised."""
+    findings: tuple[Finding, ...]
+    gas_bound: int | None
+    """Worst-case acyclic-path gas; ``None`` means unbounded (cycles)."""
+    max_stack_depth: int
+    static_reads: tuple[AbsVal, ...]
+    static_writes: tuple[AbsVal, ...]
+
+    @property
+    def gas_unbounded(self) -> bool:
+        return self.gas_bound is None
+
+    @property
+    def reads_exact(self) -> bool:
+        """Whether every read key concretizes to one key per input."""
+        return all(is_exact(key) for key in self.static_reads)
+
+    @property
+    def writes_exact(self) -> bool:
+        """Whether every write key concretizes to one key per input."""
+        return all(is_exact(key) for key in self.static_writes)
+
+    def concrete_keys(
+        self, args: tuple[int, ...], caller: int = 0
+    ) -> tuple[set[int] | None, set[int] | None]:
+        """Static key sets under concrete inputs.
+
+        ``None`` means the corresponding set widened to the full key
+        space (some key was not statically evaluable), which is still a
+        sound — if useless — over-approximation.
+        """
+        reads = _concretize(self.static_reads, args, caller)
+        writes = _concretize(self.static_writes, args, caller)
+        return reads, writes
+
+    def static_addresses(
+        self,
+        args: tuple[int, ...],
+        caller: int = 0,
+        key_renderer: KeyRenderer = default_key_renderer,
+    ) -> tuple[set[str] | None, set[str] | None]:
+        """Static key sets rendered through the contract's key renderer."""
+        reads, writes = self.concrete_keys(args, caller)
+        rendered_reads = None if reads is None else {key_renderer(k) for k in reads}
+        rendered_writes = None if writes is None else {key_renderer(k) for k in writes}
+        return rendered_reads, rendered_writes
+
+    def to_json(self) -> dict[str, object]:
+        """Machine-readable summary (the ``analyze bytecode`` report)."""
+        return {
+            "contract": self.contract,
+            "method": self.method,
+            "ok": self.ok,
+            "code_size": self.code_size,
+            "instruction_count": self.instruction_count,
+            "block_count": self.block_count,
+            "gas_bound": self.gas_bound,
+            "gas_unbounded": self.gas_unbounded,
+            "max_stack_depth": self.max_stack_depth,
+            "static_reads": [repr(key) for key in self.static_reads],
+            "static_writes": [repr(key) for key in self.static_writes],
+            "reads_exact": self.reads_exact,
+            "writes_exact": self.writes_exact,
+            "findings": [finding.to_json() for finding in self.findings],
+        }
+
+
+def _concretize(
+    keys: tuple[AbsVal, ...], args: tuple[int, ...], caller: int
+) -> set[int] | None:
+    concrete: set[int] = set()
+    for key in keys:
+        value = evaluate(key, args, caller)
+        if value is None:
+            return None
+        concrete.add(value)
+    return concrete
+
+
+def verify_bytecode(
+    code: bytes,
+    *,
+    contract: str | None = None,
+    method: str | None = None,
+    nargs: int | None = None,
+    debug: dict[int, int] | None = None,
+) -> MethodReport:
+    """Statically verify one bytecode unit."""
+    layout = decode(code)
+    result = interpret(layout, nargs=nargs, debug=debug)
+    cfg: CFG = build_cfg(layout, result)
+    findings = list(result.findings)
+    for start, end in unreachable_ranges(layout, result.visited):
+        findings.append(
+            Finding(
+                UNREACHABLE_CODE,
+                "warning",
+                f"unreachable code at pc {start}..{end}",
+                start,
+                (debug or {}).get(start),
+            )
+        )
+    findings.sort(key=lambda f: (f.pc if f.pc is not None else -1, f.code))
+    ok = all(finding.severity != "error" for finding in findings)
+    bound = gas_bound(cfg) if ok else None
+    return MethodReport(
+        contract=contract,
+        method=method,
+        code_size=len(code),
+        instruction_count=len(layout.instructions),
+        block_count=cfg.block_count,
+        ok=ok,
+        findings=tuple(findings),
+        gas_bound=bound,
+        max_stack_depth=result.max_stack_depth,
+        static_reads=tuple(result.reads),
+        static_writes=tuple(result.writes),
+    )
+
+
+def verify_contract(
+    name: str,
+    functions: Mapping[str, bytes],
+    *,
+    arities: Mapping[str, int] | None = None,
+    debug: Mapping[str, dict[int, int]] | None = None,
+) -> dict[str, MethodReport]:
+    """Verify every method of a deployed contract."""
+    reports: dict[str, MethodReport] = {}
+    for method in sorted(functions):
+        reports[method] = verify_bytecode(
+            functions[method],
+            contract=name,
+            method=method,
+            nargs=None if arities is None else arities.get(method),
+            debug=None if debug is None else debug.get(method),
+        )
+    return reports
+
+
+@dataclass(frozen=True)
+class ContainmentResult:
+    """Outcome of one static ⊇ dynamic RW-set comparison."""
+
+    ok: bool
+    missing_reads: frozenset[str] = field(default_factory=frozenset)
+    """Addresses the execution read that the static set does not cover."""
+    missing_writes: frozenset[str] = field(default_factory=frozenset)
+    """Addresses the execution wrote that the static set does not cover."""
+
+
+def check_containment(
+    report: MethodReport,
+    observed: RWSet,
+    args: tuple[int, ...],
+    caller: int = 0,
+    key_renderer: KeyRenderer = default_key_renderer,
+) -> ContainmentResult:
+    """Check static ⊇ dynamic for one concrete execution.
+
+    ``observed`` is the RW-set ``LoggedStorage`` recorded while running
+    the same method with the same ``args``/``caller``.  A widened static
+    set (``None``) trivially contains everything and passes.
+    """
+    static_reads, static_writes = report.static_addresses(args, caller, key_renderer)
+    missing_reads: frozenset[str] = frozenset()
+    missing_writes: frozenset[str] = frozenset()
+    if static_reads is not None:
+        missing_reads = frozenset(set(observed.reads) - static_reads)
+    if static_writes is not None:
+        missing_writes = frozenset(set(observed.writes) - static_writes)
+    return ContainmentResult(
+        ok=not missing_reads and not missing_writes,
+        missing_reads=missing_reads,
+        missing_writes=missing_writes,
+    )

@@ -82,6 +82,48 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_args(hotspots)
     hotspots.add_argument("--top", type=int, default=10, help="hot addresses to list")
 
+    analyze = sub.add_parser(
+        "analyze", help="static analysis: bytecode verifier and determinism lint"
+    )
+    analyze_sub = analyze.add_subparsers(dest="analyze_command", required=True)
+    bytecode = analyze_sub.add_parser(
+        "bytecode", help="verify shipped contract bytecode (stack/jump/gas/RW-sets)"
+    )
+    bytecode.add_argument(
+        "--contract",
+        choices=("all", "smallbank", "token"),
+        default="all",
+        help="contract to verify",
+    )
+    bytecode.add_argument(
+        "--check-containment",
+        action="store_true",
+        help="also execute a seeded argument sweep and assert the static "
+        "RW key sets contain every observed LoggedStorage RW-set",
+    )
+    bytecode.add_argument(
+        "--sweeps", type=int, default=40, help="executions per method in the sweep"
+    )
+    bytecode.add_argument("--seed", type=int, default=0, help="sweep PRNG seed")
+    bytecode.add_argument(
+        "--json", action="store_true", help="emit the machine-readable report"
+    )
+    lint = analyze_sub.add_parser(
+        "lint", help="determinism/concurrency lint over consensus-critical Python"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories (default: the consensus-critical "
+        "repro packages: core, dag, state, node)",
+    )
+    lint.add_argument(
+        "--select", default=None, help="comma-separated rule codes (default: all)"
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="emit the machine-readable report"
+    )
+
     trace = sub.add_parser("trace", help="record, inspect, and replay workload traces")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
     record = trace_sub.add_parser("record", help="generate and save a trace")
@@ -279,6 +321,62 @@ def cmd_hotspots(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_analyze(args: argparse.Namespace) -> int:
+    if args.analyze_command == "bytecode":
+        return _analyze_bytecode(args)
+    return _analyze_lint(args)
+
+
+def _analyze_bytecode(args: argparse.Namespace) -> int:
+    from repro.analysis.static import run_containment_sweep, shipped_contracts
+    from repro.analysis.static.contracts import SweepResult, verify_shipped_contract
+    from repro.analysis.static.report import bytecode_report_json, bytecode_report_text
+
+    sweeps = []
+    for contract in shipped_contracts():
+        if args.contract != "all" and contract.name != args.contract:
+            continue
+        if args.check_containment:
+            sweeps.append(
+                run_containment_sweep(contract, sweeps=args.sweeps, seed=args.seed)
+            )
+        else:
+            sweeps.append(
+                SweepResult(
+                    contract=contract.name,
+                    reports=verify_shipped_contract(contract),
+                )
+            )
+    if args.json:
+        print(bytecode_report_json(sweeps, containment_checked=args.check_containment))
+    else:
+        print(bytecode_report_text(sweeps, containment_checked=args.check_containment))
+    return 0 if all(sweep.ok for sweep in sweeps) else 1
+
+
+def _analyze_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    import repro
+    from repro.analysis.static import default_lint_paths, lint_paths
+    from repro.analysis.static.report import lint_report_json, lint_report_text
+
+    if args.paths:
+        paths = [Path(p) for p in args.paths]
+    else:
+        paths = default_lint_paths(Path(repro.__file__).resolve().parent)
+    select = None
+    if args.select:
+        select = [code.strip() for code in args.select.split(",") if code.strip()]
+    findings = lint_paths(paths, select=select)
+    rendered_paths = [str(p) for p in paths]
+    if args.json:
+        print(lint_report_json(findings, paths=rendered_paths))
+    else:
+        print(lint_report_text(findings, paths=rendered_paths))
+    return 0 if not findings else 1
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro.workload.trace import load_trace, save_trace, trace_info
 
@@ -318,6 +416,7 @@ COMMANDS = {
     "simulate": cmd_simulate,
     "conflicts": cmd_conflicts,
     "hotspots": cmd_hotspots,
+    "analyze": cmd_analyze,
     "trace": cmd_trace,
 }
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import enum
 import heapq
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 from repro.core.acg import ACG, DenseACG
 from repro.txn.rwset import Address
@@ -256,7 +256,7 @@ def _pop_cycle_breaker(
     cycle_heap: list[tuple[int, int, Address]],
     removed: set[Address],
     in_degree: Mapping[Address, int],
-    score,
+    score: Callable[[Address], int],
 ) -> Address:
     """Pop the live entry with minimum (in-degree, -score, address).
 

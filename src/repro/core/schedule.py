@@ -9,7 +9,7 @@ serial schedule is simply one transaction per group.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Mapping, Sequence
 
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import hashlib
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ChainError
 from repro.txn.transaction import Transaction

@@ -21,7 +21,6 @@ from repro.dag.chain import ParallelChains
 from repro.dag.mempool import Mempool
 from repro.dag.pow import PoWParams, chain_assignment, mine
 from repro.errors import ChainError
-from repro.txn.transaction import Transaction
 
 MAX_EPOCH_CANDIDATES = 10_000
 

@@ -49,6 +49,19 @@ class InvalidOpcode(ExecutionError):
     """The virtual machine encountered an unknown or malformed instruction."""
 
 
+class InvalidJump(ExecutionError):
+    """A jump targeted a pc outside the code or inside an immediate.
+
+    Landing inside a ``PUSH``/``ARG``/``DUP``/``SWAP`` immediate would
+    execute operand bytes as opcodes; both the interpreter and the static
+    verifier reject such targets against the same instruction-boundary set.
+    """
+
+
+class TruncatedBytecode(ExecutionError):
+    """An instruction's immediate operand runs past the end of the code."""
+
+
 class AssemblyError(ReproError):
     """SVM assembly source could not be assembled into bytecode."""
 

@@ -12,7 +12,7 @@ agreement after every epoch.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.dag.chain import ParallelChains

@@ -21,7 +21,7 @@ blockchains do.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Protocol, Sequence
 
 from repro.core.schedule import Schedule

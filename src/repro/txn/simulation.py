@@ -10,7 +10,7 @@ these summaries.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Mapping
 
 from repro.txn.rwset import Address, RWSet

@@ -1,6 +1,7 @@
 """SVM: the stack-machine execution engine (EVM substitute)."""
 
-from repro.vm.assembler import assemble, disassemble
+from repro.vm.assembler import AssembledUnit, assemble, assemble_with_debug, disassemble
+from repro.vm.decoder import BytecodeLayout, Instruction, decode
 from repro.vm.logger import LoggedStorage
 from repro.vm.machine import (
     DEFAULT_GAS_LIMIT,
@@ -13,9 +14,12 @@ from repro.vm.native import ContractRegistry, NativeContract
 from repro.vm.opcodes import Op, WORD_MASK, op_info
 
 __all__ = [
+    "AssembledUnit",
+    "BytecodeLayout",
     "ContractRegistry",
     "DEFAULT_GAS_LIMIT",
     "ExecutionContext",
+    "Instruction",
     "LoggedStorage",
     "NativeContract",
     "Op",
@@ -23,6 +27,8 @@ __all__ = [
     "SVM",
     "WORD_MASK",
     "assemble",
+    "assemble_with_debug",
+    "decode",
     "default_key_renderer",
     "disassemble",
     "op_info",

@@ -14,6 +14,7 @@ offsets, the second emits bytes with labels resolved.
 from __future__ import annotations
 
 import struct
+from dataclasses import dataclass
 
 from repro.errors import AssemblyError
 from repro.vm.opcodes import Op, op_info
@@ -21,17 +22,40 @@ from repro.vm.opcodes import Op, op_info
 _PUSH_IMM = struct.Struct("<Q")
 
 
+@dataclass(frozen=True)
+class AssembledUnit:
+    """Bytecode plus debug info mapping each instruction pc to its line.
+
+    The static verifier threads ``lines`` through its findings so that a
+    diagnostic on bytecode offset 17 can point back at the assembly
+    source line that emitted it.
+    """
+
+    code: bytes
+    lines: dict[int, int]
+    """pc of each emitted instruction -> 1-based source line number."""
+
+
 def assemble(source: str) -> bytes:
     """Assemble SVM source text into bytecode."""
+    return assemble_with_debug(source).code
+
+
+def assemble_with_debug(source: str) -> AssembledUnit:
+    """Assemble SVM source text, keeping a pc -> source-line map."""
     statements = _parse(source)
     labels = _collect_labels(statements)
     code = bytearray()
+    lines: dict[int, int] = {}
     for kind, payload, line_no in statements:
         if kind == "label":
             continue
+        assert isinstance(payload, tuple)
         mnemonic, operand = payload
         op = _lookup(mnemonic, line_no)
         info = op_info(op)
+        assert info is not None
+        lines[len(code)] = line_no
         code.append(int(op))
         if info.immediate_size == 0:
             if operand is not None:
@@ -48,11 +72,14 @@ def assemble(source: str) -> bytes:
                     f"line {line_no}: operand {value} out of byte range"
                 )
             code.append(value)
-    return bytes(code)
+    return AssembledUnit(code=bytes(code), lines=lines)
 
 
-def _parse(source: str) -> list[tuple[str, object, int]]:
-    statements: list[tuple[str, object, int]] = []
+_Statement = tuple[str, "str | tuple[str, str | None]", int]
+
+
+def _parse(source: str) -> list[_Statement]:
+    statements: list[_Statement] = []
     for line_no, raw in enumerate(source.splitlines(), start=1):
         line = raw.split(";", 1)[0].strip()
         if not line:
@@ -72,18 +99,20 @@ def _parse(source: str) -> list[tuple[str, object, int]]:
     return statements
 
 
-def _collect_labels(statements: list[tuple[str, object, int]]) -> dict[str, int]:
+def _collect_labels(statements: list[_Statement]) -> dict[str, int]:
     labels: dict[str, int] = {}
     offset = 0
     for kind, payload, line_no in statements:
         if kind == "label":
-            name = payload
-            if name in labels:
-                raise AssemblyError(f"line {line_no}: duplicate label {name!r}")
-            labels[name] = offset
+            assert isinstance(payload, str)
+            if payload in labels:
+                raise AssemblyError(f"line {line_no}: duplicate label {payload!r}")
+            labels[payload] = offset
             continue
+        assert isinstance(payload, tuple)
         mnemonic, _ = payload
         info = op_info(_lookup(mnemonic, line_no))
+        assert info is not None
         offset += 1 + info.immediate_size
     return labels
 

@@ -251,6 +251,18 @@ SMALLBANK_ASSEMBLY: dict[str, str] = {
     "getBalance": _GET_BALANCE_ASM,
 }
 
+SMALLBANK_ARITIES: dict[str, int] = {
+    "updateSavings": 2,
+    "updateBalance": 2,
+    "sendPayment": 3,
+    "writeCheck": 2,
+    "almagate": 2,
+    "getBalance": 1,
+}
+"""Declared argument count per method; the static verifier bounds
+``ARG`` indices against these, mirroring the interpreter's runtime
+range check."""
+
 
 def compile_smallbank() -> dict[str, bytes]:
     """Assemble every SmallBank function into bytecode."""

@@ -179,6 +179,9 @@ RETURN
 _TRANSFER_FROM_ASM = """
 ; transferFrom(owner, to, amount) by CALLER
 ; allowance key = (1<<40) | owner<<20 | caller
+; The two guards revert through separate labels: the static verifier
+; requires a consistent stack depth at every join point, and the guards
+; fire at depths 2 and 3.
 ARG 0
 PUSH 1048576
 MUL
@@ -199,7 +202,7 @@ SLOAD           ; [alwk, allowance, ownerbal]
 DUP 1
 ARG 2
 LT
-PUSH @fail
+PUSH @fail_deep
 SWAP 1
 JUMPI           ; [alwk, allowance, ownerbal]
 ; balances[owner] = ownerbal - amount
@@ -222,6 +225,8 @@ SSTORE
 PUSH 1
 RETURN
 fail:
+REVERT
+fail_deep:
 REVERT
 """
 
@@ -247,6 +252,18 @@ TOKEN_ASSEMBLY: dict[str, str] = {
     "balanceOf": _BALANCE_OF_ASM,
     "totalSupply": _TOTAL_SUPPLY_ASM,
 }
+
+TOKEN_ARITIES: dict[str, int] = {
+    "mint": 2,
+    "transfer": 2,
+    "approve": 2,
+    "transferFrom": 3,
+    "balanceOf": 1,
+    "totalSupply": 0,
+}
+"""Declared argument count per method; the static verifier bounds
+``ARG`` indices against these, mirroring the interpreter's runtime
+range check."""
 
 
 def compile_token() -> dict[str, bytes]:

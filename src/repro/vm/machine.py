@@ -13,8 +13,16 @@ import struct
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.errors import ExecutionError, InvalidOpcode, OutOfGas, VMRevert
+from repro.errors import (
+    ExecutionError,
+    InvalidJump,
+    InvalidOpcode,
+    OutOfGas,
+    TruncatedBytecode,
+    VMRevert,
+)
 from repro.txn.rwset import Address, RWSet
+from repro.vm.decoder import BytecodeLayout, decode, truncation_message
 from repro.vm.logger import LoggedStorage
 from repro.vm.opcodes import WORD_MASK, Op, op_info
 
@@ -106,6 +114,11 @@ class SVM:
         gas_used = 0
         steps = 0
         size = len(code)
+        # One cached structural scan per bytecode unit: yields the set of
+        # valid instruction boundaries (the only legal jump targets) and
+        # the location of any truncated trailing immediate.
+        layout = decode(code)
+        truncated_pc = layout.truncated_pc
         while pc < size:
             steps += 1
             if steps > MAX_STEPS:
@@ -114,6 +127,10 @@ class SVM:
             info = op_info(opcode)
             if info is None:
                 raise InvalidOpcode(f"unknown opcode 0x{opcode:02x} at pc {pc}")
+            if pc == truncated_pc:
+                instruction = layout.instruction_at(pc)
+                assert instruction is not None
+                raise TruncatedBytecode(truncation_message(instruction, size))
             gas_used += info.gas
             if gas_used > context.gas_limit:
                 raise OutOfGas(f"gas limit {context.gas_limit} exceeded at pc {pc}")
@@ -181,11 +198,11 @@ class SVM:
             elif op is Op.NOT:
                 stack.append(stack.pop() ^ WORD_MASK)
             elif op is Op.JUMP:
-                next_pc = self._jump_target(stack.pop(), size, pc)
+                next_pc = self._jump_target(stack.pop(), layout, pc)
             elif op is Op.JUMPI:
                 condition, target = stack.pop(), stack.pop()
                 if condition:
-                    next_pc = self._jump_target(target, size, pc)
+                    next_pc = self._jump_target(target, layout, pc)
             elif op is Op.SLOAD:
                 key = stack.pop()
                 address = context.key_renderer(key)
@@ -210,7 +227,12 @@ class SVM:
         return None, gas_used, logs
 
     @staticmethod
-    def _jump_target(target: int, size: int, pc: int) -> int:
+    def _jump_target(target: int, layout: BytecodeLayout, pc: int) -> int:
+        size = len(layout.code)
         if target >= size:
-            raise ExecutionError(f"jump to {target} beyond code size {size} (pc {pc})")
+            raise InvalidJump(f"jump to {target} beyond code size {size} (pc {pc})")
+        if target not in layout.boundaries:
+            raise InvalidJump(
+                f"jump to {target} lands inside an instruction immediate (pc {pc})"
+            )
         return target

@@ -1,0 +1,223 @@
+"""Differential fuzzing: static verifier versus the concrete interpreter.
+
+Two invariants, checked over hundreds of seeded programs:
+
+1. **Acceptance soundness** — if the verifier accepts a program, running
+   it never produces a *structural* failure (unknown opcode, truncated
+   immediate, stack underflow/overflow, bad jump, ``ARG`` out of range).
+   Resource outcomes (revert, gas/step limits) are allowed: the verifier
+   reasons about shape, not termination of user logic.
+2. **Rejection completeness for structural faults** — if the interpreter
+   dies with a structural error, the verifier must have rejected the
+   program.  A structural fault the verifier misses is a soundness bug.
+
+On top of that, for accepted programs with exact static key sets, the
+observed runtime RW-set must be contained in the statically predicted
+one, and a finite static gas bound must actually cover the run.
+
+The generator assembles stack-depth-tracked programs (so most are
+well-formed) and then mutates a slice of them at the byte level
+(truncation, flips, insertions) to exercise the rejection direction.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.static import verify_bytecode
+from repro.vm import ExecutionContext, LoggedStorage, SVM, assemble
+
+PROGRAM_COUNT = 420
+MUTANT_COUNT = 180
+NARGS = 3
+CALLER = 9
+
+_STRUCTURAL_MARKERS = (
+    "unknown opcode",
+    "truncated immediate",
+    "stack underflow",
+    "beyond stack",
+    "out of range",
+    "stack overflow",
+    "beyond code size",
+    "lands inside an instruction immediate",
+    "unhandled opcode",
+)
+_RESOURCE_MARKERS = ("reverted", "gas limit", "step limit")
+
+
+def is_structural(error: str | None) -> bool:
+    if error is None:
+        return False
+    if any(marker in error for marker in _STRUCTURAL_MARKERS):
+        return True
+    assert any(marker in error for marker in _RESOURCE_MARKERS), (
+        f"unclassified runtime error: {error!r}"
+    )
+    return False
+
+
+_BINARY = ("ADD", "SUB", "MUL", "DIV", "MOD", "LT", "GT", "EQ", "AND", "OR")
+
+
+def generate_program(rng: random.Random) -> str:
+    """Emit assembly with tracked stack depth (usually verifier-clean)."""
+    lines: list[str] = []
+    depth = 0
+    label_id = 0
+    for _ in range(rng.randrange(4, 28)):
+        choices: list[str] = ["push", "arg", "caller"]
+        if depth >= 1:
+            choices += ["unary", "pop", "sload", "dup", "branch"]
+        if depth >= 2:
+            choices += ["binary", "sstore", "log", "swap"]
+        kind = rng.choice(choices)
+        if kind == "push":
+            lines.append(f"PUSH {rng.randrange(0, 2**64)}")
+            depth += 1
+        elif kind == "arg":
+            lines.append(f"ARG {rng.randrange(NARGS)}")
+            depth += 1
+        elif kind == "caller":
+            lines.append("CALLER")
+            depth += 1
+        elif kind == "unary":
+            lines.append(rng.choice(("ISZERO", "NOT")))
+        elif kind == "pop":
+            lines.append("POP")
+            depth -= 1
+        elif kind == "dup":
+            lines.append(f"DUP {rng.randrange(1, depth + 1)}")
+            depth += 1
+        elif kind == "swap":
+            lines.append(f"SWAP {rng.randrange(1, depth)}")
+        elif kind == "binary":
+            lines.append(rng.choice(_BINARY))
+            depth -= 1
+        elif kind == "sload":
+            # Mask the key so static keys stay concrete small ints.
+            lines.append("PUSH 15")
+            lines.append("AND")
+            lines.append("SLOAD")
+        elif kind == "sstore":
+            lines.append("SWAP 1")
+            lines.append("PUSH 15")
+            lines.append("AND")
+            lines.append("SWAP 1")
+            lines.append("SSTORE")
+            depth -= 2
+        elif kind == "log":
+            lines.append("LOG")
+            depth -= 2
+        elif kind == "branch":
+            # Consume the top as a condition; the skipped filler is
+            # stack-neutral so both paths join at the same depth.
+            label = f"skip{label_id}"
+            label_id += 1
+            lines.append(f"PUSH @{label}")
+            lines.append("SWAP 1")
+            lines.append("JUMPI")
+            for _ in range(rng.randrange(1, 3)):
+                lines.append(f"PUSH {rng.randrange(100)}")
+                lines.append("POP")
+            lines.append(f"{label}:")
+            depth -= 1
+    if depth >= 1 and rng.random() < 0.8:
+        lines.append("RETURN")
+    else:
+        lines.append("STOP")
+    return "\n".join(lines)
+
+
+def mutate(code: bytes, rng: random.Random) -> bytes:
+    kind = rng.choice(("truncate", "flip", "insert"))
+    if kind == "truncate" and len(code) > 1:
+        return code[: rng.randrange(1, len(code))]
+    if kind == "insert":
+        pos = rng.randrange(len(code) + 1)
+        return code[:pos] + bytes([rng.randrange(256)]) + code[pos:]
+    pos = rng.randrange(len(code))
+    return code[:pos] + bytes([code[pos] ^ (1 << rng.randrange(8))]) + code[pos:][1:]
+
+
+def run(code: bytes, gas_limit: int):
+    storage = LoggedStorage(lambda _address: 7)
+    context = ExecutionContext(
+        storage=storage,
+        args=tuple(range(1, NARGS + 1)),
+        caller=CALLER,
+        gas_limit=gas_limit,
+    )
+    return SVM().execute(code, context)
+
+
+def check_program(code: bytes) -> None:
+    report = verify_bytecode(code, nargs=NARGS)
+    if report.ok and report.gas_bound is not None:
+        gas_limit = report.gas_bound
+    else:
+        gas_limit = 1_000_000
+    receipt = run(code, gas_limit)
+
+    if report.ok:
+        # Accepted => never a structural failure; a finite gas bound
+        # must also cover the worst real path.
+        assert not is_structural(receipt.error), (
+            f"verifier accepted but runtime failed structurally: "
+            f"{receipt.error!r}\ncode={code.hex()}"
+        )
+        if report.gas_bound is not None:
+            assert receipt.error is None or receipt.error == "reverted", (
+                f"finite gas bound {report.gas_bound} violated: "
+                f"{receipt.error!r}\ncode={code.hex()}"
+            )
+        static_reads, static_writes = report.static_addresses(
+            tuple(range(1, NARGS + 1)), caller=CALLER
+        )
+        observed = receipt.rwset
+        if static_reads is not None:
+            assert set(observed.reads) <= static_reads, code.hex()
+        if static_writes is not None:
+            assert set(observed.writes) <= static_writes, code.hex()
+    elif is_structural(receipt.error):
+        # This branch is vacuous for rejected programs that *happen* to
+        # run (the verifier is over-approximate); the contract is only
+        # that structural crashes never slip past it — checked above.
+        pass
+
+
+def test_generated_programs_agree():
+    rng = random.Random(0xD1FF)
+    for index in range(PROGRAM_COUNT):
+        source = generate_program(rng)
+        code = assemble(source)
+        report = verify_bytecode(code, nargs=NARGS)
+        assert report.ok, (
+            f"generator emitted a rejected program #{index}:\n{source}\n"
+            + "\n".join(f.message for f in report.findings)
+        )
+        check_program(code)
+
+
+def test_mutated_programs_agree():
+    rng = random.Random(0xBEEF)
+    rejected = 0
+    for _ in range(MUTANT_COUNT):
+        code = mutate(assemble(generate_program(rng)), rng)
+        report = verify_bytecode(code, nargs=NARGS)
+        receipt = run(code, 1_000_000)
+        if is_structural(receipt.error):
+            assert not report.ok, (
+                f"runtime structural error {receipt.error!r} on a program "
+                f"the verifier accepted\ncode={code.hex()}"
+            )
+        if report.ok:
+            check_program(code)
+        else:
+            rejected += 1
+    # The mutator must actually exercise the rejection path.
+    assert rejected > MUTANT_COUNT // 4
+
+
+def test_total_program_budget():
+    assert PROGRAM_COUNT + MUTANT_COUNT >= 500

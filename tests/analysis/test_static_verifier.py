@@ -1,0 +1,295 @@
+"""Unit tests for the SVM bytecode verifier (static analysis tentpole)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.static import (
+    Arg,
+    Caller,
+    Const,
+    shipped_contracts,
+    verify_bytecode,
+    verify_shipped_contract,
+)
+from repro.analysis.static.absdomain import TOP, BinExpr, evaluate
+from repro.vm import Op, assemble, assemble_with_debug
+from repro.vm.opcodes import WORD_MASK
+
+
+def verify(source, **kwargs):
+    return verify_bytecode(assemble(source), **kwargs)
+
+
+def finding_codes(report):
+    return {finding.code for finding in report.findings}
+
+
+class TestStackSafety:
+    def test_underflow_rejected(self):
+        report = verify("ADD\nRETURN")
+        assert not report.ok
+        assert "SV106" in finding_codes(report)
+
+    def test_dup_beyond_stack_rejected(self):
+        report = verify("PUSH 1\nDUP 2\nRETURN")
+        assert not report.ok
+        assert "SV106" in finding_codes(report)
+
+    def test_swap_beyond_stack_rejected(self):
+        report = verify("PUSH 1\nSWAP 1\nRETURN")
+        assert not report.ok
+        assert "SV106" in finding_codes(report)
+
+    def test_consistent_depth_required_at_joins(self):
+        # Fallthrough reaches the label with one extra slot.
+        source = """
+        ARG 0
+        PUSH @label
+        SWAP 1
+        JUMPI
+        PUSH 5
+        label:
+        PUSH 1
+        RETURN
+        """
+        report = verify(source, nargs=1)
+        assert not report.ok
+        assert "SV108" in finding_codes(report)
+
+    def test_balanced_joins_accepted(self):
+        source = """
+        ARG 0
+        PUSH @label
+        SWAP 1
+        JUMPI
+        PUSH 5
+        POP
+        label:
+        PUSH 1
+        RETURN
+        """
+        report = verify(source, nargs=1)
+        assert report.ok
+
+    def test_max_stack_depth_reported(self):
+        report = verify("PUSH 1\nPUSH 2\nPUSH 3\nADD\nADD\nRETURN")
+        assert report.ok
+        assert report.max_stack_depth == 3
+
+    def test_arg_arity_enforced_when_declared(self):
+        report = verify("ARG 1\nRETURN", nargs=1)
+        assert not report.ok
+        assert "SV109" in finding_codes(report)
+        # Without a declared arity the check is skipped.
+        assert verify("ARG 1\nRETURN").ok
+
+
+class TestJumpSafety:
+    def test_mid_immediate_jump_rejected(self):
+        report = verify("PUSH 4\nJUMP\nPUSH 1\nRETURN")
+        assert not report.ok
+        assert "SV103" in finding_codes(report)
+
+    def test_out_of_range_jump_rejected(self):
+        report = verify("PUSH 999\nJUMP")
+        assert not report.ok
+        assert "SV102" in finding_codes(report)
+
+    def test_symbolic_jump_target_rejected(self):
+        report = verify("ARG 0\nJUMP", nargs=1)
+        assert not report.ok
+        assert "SV104" in finding_codes(report)
+
+    def test_constant_condition_prunes_untaken_branch(self):
+        # The taken branch of an always-false JUMPI targets a bad pc;
+        # pruning means the verifier never explores it.
+        report = verify("PUSH 4\nPUSH 0\nJUMPI\nPUSH 1\nRETURN")
+        assert report.ok
+
+    def test_structural_decode_errors_reported(self):
+        truncated = assemble("PUSH 1\nRETURN")[:5]
+        report = verify_bytecode(truncated)
+        assert not report.ok
+        assert "SV105" in finding_codes(report)
+        unknown = bytes([0xEE])
+        report = verify_bytecode(unknown)
+        assert not report.ok
+        assert "SV101" in finding_codes(report)
+
+
+class TestGasAndReachability:
+    def test_straight_line_gas_is_exact_sum(self):
+        report = verify("PUSH 1\nPUSH 2\nADD\nRETURN")
+        # PUSH(3) + PUSH(3) + ADD(3) + RETURN(0)
+        assert report.gas_bound == 9
+        assert not report.gas_unbounded
+
+    def test_branches_take_worst_path(self):
+        source = """
+        ARG 0
+        PUSH @expensive
+        SWAP 1
+        JUMPI
+        PUSH 1
+        RETURN
+        expensive:
+        PUSH 0
+        SLOAD
+        RETURN
+        """
+        report = verify(source, nargs=1)
+        assert report.ok
+        # Worst path goes through SLOAD (gas 200), not the cheap return.
+        prefix = 3 + 3 + 3 + 10  # ARG, PUSH, SWAP, JUMPI
+        assert report.gas_bound == prefix + 3 + 200  # + PUSH, SLOAD
+
+    def test_loops_report_unbounded(self):
+        source = """
+        loop:
+        PUSH 1
+        POP
+        PUSH @loop
+        JUMP
+        """
+        report = verify(source)
+        assert report.ok  # structurally sound, just non-terminating
+        assert report.gas_unbounded
+        assert report.gas_bound is None
+
+    def test_unreachable_code_flagged_as_warning(self):
+        report = verify("PUSH 1\nRETURN\nPUSH 2\nPOP")
+        assert report.ok  # warnings do not reject
+        assert "SV110" in finding_codes(report)
+
+    def test_block_count(self):
+        report = verify("PUSH 1\nRETURN")
+        assert report.block_count == 1
+
+
+class TestStaticRWKeys:
+    def test_constant_keys(self):
+        report = verify("PUSH 7\nSLOAD\nPOP\nPUSH 9\nPUSH 1\nSSTORE\nSTOP")
+        assert report.static_reads == (Const(7),)
+        assert report.static_writes == (Const(9),)
+        assert report.reads_exact and report.writes_exact
+
+    def test_symbolic_keys_evaluate_like_the_interpreter(self):
+        report = verify("ARG 0\nPUSH 4294967296\nADD\nSLOAD\nRETURN", nargs=1)
+        (key,) = report.static_reads
+        assert isinstance(key, BinExpr)
+        assert evaluate(key, (5,), caller=0) == 5 + 4294967296
+        # Wrap-around mirrors the machine's modular arithmetic.
+        assert evaluate(key, (WORD_MASK,), caller=0) == 4294967295
+
+    def test_caller_derived_keys(self):
+        report = verify("CALLER\nPUSH 2\nMUL\nSLOAD\nRETURN")
+        (key,) = report.static_reads
+        assert evaluate(key, (), caller=21) == 42
+
+    def test_runtime_dependent_key_widens_with_warning(self):
+        # Key computed from an SLOAD result is unknowable statically.
+        report = verify("PUSH 0\nSLOAD\nSLOAD\nRETURN")
+        assert report.ok
+        assert "SV111" in finding_codes(report)
+        assert TOP in report.static_reads
+        assert not report.reads_exact
+        reads, _writes = report.concrete_keys(())
+        assert reads is None  # widened to the full key space
+
+    def test_static_addresses_render_through_key_renderer(self):
+        report = verify("ARG 0\nPUSH 1\nSSTORE\nSTOP", nargs=1)
+        _reads, writes = report.static_addresses((3,), key_renderer=lambda k: f"k:{k}")
+        assert writes == {"k:3"}
+
+
+class TestShippedContracts:
+    @pytest.mark.parametrize("contract", shipped_contracts(), ids=lambda c: c.name)
+    def test_all_methods_verify_clean_with_exact_keys(self, contract):
+        reports = verify_shipped_contract(contract)
+        assert set(reports) == set(contract.assembly)
+        for method, report in reports.items():
+            errors = [f for f in report.findings if f.severity == "error"]
+            assert report.ok, (method, errors)
+            assert report.reads_exact and report.writes_exact, method
+            assert not report.gas_unbounded, method
+            assert report.max_stack_depth <= 8, method
+
+    def test_smallbank_checking_key_shape(self):
+        contract = next(c for c in shipped_contracts() if c.name == "smallbank")
+        report = verify_shipped_contract(contract)["updateBalance"]
+        (key,) = report.static_writes
+        assert evaluate(key, (12, 50), caller=0) == 12 + (1 << 32)
+
+    def test_token_allowance_key_uses_caller(self):
+        contract = next(c for c in shipped_contracts() if c.name == "token")
+        report = verify_shipped_contract(contract)["approve"]
+        (key,) = report.static_writes
+        assert Caller() in _leaves(key)
+        assert evaluate(key, (7, 100), caller=3) == (1 << 40) | (3 << 20) | 7
+
+    def test_debug_info_annotates_findings_with_source_lines(self):
+        unit = assemble_with_debug("PUSH 4\nJUMP\nPUSH 1\nRETURN")
+        report = verify_bytecode(unit.code, debug=unit.lines)
+        jump_findings = [f for f in report.findings if f.code == "SV103"]
+        assert jump_findings and jump_findings[0].line == 2
+
+
+def _leaves(value):
+    if isinstance(value, BinExpr):
+        return _leaves(value.left) | _leaves(value.right)
+    return {value}
+
+
+class TestReportShape:
+    def test_to_json_round_trips(self):
+        import json
+
+        # Key is pushed first, value second (SSTORE pops value then key).
+        report = verify("PUSH 1\nPUSH 0\nSSTORE\nSTOP")
+        payload = json.loads(json.dumps(report.to_json()))
+        assert payload["ok"] is True
+        assert payload["static_writes"] == ["1"]
+        assert payload["gas_bound"] == report.gas_bound
+
+    def test_opcode_coverage(self):
+        # Every opcode is analyzable (no AssertionError on dispatch).
+        source = """
+        ARG 0
+        CALLER
+        ADD
+        PUSH 2
+        MUL
+        PUSH 1
+        SUB
+        PUSH 3
+        DIV
+        PUSH 5
+        MOD
+        PUSH 1
+        LT
+        PUSH 1
+        GT
+        PUSH 1
+        EQ
+        ISZERO
+        NOT
+        PUSH 1
+        AND
+        PUSH 1
+        OR
+        DUP 1
+        SWAP 1
+        POP
+        PUSH 10
+        PUSH 11
+        LOG
+        PUSH 0
+        SLOAD
+        PUSH 1
+        SSTORE
+        STOP
+        """
+        report = verify(source, nargs=1)
+        assert report.ok
+        assert Op.STOP is not None  # keep import meaningful

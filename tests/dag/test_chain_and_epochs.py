@@ -140,7 +140,6 @@ class TestEpochExtraction:
 
     def test_duplicate_transactions_deduplicated(self):
         chains, coordinator, _ = make_setup(chain_count=2, block_size=3)
-        pool = Mempool()
         # Force duplicates by reusing ids across blocks via direct epochs.
         from repro.dag.block import Block, BlockHeader, tips_digest, transactions_root
         from repro.dag.epochs import Epoch

@@ -108,8 +108,6 @@ class TestStateEquivalence:
             # Snapshot-execute on the replay side too, to find the commit set.
             report = node.receive_epoch(blocks)
             # Serial replay in commit order on a second state.
-            schedule = node.reports[-1]
-            del schedule
             committed_order = self._committed_order(node, epoch_txns)
             for txn in committed_order:
                 storage = LoggedStorage(replay_state.get)

@@ -129,3 +129,71 @@ class TestHotspots:
         out = capsys.readouterr().out
         assert "gini=" in out
         assert out.count("\n") >= 5
+
+
+class TestAnalyze:
+    def run(self, argv, capsys):
+        code = main(argv)
+        out = capsys.readouterr().out
+        return code, out
+
+    def test_analyze_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze"])
+
+    def test_bytecode_all_contracts(self, capsys):
+        code, out = self.run(["analyze", "bytecode"], capsys)
+        assert code == 0
+        assert "smallbank" in out
+        assert "token" in out
+        assert "transferFrom" in out
+        assert "gas" in out
+
+    def test_bytecode_single_contract_json(self, capsys):
+        import json
+
+        code, out = self.run(
+            ["analyze", "bytecode", "--contract", "smallbank", "--json"], capsys
+        )
+        assert code == 0
+        payload = json.loads(out)
+        (contract,) = payload["contracts"]
+        assert contract["contract"] == "smallbank"
+        assert all(m["ok"] for m in contract["methods"])
+
+    def test_bytecode_containment_sweep(self, capsys):
+        code, out = self.run(
+            ["analyze", "bytecode", "--check-containment", "--sweeps", "5"], capsys
+        )
+        assert code == 0
+        assert "containment" in out
+
+    def test_lint_default_paths_clean(self, capsys):
+        code, out = self.run(["analyze", "lint"], capsys)
+        assert code == 0
+        assert "lint clean" in out
+
+    def test_lint_flags_bad_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nstamp = time.time()\n")
+        code, out = self.run(["analyze", "lint", str(bad)], capsys)
+        assert code == 1
+        assert "ND102" in out
+
+    def test_lint_json_output(self, tmp_path, capsys):
+        import json
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n")
+        code, out = self.run(["analyze", "lint", str(bad), "--json"], capsys)
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["findings"][0]["rule"] == "ND103"
+
+    def test_lint_select(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nstamp = time.time()\n")
+        code, _out = self.run(
+            ["analyze", "lint", str(bad), "--select", "ND101"], capsys
+        )
+        assert code == 0
