@@ -1,0 +1,191 @@
+"""Extension — flight-recorder overhead on the epoch hot path.
+
+Not a paper figure: proves the observability subsystem is cheap enough
+to leave on.  The same pre-mined epochs are replayed through two
+identically-seeded full nodes — one untraced, one with a live
+``Tracer`` plus a ``MetricsRegistry`` — interleaved round by round so
+machine drift hits both alike.  The headline is the relative gap
+between the traced and untraced p50 epoch-processing latencies, which
+must stay under ``OVERHEAD_CEILING`` (5%).
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_obs_overhead.py``)
+to refresh ``benchmarks/results/BENCH_obs_overhead.json``, or via pytest
+where the ``perf_smoke``-marked test asserts the ceiling.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import NezhaScheduler
+from repro.dag import EpochCoordinator, Mempool, ParallelChains, PoWParams
+from repro.node import FullNode, PipelineConfig
+from repro.node.metrics import MetricsRegistry
+from repro.obs import Tracer
+from repro.state import StateDB
+from repro.vm.contracts import default_registry
+from repro.workload import SmallBankConfig, SmallBankWorkload, initial_state
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_obs_overhead.json"
+
+SKEW = 0.6
+OMEGA = 4
+BLOCK_SIZE = 120
+ACCOUNTS = 2_000
+SEED = 29
+EPOCHS = 3
+ROUNDS = 6
+POW_BITS = 4
+
+OVERHEAD_CEILING = 0.05
+
+WORKLOAD_CONFIG = SmallBankConfig(account_count=ACCOUNTS, skew=SKEW, seed=SEED)
+
+
+def _fresh_node(traced: bool) -> FullNode:
+    state = StateDB()
+    state.seed(initial_state(WORKLOAD_CONFIG))
+    return FullNode(
+        chains=ParallelChains(chain_count=OMEGA, pow_params=PoWParams(POW_BITS)),
+        state=state,
+        scheduler=NezhaScheduler(),
+        registry=default_registry(),
+        config=PipelineConfig(),
+        metrics=MetricsRegistry() if traced else None,
+        tracer=Tracer() if traced else None,
+    )
+
+
+def _premine(epochs: int) -> list[list]:
+    """Mine the shared epoch sequence once (off the measured path).
+
+    Block headers chain state roots, so mining drives a throwaway node
+    forward; every replay node is seeded identically and reproduces the
+    same roots, making the pre-mined blocks valid for all of them.
+    """
+    driver = _fresh_node(traced=False)
+    chains = ParallelChains(
+        chain_count=OMEGA, pow_params=driver.chains.pow_params
+    )
+    coordinator = EpochCoordinator(
+        chains=chains, miners=["m0", "m1"], block_size=BLOCK_SIZE
+    )
+    pool = Mempool()
+    pool.submit_many(
+        SmallBankWorkload(WORKLOAD_CONFIG).generate(
+            epochs * OMEGA * BLOCK_SIZE + 200
+        )
+    )
+    mined = []
+    with driver:
+        for _ in range(epochs):
+            blocks = coordinator.mine_epoch(pool, state_root=driver.state_root)
+            driver.receive_epoch(blocks)
+            mined.append(blocks)
+    return mined
+
+
+def _replay(epoch_blocks: list[list], traced: bool) -> list[float]:
+    """Per-epoch processing seconds through one fresh node."""
+    node = _fresh_node(traced)
+    samples = []
+    with node:
+        for blocks in epoch_blocks:
+            start = time.perf_counter()
+            node.receive_epoch(blocks)
+            samples.append(time.perf_counter() - start)
+        if node.tracer is not None and len(node.tracer) == 0:
+            raise RuntimeError("traced replay recorded no spans")
+    return samples
+
+
+def _percentiles(samples: list[float]) -> dict[str, float]:
+    ordered = sorted(samples)
+    rank = max(0, round(0.95 * (len(ordered) - 1)))
+    return {
+        "p50_ms": statistics.median(ordered) * 1e3,
+        "p95_ms": ordered[rank] * 1e3,
+    }
+
+
+def measure_obs_overhead(epochs: int = EPOCHS, rounds: int = ROUNDS) -> dict:
+    """Replay traced and untraced nodes interleaved; return the payload."""
+    mined = _premine(epochs)
+    untraced: list[float] = []
+    traced: list[float] = []
+    _replay(mined, traced=True)  # warm-up: JIT-free but primes caches/pools
+    for _ in range(rounds):
+        untraced.extend(_replay(mined, traced=False))
+        traced.extend(_replay(mined, traced=True))
+    untraced_stats = _percentiles(untraced)
+    traced_stats = _percentiles(traced)
+    overhead = (
+        traced_stats["p50_ms"] - untraced_stats["p50_ms"]
+    ) / untraced_stats["p50_ms"]
+    return {
+        "benchmark": "obs_overhead",
+        "workload": {
+            "generator": "smallbank",
+            "skew": SKEW,
+            "omega": OMEGA,
+            "block_size": BLOCK_SIZE,
+            "accounts": ACCOUNTS,
+            "seed": SEED,
+            "epochs": epochs,
+        },
+        "rounds": rounds,
+        "untraced": untraced_stats,
+        "traced": traced_stats,
+        "overhead_frac_p50": round(overhead, 4),
+        "ceiling_frac": OVERHEAD_CEILING,
+    }
+
+
+def write_results(payload: dict, path: Path = RESULTS_PATH) -> None:
+    """Persist the machine-readable benchmark artifact."""
+    path.parent.mkdir(exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.mark.perf_smoke
+def test_obs_overhead_under_ceiling(report_table):
+    """Tracing-on must add < 5% to p50 epoch-processing latency."""
+    payload = measure_obs_overhead()
+    write_results(payload)
+    report_table(
+        "obs_overhead",
+        "\n".join(
+            [
+                "mode | p50 ms | p95 ms",
+                f"untraced | {payload['untraced']['p50_ms']:.2f} | "
+                f"{payload['untraced']['p95_ms']:.2f}",
+                f"traced | {payload['traced']['p50_ms']:.2f} | "
+                f"{payload['traced']['p95_ms']:.2f}",
+                f"overhead (p50): {100 * payload['overhead_frac_p50']:.2f}% "
+                f"(ceiling {100 * OVERHEAD_CEILING:.0f}%)",
+            ]
+        ),
+    )
+    assert payload["overhead_frac_p50"] < OVERHEAD_CEILING
+
+
+def main() -> int:
+    payload = measure_obs_overhead()
+    write_results(payload)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    overhead = payload["overhead_frac_p50"]
+    print(
+        f"\ntracing overhead: {100 * overhead:.2f}% "
+        f"(ceiling {100 * OVERHEAD_CEILING:.0f}%)"
+    )
+    return 0 if overhead < OVERHEAD_CEILING else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

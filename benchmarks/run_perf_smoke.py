@@ -1,8 +1,9 @@
 #!/usr/bin/env python
 """Perf smoke gate for the repo's perf-critical paths (< 60 s).
 
-Two gates, both compared against committed baselines by *speedup ratio*
-(stable across machines) rather than absolute milliseconds:
+Three gates.  The first two are compared against committed baselines by
+*speedup ratio* (stable across machines) rather than absolute
+milliseconds:
 
 * **CC fast path** — the dense path's rank+sort speedup over the
   string-keyed reference on the standard contended epoch (skew 0.6,
@@ -13,6 +14,10 @@ Two gates, both compared against committed baselines by *speedup ratio*
   the 2x floor and stay within tolerance of
   ``benchmarks/results/BENCH_exec_parallel.json``, with state roots
   bit-identical across the serial, thread, and process backends.
+* **Flight-recorder overhead** — tracing-on must add < 5% to the p50
+  epoch-processing latency.  This one is an absolute ceiling, no
+  baseline drift: a relative gap between two interleaved replays on the
+  same machine is already machine-independent.
 
 On success (or with ``--update``) the JSON artifacts are rewritten with
 the fresh numbers.
@@ -47,6 +52,12 @@ from bench_exec_parallel import (  # noqa: E402
     measure_exec_parallel,
     write_results as write_exec_results,
 )
+from bench_obs_overhead import (  # noqa: E402
+    OVERHEAD_CEILING as OBS_OVERHEAD_CEILING,
+    RESULTS_PATH as OBS_RESULTS_PATH,
+    measure_obs_overhead,
+    write_results as write_obs_results,
+)
 
 REGRESSION_TOLERANCE = 0.20
 SMOKE_ROUNDS = 5
@@ -55,6 +66,7 @@ EXEC_SMOKE_ROUNDS = 3
 # core count), so its gate tolerates more drift than the single-process
 # CC ratio — the absolute 2x floor still backstops it.
 EXEC_REGRESSION_TOLERANCE = 0.35
+OBS_SMOKE_ROUNDS = 4
 
 
 def load_baseline(path: Path = CC_RESULTS_PATH) -> dict | None:
@@ -135,13 +147,28 @@ def main(argv: list[str]) -> int:
         update_only,
     )
 
+    obs_payload = measure_obs_overhead(rounds=OBS_SMOKE_ROUNDS)
+    obs_overhead = obs_payload["overhead_frac_p50"]
+    print(
+        f"flight-recorder overhead (p50): {100 * obs_overhead:.2f}% "
+        f"(ceiling {100 * OBS_OVERHEAD_CEILING:.0f}%)"
+    )
+    if obs_overhead >= OBS_OVERHEAD_CEILING:
+        print(
+            f"FAIL [obs_overhead]: tracing adds >= "
+            f"{OBS_OVERHEAD_CEILING:.0%} to p50 epoch latency"
+        )
+        failed = True
+
     elapsed = time.perf_counter() - started
     print(f"smoke wall-clock: {elapsed:.1f}s")
     if not failed or update_only:
         write_cc_results(cc_payload)
         write_exec_results(exec_payload)
+        write_obs_results(obs_payload)
         print(f"wrote {CC_RESULTS_PATH}")
         print(f"wrote {EXEC_RESULTS_PATH}")
+        print(f"wrote {OBS_RESULTS_PATH}")
     return 1 if failed else 0
 
 

@@ -23,6 +23,7 @@ from repro.baselines.pcc import PCCScheduler
 from repro.baselines.serial import SerialScheduler
 from repro.core.schedule import Schedule
 from repro.core.scheduler import NezhaConfig, NezhaScheduler
+from repro.obs.taxonomy import taxonomy_counts
 from repro.txn.transaction import Transaction
 from repro.workload.smallbank import SmallBankConfig, SmallBankWorkload
 from repro.workload.generator import flatten_blocks
@@ -50,6 +51,7 @@ class SchemeRun:
     total_seconds: float
     phase_seconds: dict[str, float] = field(default_factory=dict)
     failed: bool = False
+    abort_reasons: dict[str, int] = field(default_factory=dict)
 
     @property
     def committed(self) -> int:
@@ -96,6 +98,9 @@ def run_scheme(scheme: object, transactions: Sequence[Transaction]) -> SchemeRun
         total_seconds=elapsed,
         phase_seconds=phase_seconds,
         failed=bool(getattr(result, "failed", False)),
+        abort_reasons=taxonomy_counts(
+            result.schedule.aborted, getattr(result, "abort_reasons", None)
+        ),
     )
 
 

@@ -74,6 +74,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution-phase backend (process = multi-core speculative "
         "execution with delta-synced worker state replicas)",
     )
+    _add_obs_args(simulate)
+
+    multinode = sub.add_parser(
+        "multinode", help="replica network: N full nodes, agreement per epoch"
+    )
+    multinode.add_argument("--scheme", choices=sorted(SCHEMES), default="nezha")
+    multinode.add_argument("--replicas", type=int, default=3, help="full nodes")
+    multinode.add_argument("--epochs", type=int, default=3, help="epochs to run")
+    multinode.add_argument("--omega", type=int, default=4, help="block concurrency")
+    multinode.add_argument("--block-size", type=int, default=50, help="txns per block")
+    multinode.add_argument("--skew", type=float, default=0.5, help="Zipfian exponent")
+    multinode.add_argument("--accounts", type=int, default=1_000, help="population")
+    multinode.add_argument("--seed", type=int, default=0, help="PRNG seed")
+    _add_obs_args(multinode)
 
     conflicts = sub.add_parser("conflicts", help="conflict analysis (Table I)")
     _add_workload_args(conflicts)
@@ -134,6 +148,13 @@ def build_parser() -> argparse.ArgumentParser:
     replay = trace_sub.add_parser("run", help="schedule a recorded trace")
     replay.add_argument("file", help="trace file to replay")
     replay.add_argument("--scheme", choices=sorted(SCHEMES), default="nezha")
+    _add_obs_args(replay)
+
+    top = sub.add_parser(
+        "top", help="slowest spans of a recorded flight-recorder trace"
+    )
+    top.add_argument("file", help="Chrome trace JSON written via --trace-out")
+    top.add_argument("--limit", type=int, default=15, help="rows to show")
     return parser
 
 
@@ -144,6 +165,21 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--skew", type=float, default=0.0, help="Zipfian exponent")
     parser.add_argument("--accounts", type=int, default=10_000, help="population")
     parser.add_argument("--seed", type=int, default=0, help="PRNG seed")
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write a Chrome/Perfetto trace_event JSON of the run",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write a Prometheus text-exposition metrics snapshot",
+    )
 
 
 def make_workload(args: argparse.Namespace):
@@ -240,6 +276,28 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_obs(args: argparse.Namespace):
+    """(tracer, metrics) per the ``--trace-out``/``--metrics-out`` flags."""
+    from repro.node.metrics import MetricsRegistry
+    from repro.obs import Tracer
+
+    tracer = Tracer() if args.trace_out else None
+    metrics = MetricsRegistry() if args.metrics_out else None
+    return tracer, metrics
+
+
+def _write_obs_outputs(args: argparse.Namespace, tracer, metrics) -> None:
+    """Flush the flight recorder to the requested artifact files."""
+    from repro.obs import write_chrome_trace, write_prometheus
+
+    if tracer is not None and args.trace_out:
+        count = write_chrome_trace(args.trace_out, tracer.spans())
+        print(f"trace: {count} spans -> {args.trace_out}")
+    if metrics is not None and args.metrics_out:
+        lines = write_prometheus(args.metrics_out, metrics)
+        print(f"metrics: {lines} lines -> {args.metrics_out}")
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     from repro.net import Cluster, ClusterConfig
     from repro.vm.costmodel import ExecutionCostModel, ZERO_COST
@@ -247,6 +305,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     if args.workload != "smallbank":
         print("simulate currently drives the SmallBank cluster only", file=sys.stderr)
         return 2
+    tracer, metrics = _make_obs(args)
     cluster = Cluster(
         make_scheme(args.scheme),
         ClusterConfig(
@@ -259,6 +318,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             exec_backend=args.exec_backend,
             cost_model=ExecutionCostModel() if args.paper_costs else ZERO_COST,
         ),
+        metrics=metrics,
+        tracer=tracer,
     )
     with cluster:
         run = cluster.run_epochs(args.epochs)
@@ -276,6 +337,63 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             rows,
         )
     )
+    _write_obs_outputs(args, tracer, metrics)
+    return 0
+
+
+def cmd_multinode(args: argparse.Namespace) -> int:
+    from repro.net.multinode import ReplicaNetwork, ReplicaNetworkConfig
+    from repro.obs import Tracer
+
+    tracer = Tracer() if args.trace_out else None
+    network = ReplicaNetwork(
+        scheduler_factory=lambda: make_scheme(args.scheme),
+        config=ReplicaNetworkConfig(
+            replica_count=args.replicas,
+            chain_count=args.omega,
+            block_size=args.block_size,
+            account_count=args.accounts,
+            skew=args.skew,
+            seed=args.seed,
+        ),
+        tracer=tracer,
+    )
+    agreements = network.run_epochs(args.epochs)
+    rows = [
+        [
+            agreement.epoch_index,
+            "yes" if agreement.agreed else "NO",
+            agreement.committed[0],
+            f"{max(agreement.delivery_times):.3f} s",
+        ]
+        for agreement in agreements
+    ]
+    print(
+        render_table(
+            f"replica network: {args.scheme}, {args.replicas} replicas",
+            ["epoch", "agreed", "committed", "slowest delivery"],
+            rows,
+        )
+    )
+    # The network keeps one registry per replica; export replica 0's (the
+    # replicas agree, so any registry carries the same epoch series).
+    _write_obs_outputs(args, tracer, network.metrics[0])
+    return 0 if network.all_agreed else 1
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs import render_top, validate_chrome_trace
+
+    try:
+        payload = json.loads(Path(args.file).read_text())
+        events = validate_chrome_trace(payload)
+    except (OSError, ValueError) as exc:
+        print(f"invalid trace {args.file}: {exc}", file=sys.stderr)
+        return 2
+    print(render_top(events, limit=args.limit))
     return 0
 
 
@@ -393,19 +511,35 @@ def cmd_trace(args: argparse.Namespace) -> int:
         return 0
     # run
     transactions = load_trace(args.file)
-    run = run_scheme(make_scheme(args.scheme), transactions)
+    tracer, metrics = _make_obs(args)
+    scheme = make_scheme(args.scheme)
+    if tracer is not None and hasattr(scheme, "tracer"):
+        scheme.tracer = tracer
+    run = run_scheme(scheme, transactions)
+    rows = [
+        ["transactions", len(transactions)],
+        ["committed", run.schedule.committed_count],
+        ["aborted", run.schedule.aborted_count],
+        ["latency", f"{run.total_seconds * 1000:.2f} ms"],
+    ]
+    rows.extend(
+        [f"  aborted: {reason}", count]
+        for reason, count in sorted(run.abort_reasons.items())
+    )
     print(
         render_table(
-            f"{args.scheme} on trace {args.file}",
-            ["metric", "value"],
-            [
-                ["transactions", len(transactions)],
-                ["committed", run.schedule.committed_count],
-                ["aborted", run.schedule.aborted_count],
-                ["latency", f"{run.total_seconds * 1000:.2f} ms"],
-            ],
+            f"{args.scheme} on trace {args.file}", ["metric", "value"], rows
         )
     )
+    if metrics is not None:
+        metrics.counter("txns_committed_total").inc(run.schedule.committed_count)
+        metrics.counter("txns_aborted_total").inc(run.schedule.aborted_count)
+        for reason, count in sorted(run.abort_reasons.items()):
+            metrics.counter(
+                "txns_abort_reason_total", labels={"reason": reason}
+            ).inc(count)
+        metrics.histogram("schedule_latency_seconds").observe(run.total_seconds)
+    _write_obs_outputs(args, tracer, metrics)
     return 0
 
 
@@ -414,10 +548,12 @@ COMMANDS = {
     "schedule": cmd_schedule,
     "compare": cmd_compare,
     "simulate": cmd_simulate,
+    "multinode": cmd_multinode,
     "conflicts": cmd_conflicts,
     "hotspots": cmd_hotspots,
     "analyze": cmd_analyze,
     "trace": cmd_trace,
+    "top": cmd_top,
 }
 
 

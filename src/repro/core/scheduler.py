@@ -23,6 +23,7 @@ from repro.core.sorting import (
     sort_transactions_dense,
 )
 from repro.core.validate import validate_sort, validate_sort_dense
+from repro.obs.tracer import Tracer, maybe_span
 from repro.txn.transaction import Transaction
 
 
@@ -101,11 +102,15 @@ class NezhaResult:
         acg: ACG | None = None,
         rank_order: list[str] | None = None,
         dense_acg: DenseACG | None = None,
+        abort_reasons: dict[int, str] | None = None,
+        revived: int = 0,
     ) -> None:
         self.schedule = schedule
         self.timings = timings
         self.rank_order = rank_order if rank_order is not None else []
         self.dense_acg = dense_acg
+        self.abort_reasons = abort_reasons if abort_reasons is not None else {}
+        self.revived = revived
         self._acg = acg
 
     @property
@@ -138,8 +143,13 @@ class NezhaScheduler:
 
     name = "nezha"
 
-    def __init__(self, config: NezhaConfig | None = None) -> None:
+    def __init__(
+        self, config: NezhaConfig | None = None, tracer: Tracer | None = None
+    ) -> None:
         self.config = config or NezhaConfig()
+        # Optional span recorder for the sub-phase breakdown; the pipeline
+        # injects its tracer here so CC sub-phases nest under its epoch span.
+        self.tracer = tracer
 
     def schedule(self, transactions: Sequence[Transaction]) -> NezhaResult:
         """Produce a commit schedule for a batch of transactions.
@@ -157,27 +167,38 @@ class NezhaScheduler:
         timings = PhaseTimings()
 
         start = time.perf_counter()
-        dense = build_dense_acg(intern_batch(transactions))
+        with maybe_span(self.tracer, "cc.acg_build") as span:
+            dense = build_dense_acg(intern_batch(transactions))
+            span.set(txns=dense.txn_count, addresses=dense.addr_count)
         timings.graph_construction = time.perf_counter() - start
 
         start = time.perf_counter()
-        rank_ids = divide_ranks_dense(dense, policy=self.config.rank_policy)
+        with maybe_span(self.tracer, "cc.rank_division"):
+            rank_ids = divide_ranks_dense(dense, policy=self.config.rank_policy)
         timings.rank_division = time.perf_counter() - start
 
         start = time.perf_counter()
-        state = sort_transactions_dense(
-            dense,
-            rank_ids,
-            enable_reorder=self.config.enable_reorder,
-            initial_seq=self.config.initial_seq,
-        )
+        with maybe_span(self.tracer, "cc.sorting") as span:
+            state = sort_transactions_dense(
+                dense,
+                rank_ids,
+                enable_reorder=self.config.enable_reorder,
+                initial_seq=self.config.initial_seq,
+            )
+            span.set(reordered=len(state.reordered), aborted=len(state.reasons))
         timings.transaction_sorting = time.perf_counter() - start
 
         if self.config.enable_validation:
             start = time.perf_counter()
-            validate_sort_dense(
-                dense, state, enable_reorder=self.config.enable_reorder
-            )
+            with maybe_span(self.tracer, "cc.validate") as span:
+                validate_sort_dense(
+                    dense, state, enable_reorder=self.config.enable_reorder
+                )
+                span.set(
+                    aborted=len(state.reasons),
+                    reordered=len(state.reordered),
+                    revived=len(state.revived),
+                )
             timings.validation = time.perf_counter() - start
 
         # Translate dense ids back to txids/addresses only at the
@@ -201,6 +222,10 @@ class NezhaScheduler:
             timings=timings,
             rank_order=[addresses[a] for a in rank_ids],
             dense_acg=dense,
+            abort_reasons={
+                txids[i]: reason for i, reason in sorted(state.reasons.items())
+            },
+            revived=len(state.revived),
         )
 
     def _schedule_reference(
@@ -211,31 +236,42 @@ class NezhaScheduler:
         txn_by_id = {t.txid: t for t in transactions}
 
         start = time.perf_counter()
-        acg = build_acg(transactions)
+        with maybe_span(self.tracer, "cc.acg_build") as span:
+            acg = build_acg(transactions)
+            span.set(txns=len(txn_by_id), addresses=len(acg.addresses))
         timings.graph_construction = time.perf_counter() - start
 
         start = time.perf_counter()
-        rank_order = divide_ranks(acg, policy=self.config.rank_policy)
+        with maybe_span(self.tracer, "cc.rank_division"):
+            rank_order = divide_ranks(acg, policy=self.config.rank_policy)
         timings.rank_division = time.perf_counter() - start
 
         start = time.perf_counter()
-        state = sort_transactions(
-            acg,
-            rank_order,
-            txn_by_id,
-            enable_reorder=self.config.enable_reorder,
-            initial_seq=self.config.initial_seq,
-        )
+        with maybe_span(self.tracer, "cc.sorting") as span:
+            state = sort_transactions(
+                acg,
+                rank_order,
+                txn_by_id,
+                enable_reorder=self.config.enable_reorder,
+                initial_seq=self.config.initial_seq,
+            )
+            span.set(reordered=len(state.reordered), aborted=len(state.reasons))
         timings.transaction_sorting = time.perf_counter() - start
 
         if self.config.enable_validation:
             start = time.perf_counter()
-            validate_sort(
-                acg,
-                state,
-                transactions=txn_by_id,
-                enable_reorder=self.config.enable_reorder,
-            )
+            with maybe_span(self.tracer, "cc.validate") as span:
+                validate_sort(
+                    acg,
+                    state,
+                    transactions=txn_by_id,
+                    enable_reorder=self.config.enable_reorder,
+                )
+                span.set(
+                    aborted=len(state.reasons),
+                    reordered=len(state.reordered),
+                    revived=len(state.revived),
+                )
             timings.validation = time.perf_counter() - start
 
         schedule = schedule_from_sequences(
@@ -244,5 +280,10 @@ class NezhaScheduler:
             reordered=state.reordered,
         )
         return NezhaResult(
-            schedule=schedule, timings=timings, acg=acg, rank_order=rank_order
+            schedule=schedule,
+            timings=timings,
+            acg=acg,
+            rank_order=rank_order,
+            abort_reasons=dict(sorted(state.reasons.items())),
+            revived=len(state.revived),
         )

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from repro.core.acg import ACG, DenseACG
+from repro.obs.taxonomy import UNSERIALIZABLE_WRITE
 from repro.txn.rwset import Address
 from repro.txn.transaction import Transaction
 
@@ -38,11 +39,19 @@ INITIAL_SEQUENCE = 1
 
 @dataclass
 class SortState:
-    """Mutable state threaded through the per-address sorting passes."""
+    """Mutable state threaded through the per-address sorting passes.
+
+    ``reasons`` attributes every abort to a taxonomy label (see
+    :mod:`repro.obs.taxonomy`); ``revived`` records transactions the
+    validator's second-chance pass brought back (their reason entries are
+    removed, so ``reasons`` always covers exactly ``aborted``).
+    """
 
     sequences: dict[int, int] = field(default_factory=dict)
     aborted: set[int] = field(default_factory=set)
     reordered: set[int] = field(default_factory=set)
+    reasons: dict[int, str] = field(default_factory=dict)
+    revived: set[int] = field(default_factory=set)
 
     def sequence_of(self, txid: int) -> int | None:
         """Assigned sequence number of ``txid``, or ``None``."""
@@ -52,10 +61,11 @@ class SortState:
         """True while the transaction has not been aborted."""
         return txid not in self.aborted
 
-    def abort(self, txid: int) -> None:
+    def abort(self, txid: int, reason: str = UNSERIALIZABLE_WRITE) -> None:
         """Abort the transaction; its units are ignored from now on."""
         self.aborted.add(txid)
         self.sequences.pop(txid, None)
+        self.reasons[txid] = reason
 
 
 def sort_transactions(
@@ -254,18 +264,23 @@ class DenseSortState:
     ``seq[i]`` is the sequence number of the transaction at dense index
     ``i`` (``UNASSIGNED`` until sorted), ``alive[i]`` is 1 until the
     transaction aborts, and ``reordered`` holds the dense indices rescued
-    by the Section IV-D enhancement.  Requires ``initial_seq >= 0`` (the
-    scheduler's config mandates a positive value).
+    by the Section IV-D enhancement.  ``reasons``/``revived`` mirror
+    :class:`SortState` (keyed by dense index).  Requires
+    ``initial_seq >= 0`` (the scheduler's config mandates a positive
+    value).
     """
 
     seq: list[int]
     alive: bytearray
     reordered: set[int] = field(default_factory=set)
+    reasons: dict[int, str] = field(default_factory=dict)
+    revived: set[int] = field(default_factory=set)
 
-    def abort(self, txn_idx: int) -> None:
+    def abort(self, txn_idx: int, reason: str = UNSERIALIZABLE_WRITE) -> None:
         """Abort the transaction; mirrors :meth:`SortState.abort`."""
         self.alive[txn_idx] = 0
         self.seq[txn_idx] = UNASSIGNED
+        self.reasons[txn_idx] = reason
 
     def aborted_indices(self) -> list[int]:
         """Dense indices of aborted transactions, ascending."""

@@ -42,7 +42,18 @@ from repro.core.sorting import (
     reads_are_writer_free,
     reads_are_writer_free_dense,
 )
+from repro.obs.taxonomy import DOOMED_REORDER, UNSERIALIZABLE_WRITE
 from repro.txn.transaction import Transaction
+
+
+def _abort_reason(txid: int, reordered: set[int]) -> str:
+    """Taxonomy label for a validator abort.
+
+    A transaction the Section IV-D enhancement bumped was rescued once
+    already — aborting it now means the bump itself was doomed; anything
+    else is a plain unserializable write.
+    """
+    return DOOMED_REORDER if txid in reordered else UNSERIALIZABLE_WRITE
 
 
 def validate_sort(
@@ -82,7 +93,7 @@ def validate_sort(
                 state.sequences[txid] = new_seq
                 state.reordered.add(txid)
             else:
-                state.abort(txid)
+                state.abort(txid, _abort_reason(txid, state.reordered))
                 newly_aborted.add(txid)
     if enable_reorder and transactions is not None:
         newly_aborted -= _resurrect(acg, state, transactions)
@@ -112,6 +123,8 @@ def _resurrect(
         if not reads_are_writer_free(acg, txn, state):
             continue
         state.aborted.discard(txid)
+        state.reasons.pop(txid, None)
+        state.revived.add(txid)
         state.sequences[txid] = 1 + _max_sequence_on_addresses(acg, txn, state)
         revived.add(txid)
     return revived
@@ -231,7 +244,7 @@ def validate_sort_dense(
                 )
                 state.reordered.add(txn_idx)
             else:
-                state.abort(txn_idx)
+                state.abort(txn_idx, _abort_reason(txn_idx, state.reordered))
                 newly_aborted.add(txn_idx)
     if enable_reorder:
         newly_aborted -= _resurrect_dense(dense, state)
@@ -245,6 +258,8 @@ def _resurrect_dense(dense: DenseACG, state: DenseSortState) -> set[int]:
         if not reads_are_writer_free_dense(dense, txn_idx, state):
             continue
         state.alive[txn_idx] = 1
+        state.reasons.pop(txn_idx, None)
+        state.revived.add(txn_idx)
         state.seq[txn_idx] = 1 + max_sequence_on_addresses_dense(
             dense, txn_idx, state
         )

@@ -26,9 +26,11 @@ from repro.dag.pow import PoWParams
 from repro.errors import NetworkError
 from repro.net.links import LinkModel
 from repro.net.simulator import Simulator
+from repro.node.metrics import MetricsRegistry
 from repro.node.node import FullNode
 from repro.node.phases import EpochReport
 from repro.node.pipeline import PipelineConfig, Scheduler
+from repro.obs.tracer import Tracer, maybe_span
 from repro.state.statedb import StateDB
 from repro.storage.memstore import MemStore
 from repro.vm.contracts.smallbank import default_registry
@@ -107,8 +109,16 @@ class ClusterRun:
 class Cluster:
     """Builds and drives the full simulated deployment."""
 
-    def __init__(self, scheduler: Scheduler, config: ClusterConfig | None = None) -> None:
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        config: ClusterConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
         self.config = config or ClusterConfig()
+        self.metrics = metrics
+        self.tracer = tracer
         workload_config = SmallBankConfig(
             account_count=self.config.account_count,
             skew=self.config.skew,
@@ -141,6 +151,8 @@ class Cluster:
                 use_vm=self.config.use_vm,
                 backend=self.config.exec_backend,
             ),
+            metrics=metrics,
+            tracer=tracer,
         )
 
     def close(self) -> None:
@@ -168,9 +180,11 @@ class Cluster:
         return run
 
     def _run_one_epoch(self) -> EpochOutcome:
-        blocks = self.coordinator.mine_epoch(
-            self.mempool, state_root=self.node.state_root
-        )
+        with maybe_span(self.tracer, "net.mine_epoch") as span:
+            blocks = self.coordinator.mine_epoch(
+                self.mempool, state_root=self.node.state_root
+            )
+            span.set(blocks=len(blocks))
         # Simulated time: the block interval elapses, then broadcasts land.
         broadcast_delay = max(
             self.links.block_delay(block.size) for block in blocks

@@ -22,9 +22,11 @@ from repro.dag.pow import PoWParams
 from repro.errors import NetworkError
 from repro.net.links import LinkModel
 from repro.net.simulator import Simulator
+from repro.node.metrics import MetricsRegistry
 from repro.node.node import FullNode
 from repro.node.phases import EpochReport
 from repro.node.pipeline import Scheduler
+from repro.obs.tracer import Tracer, maybe_span
 from repro.state.statedb import StateDB
 from repro.vm.contracts.smallbank import default_registry
 from repro.workload.smallbank import SmallBankConfig, SmallBankWorkload, initial_state
@@ -70,8 +72,10 @@ class ReplicaNetwork:
         self,
         scheduler_factory: SchedulerFactory,
         config: ReplicaNetworkConfig | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.config = config or ReplicaNetworkConfig()
+        self.tracer = tracer
         pow_params = PoWParams()
         workload_config = SmallBankConfig(
             account_count=self.config.account_count,
@@ -94,9 +98,15 @@ class ReplicaNetwork:
             block_size=self.config.block_size,
         )
         self.replicas: list[FullNode] = []
+        # One registry per replica so per-replica abort/latency series stay
+        # separable (agreement checks compare replicas; pooled counters
+        # would hide a diverging one).
+        self.metrics: list[MetricsRegistry] = []
         for _ in range(self.config.replica_count):
             state = StateDB()
             state.seed(initial_state(workload_config))
+            registry = MetricsRegistry()
+            self.metrics.append(registry)
             self.replicas.append(
                 FullNode(
                     chains=ParallelChains(
@@ -105,6 +115,8 @@ class ReplicaNetwork:
                     state=state,
                     scheduler=scheduler_factory(),
                     registry=default_registry(),
+                    metrics=registry,
+                    tracer=tracer,
                 )
             )
         self.agreements: list[EpochAgreement] = []
@@ -122,9 +134,12 @@ class ReplicaNetwork:
 
         def deliver(replica_index: int) -> Callable[[], None]:
             def handler() -> None:
-                reports[replica_index] = self.replicas[replica_index].receive_epoch(
-                    blocks
-                )
+                with maybe_span(
+                    self.tracer, "net.replica_deliver", replica=replica_index
+                ):
+                    reports[replica_index] = self.replicas[
+                        replica_index
+                    ].receive_epoch(blocks)
                 delivery_times[replica_index] = self.simulator.now
 
             return handler

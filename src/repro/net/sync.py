@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from repro.dag.blockstore import BlockStore
 from repro.errors import NetworkError
 from repro.node.node import FullNode
+from repro.obs.tracer import maybe_span
 
 
 @dataclass(frozen=True)
@@ -61,7 +62,9 @@ def sync_from_archive(
         if not blocks:
             break  # archive exhausted: caught up
         try:
-            report = node.receive_epoch(blocks)
+            with maybe_span(node.tracer, "sync.round", epoch=height) as span:
+                report = node.receive_epoch(blocks)
+                span.set(committed=report.committed)
         except Exception as exc:  # noqa: BLE001 - rewrap with context
             raise NetworkError(
                 f"sync failed at epoch {height}: {exc}"

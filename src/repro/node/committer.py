@@ -17,6 +17,7 @@ from typing import Any, Mapping, Sequence
 from repro.core.schedule import Schedule
 from repro.errors import ExecutionError
 from repro.node.executor import ConcurrentExecutor
+from repro.obs.tracer import Tracer, maybe_span
 from repro.state.statedb import StateDB
 from repro.txn.rwset import Address
 from repro.txn.transaction import Transaction
@@ -54,8 +55,9 @@ class Committer:
     is created lazily and reused across epochs; :meth:`close` releases it.
     """
 
-    def __init__(self, workers: int = 0) -> None:
+    def __init__(self, workers: int = 0, tracer: Tracer | None = None) -> None:
         self.workers = workers
+        self.tracer = tracer
         self._pool = None
 
     def commit(
@@ -67,25 +69,29 @@ class Committer:
         """Apply the writes of every committed transaction in group order."""
         committed = 0
         delta: dict[Address, int] = {}
-        for group in schedule.iter_groups():
-            for txid in group.txids:
-                if txid not in write_values:
-                    raise ExecutionError(
-                        f"committed T{txid} has no simulated write values"
-                    )
-            if self.workers > 1 and len(group.txids) > 1:
-                self._apply_group_parallel(group.txids, write_values, state)
-            else:
+        with maybe_span(self.tracer, "commit.apply_groups") as span:
+            for group in schedule.iter_groups():
                 for txid in group.txids:
-                    self._apply_one(write_values[txid], state)
-            # Within a group writes are pairwise disjoint, so merging in
-            # txid order equals any interleaving; across groups the later
-            # group overwrites, matching the application order above.
-            for txid in group.txids:
-                for address, value in write_values[txid].items():
-                    delta[address] = int(value)
-            committed += len(group.txids)
-        root = state.commit()
+                    if txid not in write_values:
+                        raise ExecutionError(
+                            f"committed T{txid} has no simulated write values"
+                        )
+                if self.workers > 1 and len(group.txids) > 1:
+                    self._apply_group_parallel(group.txids, write_values, state)
+                else:
+                    for txid in group.txids:
+                        self._apply_one(write_values[txid], state)
+                # Within a group writes are pairwise disjoint, so merging in
+                # txid order equals any interleaving; across groups the later
+                # group overwrites, matching the application order above.
+                for txid in group.txids:
+                    for address, value in write_values[txid].items():
+                        delta[address] = int(value)
+                committed += len(group.txids)
+            span.set(committed=committed, groups=len(schedule.groups))
+        with maybe_span(self.tracer, "commit.state_root") as span:
+            root = state.commit()
+            span.set(writes=len(delta))
         return CommitReport(
             state_root=root,
             committed_count=committed,

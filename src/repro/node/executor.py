@@ -37,9 +37,12 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Mapping, Sequence
 
 from repro.errors import ExecutionError
+from repro.obs.tracer import Tracer, maybe_span
 from repro.txn.codec import (
     simulation_result_from_wire,
     simulation_result_to_wire,
+    span_from_wire,
+    span_to_wire,
     transaction_from_wire,
     transaction_to_wire,
 )
@@ -65,18 +68,23 @@ def caller_id(sender: str) -> int:
         return 0
 
 
-def _worker_main(conn, registry, use_vm, gas_limit, txn_cost_seconds) -> None:
+def _worker_main(conn, registry, use_vm, gas_limit, txn_cost_seconds, index) -> None:
     """Loop of one persistent worker process.
 
-    The worker is bootstrapped once (registry, VM flags) and then serves
-    commands off its pipe until told to close:
+    The worker is bootstrapped once (registry, VM flags, worker index) and
+    then serves commands off its pipe until told to close:
 
     * ``("sync", state)`` — replace the flat state replica wholesale
       (initial bootstrap, or resync after the parent marked it stale);
     * ``("delta", writes)`` — fold one epoch's commit write-delta into
       the replica (the steady-state path);
-    * ``("exec", wires)`` — speculatively execute a chunk of wire-tuple
-      transactions against the replica and reply with wire results.
+    * ``("exec", wires, want_spans)`` — speculatively execute a chunk of
+      wire-tuple transactions against the replica and reply with
+      ``("ok", result-wires, span-wires)``.  When the parent traces, the
+      worker records one ``execute.worker_chunk`` span per command on its
+      own ``worker-N`` track and ships it back; ``perf_counter`` reads
+      the system-wide ``CLOCK_MONOTONIC``, so worker timestamps merge
+      directly into the parent's timeline.
 
     Execution never mutates the replica (speculation buffers writes in
     ``LoggedStorage``), so a failed ``exec`` leaves the worker reusable.
@@ -87,6 +95,7 @@ def _worker_main(conn, registry, use_vm, gas_limit, txn_cost_seconds) -> None:
         gas_limit=gas_limit,
         txn_cost_seconds=txn_cost_seconds,
     )
+    tracer = Tracer(track=f"worker-{index}")
     replica: dict[Address, int] = {}
     read = lambda address: replica.get(address, 0)  # noqa: E731
     while True:
@@ -96,16 +105,26 @@ def _worker_main(conn, registry, use_vm, gas_limit, txn_cost_seconds) -> None:
             break
         command = message[0]
         if command == "exec":
+            wires = message[1]
+            want_spans = bool(message[2]) if len(message) > 2 else False
             try:
-                results = [
-                    simulation_result_to_wire(
-                        executor.execute_one(transaction_from_wire(wire), read)
-                    )
-                    for wire in message[1]
-                ]
-                conn.send(("ok", results))
+                with maybe_span(
+                    tracer if want_spans else None,
+                    "execute.worker_chunk",
+                    txns=len(wires),
+                    worker=index,
+                ):
+                    results = [
+                        simulation_result_to_wire(
+                            executor.execute_one(transaction_from_wire(wire), read)
+                        )
+                        for wire in wires
+                    ]
+                spans = [span_to_wire(span) for span in tracer.drain()]
+                conn.send(("ok", results, spans))
             except Exception as exc:  # surfaced in the parent
-                conn.send(("err", f"{type(exc).__name__}: {exc}"))
+                tracer.clear()
+                conn.send(("err", f"{type(exc).__name__}: {exc}", ()))
         elif command == "delta":
             replica.update(message[1])
         elif command == "sync":
@@ -131,11 +150,11 @@ class _ProcessPool:
         context = mp.get_context(method)
         self._connections = []
         self._processes = []
-        for _ in range(workers):
+        for index in range(workers):
             parent_conn, child_conn = context.Pipe(duplex=True)
             process = context.Process(
                 target=_worker_main,
-                args=(child_conn, registry, use_vm, gas_limit, txn_cost_seconds),
+                args=(child_conn, registry, use_vm, gas_limit, txn_cost_seconds, index),
                 daemon=True,
             )
             process.start()
@@ -159,9 +178,9 @@ class _ProcessPool:
             conn.send(("delta", payload))
 
     def execute(
-        self, chunks: Sequence[Sequence[Transaction]]
-    ) -> list[list[tuple]]:
-        """Run one chunk per worker; returns wire results per chunk.
+        self, chunks: Sequence[Sequence[Transaction]], want_spans: bool = False
+    ) -> tuple[list[list[tuple]], list[tuple]]:
+        """Run one chunk per worker; returns (wire results, span wires).
 
         Raises ``ExecutionError`` for a deterministic in-worker failure
         (the pool stays healthy) and ``OSError``/``EOFError`` for a dead
@@ -169,7 +188,9 @@ class _ProcessPool:
         before either is raised so the pipes never desynchronise.
         """
         for conn, chunk in zip(self._connections, chunks):
-            conn.send(("exec", [transaction_to_wire(txn) for txn in chunk]))
+            conn.send(
+                ("exec", [transaction_to_wire(txn) for txn in chunk], want_spans)
+            )
         replies = []
         transport_error = None
         for conn, chunk in zip(self._connections, chunks):
@@ -180,10 +201,12 @@ class _ProcessPool:
                 replies.append(None)
         if transport_error is not None:
             raise transport_error
-        failures = [detail for status, detail in replies if status == "err"]
+        failures = [detail for status, detail, _ in replies if status == "err"]
         if failures:
             raise ExecutionError(failures[0])
-        return [payload for _, payload in replies]
+        results = [payload for _, payload, _ in replies]
+        spans = [wire for _, _, span_wires in replies for wire in span_wires]
+        return results, spans
 
     def close(self) -> None:
         """Shut every worker down (idempotent)."""
@@ -230,6 +253,7 @@ class ConcurrentExecutor:
         backend: str = "auto",
         state_provider: StateProvider | None = None,
         txn_cost_seconds: float = 0.0,
+        tracer: Tracer | None = None,
     ) -> None:
         if backend not in BACKENDS:
             raise ExecutionError(
@@ -242,6 +266,7 @@ class ConcurrentExecutor:
         self.backend = backend
         self.state_provider = state_provider
         self.txn_cost_seconds = txn_cost_seconds
+        self.tracer = tracer
         self._svm = SVM()
         self._pool: ThreadPoolExecutor | None = None
         self._process_pool: _ProcessPool | None = None
@@ -380,8 +405,14 @@ class ConcurrentExecutor:
     def _execute_chunk(
         self, chunk: Sequence[Transaction], read_fn: ReadFn
     ) -> list[SimulationResult]:
-        """One thread task: a contiguous run of the ordered batch."""
-        return [self._execute_one(txn, read_fn) for txn in chunk]
+        """One thread task: a contiguous run of the ordered batch.
+
+        The span lands on the executing pool thread's own track (the
+        tracer keys tracks by thread name), so a merged trace shows
+        per-thread occupancy and stragglers directly.
+        """
+        with maybe_span(self.tracer, "execute.chunk", txns=len(chunk)):
+            return [self._execute_one(txn, read_fn) for txn in chunk]
 
     def _execute_process(
         self, ordered: list[Transaction]
@@ -400,12 +431,16 @@ class ConcurrentExecutor:
                 for i in range(chunk_count)
             ]
             chunks = [ordered[lo:hi] for lo, hi in bounds]
-            wire_chunks = pool.execute(chunks)
+            wire_chunks, span_wires = pool.execute(
+                chunks, want_spans=self.tracer is not None
+            )
         except ExecutionError:
             raise  # deterministic contract failure: same as serial would raise
         except Exception:
             self._retire_process_pool()
             return None
+        if self.tracer is not None and span_wires:
+            self.tracer.extend(span_from_wire(wire) for wire in span_wires)
         return [
             simulation_result_from_wire(wire, txn)
             for chunk, wires in zip(chunks, wire_chunks)

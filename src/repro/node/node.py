@@ -20,6 +20,7 @@ from repro.errors import BlockValidationError
 from repro.node.metrics import MetricsRegistry, record_epoch
 from repro.node.phases import EpochReport
 from repro.node.pipeline import PipelineConfig, Scheduler, TransactionPipeline
+from repro.obs.tracer import Tracer, maybe_span
 from repro.state.statedb import StateDB
 from repro.vm.native import ContractRegistry
 
@@ -36,6 +37,7 @@ class FullNode:
     reports: list[EpochReport] = field(default_factory=list)
     blockstore: BlockStore | None = None
     metrics: "MetricsRegistry | None" = None
+    tracer: "Tracer | None" = None
 
     def __post_init__(self) -> None:
         self.pipeline = TransactionPipeline(
@@ -43,6 +45,7 @@ class FullNode:
             scheduler=self.scheduler,
             registry=self.registry,
             config=self.config,
+            tracer=self.tracer,
         )
         self._next_epoch = min(
             (self.chains.height(c) for c in range(self.chains.chain_count)),
@@ -90,20 +93,25 @@ class FullNode:
         this block invalid and discard it"); the epoch proceeds with the
         surviving blocks.
         """
-        accepted = 0
-        for block in blocks:
-            if block.header.state_root != self.state.root:
-                continue  # Discard: stale or wrong state root.
-            try:
-                self.chains.append(block)
-            except BlockValidationError:
-                continue  # Discard: structural failure.
-            if self.blockstore is not None:
-                self.blockstore.put_block(block)
-            accepted += 1
-        if accepted == 0:
-            raise BlockValidationError("every block of the epoch was discarded")
-        epoch = extract_epoch(self.chains, self._next_epoch)
+        with maybe_span(
+            self.tracer, "node.block_arrival", epoch=self._next_epoch
+        ) as span:
+            accepted = 0
+            for block in blocks:
+                if block.header.state_root != self.state.root:
+                    continue  # Discard: stale or wrong state root.
+                try:
+                    self.chains.append(block)
+                except BlockValidationError:
+                    continue  # Discard: structural failure.
+                if self.blockstore is not None:
+                    self.blockstore.put_block(block)
+                accepted += 1
+            span.set(offered=len(blocks), accepted=accepted)
+            if accepted == 0:
+                raise BlockValidationError("every block of the epoch was discarded")
+        with maybe_span(self.tracer, "node.epoch_seal", epoch=self._next_epoch):
+            epoch = extract_epoch(self.chains, self._next_epoch)
         if epoch is None:
             raise BlockValidationError(f"epoch {self._next_epoch} is empty")
         report = self.process_epoch(epoch)

@@ -43,7 +43,14 @@ class PhaseLatencies:
 
 @dataclass
 class EpochReport:
-    """Everything measured while processing one epoch."""
+    """Everything measured while processing one epoch.
+
+    ``abort_reasons`` maps each taxonomy reason (see
+    :mod:`repro.obs.taxonomy`) to the number of transactions aborted for
+    it; the counts always sum to ``aborted``.  ``revived`` counts
+    §IV-D-doomed transactions the validation pass rescued back into the
+    schedule (they are *not* part of ``aborted``).
+    """
 
     epoch_index: int
     scheme: str
@@ -57,6 +64,8 @@ class EpochReport:
     scheme_phases: Mapping[str, float] = field(default_factory=dict)
     commit_group_count: int = 0
     scheduler_failed: bool = False
+    abort_reasons: Mapping[str, int] = field(default_factory=dict)
+    revived: int = 0
 
     @property
     def abort_rate(self) -> float:

@@ -31,6 +31,8 @@ from repro.errors import BlockValidationError
 from repro.node.committer import Committer, SerialExecutorCommitter
 from repro.node.executor import ConcurrentExecutor
 from repro.node.phases import EpochReport, PhaseLatencies
+from repro.obs.taxonomy import taxonomy_counts
+from repro.obs.tracer import Tracer, maybe_span
 from repro.state.statedb import StateDB
 from repro.txn.transaction import Transaction
 from repro.vm.native import ContractRegistry
@@ -78,11 +80,17 @@ class TransactionPipeline:
         scheduler: Scheduler,
         registry: ContractRegistry | None = None,
         config: PipelineConfig | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.state = state
         self.scheduler = scheduler
         self.registry = registry
         self.config = config or PipelineConfig()
+        self.tracer = tracer
+        if tracer is not None and hasattr(scheduler, "tracer"):
+            # Schedulers that record sub-phase spans (Nezha) nest them
+            # under this pipeline's concurrency-control span.
+            scheduler.tracer = tracer  # type: ignore[attr-defined]
         self.executor = ConcurrentExecutor(
             registry=registry,
             workers=self.config.workers,
@@ -91,8 +99,9 @@ class TransactionPipeline:
             # Process-backend replicas bootstrap from the committed flat
             # state; steady-state sync then ships only commit deltas.
             state_provider=lambda: dict(self.state.items()),
+            tracer=tracer,
         )
-        self.committer = Committer(workers=self.config.workers)
+        self.committer = Committer(workers=self.config.workers, tracer=tracer)
         self._serial = SerialExecutorCommitter(
             registry=registry, use_vm=self.config.use_vm
         )
@@ -117,13 +126,29 @@ class TransactionPipeline:
         ``exclude_txids`` suppresses transactions committed in earlier
         epochs (cross-epoch duplicate protection).
         """
+        with maybe_span(
+            self.tracer, "pipeline.epoch", epoch=epoch.index, scheme=self.scheduler.name
+        ) as epoch_span:
+            report = self._process_epoch_traced(epoch, exclude_txids)
+            epoch_span.set(
+                txns=report.input_transactions,
+                committed=report.committed,
+                aborted=report.aborted,
+            )
+        return report
+
+    def _process_epoch_traced(
+        self, epoch: Epoch, exclude_txids: frozenset[int] | set[int]
+    ) -> EpochReport:
         phases = PhaseLatencies()
         previous_root = self.state.root
 
         start = time.perf_counter()
-        if self.config.validate_blocks:
-            self._validate_blocks(epoch.blocks, previous_root)
-        transactions = epoch.transactions(exclude=exclude_txids)
+        with maybe_span(self.tracer, "pipeline.validate_blocks") as span:
+            if self.config.validate_blocks:
+                self._validate_blocks(epoch.blocks, previous_root)
+            transactions = epoch.transactions(exclude=exclude_txids)
+            span.set(blocks=len(epoch.blocks), txns=len(transactions))
         phases.validation = time.perf_counter() - start
 
         if self.scheduler.name == "serial":
@@ -133,23 +158,28 @@ class TransactionPipeline:
             # Locking schemes (PCC) need no speculation: they lock the
             # declared read/write sets and execute wave by wave.
             start = time.perf_counter()
-            result = self.scheduler.schedule(transactions)
+            with maybe_span(self.tracer, "pipeline.concurrency_control"):
+                result = self.scheduler.schedule(transactions)
             phases.concurrency_control = time.perf_counter() - start
             return self._process_reexecuted(
                 epoch, transactions, None, result, result.schedule, phases
             )
 
         start = time.perf_counter()
-        snapshot = self.state.snapshot()
-        batch = self.executor.execute_batch(
-            transactions, snapshot.get, snapshot_root=previous_root
-        )
-        simulated = batch.transactions()
+        with maybe_span(self.tracer, "pipeline.simulate") as span:
+            snapshot = self.state.snapshot()
+            batch = self.executor.execute_batch(
+                transactions, snapshot.get, snapshot_root=previous_root
+            )
+            simulated = batch.transactions()
+            span.set(txns=len(transactions), failed=batch.failed_count)
         phases.execution = time.perf_counter() - start
 
         start = time.perf_counter()
-        result = self.scheduler.schedule(simulated)
-        schedule: Schedule = result.schedule
+        with maybe_span(self.tracer, "pipeline.concurrency_control") as span:
+            result = self.scheduler.schedule(simulated)
+            schedule: Schedule = result.schedule
+            span.set(aborted=schedule.aborted_count)
         phases.concurrency_control = time.perf_counter() - start
 
         if getattr(result, "requires_reexecution", False):
@@ -159,19 +189,23 @@ class TransactionPipeline:
 
         start = time.perf_counter()
         failed = bool(getattr(result, "failed", False))
-        if failed:
-            commit_root = self.state.root
-            group_count = 0
-            committed = 0
-        else:
-            report = self.committer.commit(schedule, batch.write_values(), self.state)
-            commit_root = report.state_root
-            group_count = report.group_count
-            committed = report.committed_count
-            if report.write_delta:
-                # Keep the process backend's worker replicas in lockstep
-                # with the committed state before the next epoch executes.
-                self.executor.apply_delta(report.write_delta)
+        with maybe_span(self.tracer, "pipeline.commit") as span:
+            if failed:
+                commit_root = self.state.root
+                group_count = 0
+                committed = 0
+            else:
+                report = self.committer.commit(
+                    schedule, batch.write_values(), self.state
+                )
+                commit_root = report.state_root
+                group_count = report.group_count
+                committed = report.committed_count
+                if report.write_delta:
+                    # Keep the process backend's worker replicas in lockstep
+                    # with the committed state before the next epoch executes.
+                    self.executor.apply_delta(report.write_delta)
+            span.set(committed=committed, groups=group_count)
         phases.commitment = time.perf_counter() - start
 
         timings = getattr(result, "timings", None)
@@ -189,7 +223,20 @@ class TransactionPipeline:
             scheme_phases=scheme_phases,
             commit_group_count=group_count,
             scheduler_failed=failed,
+            abort_reasons=self._taxonomy(schedule, result),
+            revived=int(getattr(result, "revived", 0)),
         )
+
+    @staticmethod
+    def _taxonomy(schedule: Schedule, result: object) -> dict[str, int]:
+        """Classify the final aborted set via the scheduler's reason map.
+
+        Schemes that do not attribute aborts (CG, OCC) fall through to the
+        catch-all ``scheme_conflict`` bucket, so the counts always sum to
+        ``schedule.aborted_count`` regardless of scheme.
+        """
+        reasons = getattr(result, "abort_reasons", None)
+        return taxonomy_counts(schedule.aborted, reasons)
 
     def _process_reexecuted(
         self,
@@ -210,23 +257,27 @@ class TransactionPipeline:
         by_id = {t.txid: t for t in transactions}
         start = time.perf_counter()
         committed = 0
-        for group in schedule.iter_groups():
-            for txid in group.txids:
-                txn = by_id[txid]
-                if txn.contract is None or self.registry is None:
-                    for address, value in txn.rwset.writes.items():
-                        self.state.set(address, int(value) if value is not None else 0)
-                    committed += 1
-                    continue
-                sim = self.executor.execute_one(txn, self.state.get)
-                if sim.ok:
-                    for address, value in sim.rwset.writes.items():
-                        self.state.set(address, int(value))
-                    committed += 1
-        commit_root = self.state.commit()
-        # No write-delta exists for wave-by-wave commits, so the process
-        # backend must resync its replicas from state before executing.
-        self.executor.mark_stale()
+        with maybe_span(self.tracer, "pipeline.commit") as span:
+            for group in schedule.iter_groups():
+                for txid in group.txids:
+                    txn = by_id[txid]
+                    if txn.contract is None or self.registry is None:
+                        for address, value in txn.rwset.writes.items():
+                            self.state.set(
+                                address, int(value) if value is not None else 0
+                            )
+                        committed += 1
+                        continue
+                    sim = self.executor.execute_one(txn, self.state.get)
+                    if sim.ok:
+                        for address, value in sim.rwset.writes.items():
+                            self.state.set(address, int(value))
+                        committed += 1
+            commit_root = self.state.commit()
+            # No write-delta exists for wave-by-wave commits, so the process
+            # backend must resync its replicas from state before executing.
+            self.executor.mark_stale()
+            span.set(committed=committed, groups=len(schedule.groups))
         phases.commitment = time.perf_counter() - start
         timings = getattr(result, "timings", None)
         scheme_phases = timings.as_dict() if timings is not None else {}
@@ -244,6 +295,8 @@ class TransactionPipeline:
             phases=phases,
             scheme_phases=scheme_phases,
             commit_group_count=len(schedule.groups),
+            abort_reasons=self._taxonomy(schedule, result),
+            revived=int(getattr(result, "revived", 0)),
         )
 
     def _process_serial(

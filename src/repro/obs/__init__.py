@@ -1,0 +1,54 @@
+"""Observability: structured tracing, exporters, and the abort taxonomy.
+
+Dependency-free by design — every other layer (core, node, net) imports
+from here, so nothing in this package may import from them at module
+scope (``prom`` type-checks against ``repro.node.metrics`` under
+``TYPE_CHECKING`` only).
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    render_top,
+    summarize_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.prom import render_prometheus, write_prometheus
+from repro.obs.taxonomy import (
+    ABORT_REASONS,
+    DOOMED_REORDER,
+    SCHEME_CONFLICT,
+    UNSERIALIZABLE_WRITE,
+    taxonomy_counts,
+)
+from repro.obs.tracer import (
+    NULL_SPAN,
+    Span,
+    SpanLike,
+    Tracer,
+    maybe_span,
+    span_from_wire,
+    span_to_wire,
+)
+
+__all__ = [
+    "ABORT_REASONS",
+    "DOOMED_REORDER",
+    "NULL_SPAN",
+    "SCHEME_CONFLICT",
+    "Span",
+    "SpanLike",
+    "Tracer",
+    "UNSERIALIZABLE_WRITE",
+    "chrome_trace",
+    "maybe_span",
+    "render_prometheus",
+    "render_top",
+    "span_from_wire",
+    "span_to_wire",
+    "summarize_events",
+    "taxonomy_counts",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_prometheus",
+]

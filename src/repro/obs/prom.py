@@ -1,0 +1,117 @@
+"""Prometheus text-exposition rendering of a :class:`MetricsRegistry`.
+
+The node's registry was write-only — nothing ever exported it.  This
+module renders it in the Prometheus text exposition format (version
+0.0.4): one ``# TYPE`` header per metric family, one sample line per
+label set, with label values escaped per the spec (backslash, double
+quote, and newline).  Histograms export as Prometheus *summaries* —
+quantiles over the retained sample ring plus cumulative ``_sum`` and
+``_count`` over every observation ever made.
+
+Written via ``--metrics-out`` on the CLI, or served however the caller
+likes — the renderer is just registry -> text.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING, Mapping, Union
+
+if TYPE_CHECKING:  # avoid a module-level repro.node import cycle
+    from repro.node.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+    Metric = Union[Counter, Gauge, Histogram]
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+_SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Coerce a registry name into a legal Prometheus metric name."""
+    if _NAME_OK.match(name):
+        return name
+    cleaned = _NAME_BAD_CHARS.sub("_", name)
+    if not cleaned or not re.match(r"[a-zA-Z_:]", cleaned[0]):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text-exposition spec."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def render_labels(labels: Mapping[str, str]) -> str:
+    """``{k="v",...}`` with keys sorted, or the empty string."""
+    if not labels:
+        return ""
+    parts = [
+        f'{sanitize_metric_name(key)}="{escape_label_value(str(value))}"'
+        for key, value in sorted(labels.items())
+    ]
+    return "{" + ",".join(parts) + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _summary_lines(
+    name: str, labels: Mapping[str, str], histogram: "Histogram"
+) -> list[str]:
+    # Imported lazily: obs must stay importable from every layer, so the
+    # module pulls repro.analysis in only when actually rendering.
+    from repro.analysis.metrics import percentile
+
+    ordered = sorted(histogram.samples)
+    lines = []
+    for quantile in _SUMMARY_QUANTILES:
+        merged = dict(labels)
+        merged["quantile"] = str(quantile)
+        lines.append(
+            f"{name}{render_labels(merged)} {_format_value(percentile(ordered, quantile))}"
+        )
+    suffix = render_labels(labels)
+    lines.append(f"{name}_sum{suffix} {_format_value(histogram.observed_sum)}")
+    lines.append(f"{name}_count{suffix} {_format_value(float(histogram.observed_count))}")
+    return lines
+
+
+def render_prometheus(registry: "MetricsRegistry") -> str:
+    """The whole registry in Prometheus text-exposition format."""
+    from repro.node.metrics import Counter, Gauge, Histogram
+
+    blocks: list[str] = []
+    for name, kind, samples in registry.families():
+        metric_name = sanitize_metric_name(name)
+        if kind is Counter:
+            type_name = "counter"
+        elif kind is Gauge:
+            type_name = "gauge"
+        elif kind is Histogram:
+            type_name = "summary"
+        else:  # pragma: no cover - registry only holds the three kinds
+            continue
+        lines = [f"# TYPE {metric_name} {type_name}"]
+        for labels, metric in samples:
+            if isinstance(metric, Histogram):
+                lines.extend(_summary_lines(metric_name, labels, metric))
+            else:
+                lines.append(
+                    f"{metric_name}{render_labels(labels)} {_format_value(metric.value)}"
+                )
+        blocks.append("\n".join(lines))
+    return "\n".join(blocks) + ("\n" if blocks else "")
+
+
+def write_prometheus(path: str, registry: "MetricsRegistry") -> int:
+    """Write the exposition to ``path``; returns the number of lines."""
+    text = render_prometheus(registry)
+    from pathlib import Path
+
+    Path(path).write_text(text)
+    return text.count("\n")

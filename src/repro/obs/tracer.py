@@ -1,0 +1,210 @@
+"""Structured tracing: nested spans over a monotonic clock.
+
+The paper's whole evaluation is phase-level latency accounting (Table IV,
+Figures 9-12), so the repro needs to *see* where an epoch's time goes —
+down to the concurrency-control sub-phases and the per-worker execution
+chunks.  A :class:`Tracer` records :class:`Span` objects: named intervals
+measured with ``time.perf_counter`` (monotonic — the determinism linter's
+ND102 rule explicitly allows it because span timings never feed committed
+state), nested through per-thread stacks, and retained in a bounded
+in-memory ring so long runs cannot grow without bound.
+
+Worker processes build their own ``Tracer`` and ship finished spans back
+to the parent as primitive wire tuples (see :mod:`repro.txn.codec`);
+``Tracer.extend`` merges them into one timeline.  ``perf_counter`` reads
+``CLOCK_MONOTONIC``, which is system-wide on Linux, so parent and worker
+timestamps share one time base and the merged timeline lines up.
+
+This module is dependency-free and must stay importable from every layer
+(core, node, net) without cycles: it imports nothing from ``repro``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Union
+
+AttrValue = Union[str, int, float, bool, None]
+"""JSON-safe span attribute values."""
+
+DEFAULT_MAX_SPANS = 100_000
+"""Default bound of the finished-span ring (oldest spans are evicted)."""
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) named interval.
+
+    ``start``/``end`` are monotonic-clock seconds; ``track`` names the
+    logical timeline the span belongs to ("main", a worker thread name,
+    or "worker-N" for a process-backend worker).
+    """
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    track: str
+    start: float
+    end: float = 0.0
+    attrs: dict[str, AttrValue] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds (never negative)."""
+        return max(0.0, self.end - self.start)
+
+    def set(self, **attrs: AttrValue) -> None:
+        """Attach (or overwrite) attributes on the span."""
+        self.attrs.update(attrs)
+
+
+class _NullSpan:
+    """No-op stand-in yielded by :func:`maybe_span` when tracing is off."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: AttrValue) -> None:
+        """Discard the attributes (tracing is disabled)."""
+
+
+NULL_SPAN = _NullSpan()
+
+SpanLike = Union[Span, _NullSpan]
+
+
+class Tracer:
+    """Records nested spans into a bounded in-memory ring.
+
+    Thread-safe: every thread keeps its own nesting stack (so spans
+    opened by pool workers nest correctly and land on their own track)
+    while the finished ring is shared.  ``deque.append`` is atomic under
+    the GIL, so no lock guards the hot path.
+    """
+
+    def __init__(
+        self,
+        max_spans: int = DEFAULT_MAX_SPANS,
+        track: str = "main",
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if max_spans < 1:
+            raise ValueError("max_spans must be positive")
+        self.track = track
+        self._clock = clock
+        self._finished: deque[Span] = deque(maxlen=max_spans)
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+
+    # ------------------------------------------------------------- recording
+
+    def _stack(self) -> list[Span]:
+        stack: list[Span] | None = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _current_track(self) -> str:
+        thread = threading.current_thread()
+        if thread is threading.main_thread():
+            return self.track
+        return thread.name
+
+    @contextmanager
+    def span(self, name: str, **attrs: AttrValue) -> Iterator[Span]:
+        """Open a nested span; it is recorded when the block exits."""
+        stack = self._stack()
+        opened = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=stack[-1].span_id if stack else None,
+            track=self._current_track(),
+            start=self._clock(),
+            attrs=dict(attrs),
+        )
+        stack.append(opened)
+        try:
+            yield opened
+        finally:
+            opened.end = self._clock()
+            stack.pop()
+            self._finished.append(opened)
+
+    def extend(self, spans: Iterable[Span]) -> None:
+        """Merge externally-recorded spans (e.g. from worker processes)."""
+        for span in spans:
+            self._finished.append(span)
+
+    # ------------------------------------------------------------ inspection
+
+    def spans(self) -> list[Span]:
+        """Finished spans in merged timeline order (start time, then id)."""
+        return sorted(self._finished, key=lambda s: (s.start, s.span_id))
+
+    def drain(self) -> list[Span]:
+        """Return :meth:`spans` and clear the ring (used by workers)."""
+        out = self.spans()
+        self._finished.clear()
+        return out
+
+    def clear(self) -> None:
+        """Drop every finished span."""
+        self._finished.clear()
+
+    def __len__(self) -> int:
+        return len(self._finished)
+
+
+@contextmanager
+def maybe_span(
+    tracer: Tracer | None, name: str, **attrs: AttrValue
+) -> Iterator[SpanLike]:
+    """``tracer.span(...)`` when tracing is on, else a shared no-op span.
+
+    Instrumented call sites use this unconditionally so the untraced hot
+    path pays only a ``None`` check plus one generator frame — the
+    overhead benchmark (``benchmarks/bench_obs_overhead.py``) holds the
+    traced-vs-untraced gap under 5% of epoch latency.
+    """
+    if tracer is None:
+        yield NULL_SPAN
+    else:
+        with tracer.span(name, **attrs) as span:
+            yield span
+
+
+# ------------------------------------------------------------- wire format
+
+SpanWire = tuple  # (name, span_id, parent_id, track, start, end, attrs-items)
+
+
+def span_to_wire(span: Span) -> tuple:
+    """Flatten a span to a primitive tuple for worker IPC."""
+    return (
+        span.name,
+        span.span_id,
+        span.parent_id,
+        span.track,
+        span.start,
+        span.end,
+        tuple(span.attrs.items()),
+    )
+
+
+def span_from_wire(wire: tuple) -> Span:
+    """Rebuild a span from its wire tuple."""
+    name, span_id, parent_id, track, start, end, attrs = wire
+    return Span(
+        name=name,
+        span_id=span_id,
+        parent_id=parent_id,
+        track=track,
+        start=start,
+        end=end,
+        attrs=dict(attrs),
+    )

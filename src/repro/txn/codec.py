@@ -18,6 +18,12 @@ encodes one epoch's whole batch on the critical path.  A
 ``SimulationResult`` travels *without* its transaction: the parent
 already holds the ``Transaction`` objects and re-attaches them by txid
 (``simulation_result_from_wire`` refuses a mismatch).
+
+Tracer spans ride the same pipe when tracing is on:
+``span_to_wire``/``span_from_wire`` (re-exported here from
+:mod:`repro.obs.tracer` so every IPC wire codec lives behind one module)
+flatten :class:`~repro.obs.tracer.Span` objects to primitive tuples for
+the worker→parent leg of the ``exec`` exchange.
 """
 
 from __future__ import annotations
@@ -25,10 +31,22 @@ from __future__ import annotations
 from typing import Any
 
 from repro.errors import TransactionError
+from repro.obs.tracer import span_from_wire, span_to_wire
 from repro.state.mpt.codec import rlp_decode, rlp_encode
 from repro.txn.rwset import RWSet
 from repro.txn.simulation import SimulationResult, SimulationStatus
 from repro.txn.transaction import Transaction
+
+__all__ = [
+    "decode_transaction",
+    "encode_transaction",
+    "simulation_result_from_wire",
+    "simulation_result_to_wire",
+    "span_from_wire",
+    "span_to_wire",
+    "transaction_from_wire",
+    "transaction_to_wire",
+]
 
 _TAG_NONE = b"\x00"
 _TAG_INT = b"\x01"

@@ -1,0 +1,127 @@
+"""Abort-reason taxonomy: conservation, threading, and metric labels.
+
+The invariant every layer must preserve: an ``EpochReport``'s
+``abort_reasons`` counts sum exactly to ``aborted`` — no abort goes
+unclassified, no classification survives a §IV-D revival.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import CGScheduler, OCCScheduler
+from repro.core import NezhaConfig, NezhaScheduler
+from repro.node.metrics import MetricsRegistry
+from repro.obs import (
+    ABORT_REASONS,
+    DOOMED_REORDER,
+    SCHEME_CONFLICT,
+    UNSERIALIZABLE_WRITE,
+    taxonomy_counts,
+)
+from repro.workload import SmallBankConfig, SmallBankWorkload, flatten_blocks
+
+from tests.node.test_pipeline import build_node, mine_epochs
+
+CONTENDED = SmallBankConfig(account_count=40, skew=1.1, seed=7)
+
+
+def contended_batch(blocks: int = 4, block_size: int = 60):
+    workload = SmallBankWorkload(CONTENDED)
+    return flatten_blocks(workload.generate_blocks(blocks, block_size))
+
+
+class TestTaxonomyCounts:
+    def test_counts_sum_to_aborted_without_reasons(self):
+        counts = taxonomy_counts((3, 9, 11))
+        assert counts == {SCHEME_CONFLICT: 3}
+
+    def test_known_reasons_bucketed(self):
+        counts = taxonomy_counts(
+            (1, 2, 3),
+            {1: UNSERIALIZABLE_WRITE, 2: DOOMED_REORDER, 3: UNSERIALIZABLE_WRITE},
+        )
+        assert counts == {DOOMED_REORDER: 1, UNSERIALIZABLE_WRITE: 2}
+
+    def test_unknown_reason_falls_back_to_scheme_conflict(self):
+        counts = taxonomy_counts((1,), {1: "martian"})
+        assert counts == {SCHEME_CONFLICT: 1}
+
+    def test_empty_abort_set(self):
+        assert taxonomy_counts(()) == {}
+
+
+class TestSchedulerReasons:
+    def test_fast_and_reference_paths_agree(self):
+        batch = contended_batch()
+        fast = NezhaScheduler(NezhaConfig(fast_path=True)).schedule(batch)
+        reference = NezhaScheduler(NezhaConfig(fast_path=False)).schedule(batch)
+        assert fast.abort_reasons == reference.abort_reasons
+        assert fast.revived == reference.revived
+
+    def test_reasons_cover_exactly_the_aborted_set(self):
+        result = NezhaScheduler().schedule(contended_batch())
+        assert set(result.abort_reasons) == set(result.schedule.aborted)
+        assert set(result.abort_reasons.values()) <= set(ABORT_REASONS)
+
+    def test_contended_batch_actually_aborts(self):
+        # Guard: the fixtures must exercise the taxonomy, not vacuously pass.
+        result = NezhaScheduler().schedule(contended_batch())
+        assert result.schedule.aborted_count > 0
+
+
+class TestReportConservation:
+    @pytest.mark.parametrize(
+        "scheduler_factory", [NezhaScheduler, CGScheduler, OCCScheduler]
+    )
+    def test_reason_counts_sum_to_aborted(self, scheduler_factory):
+        node = build_node(scheduler_factory())
+        for report in mine_epochs(node, epochs=2):
+            assert sum(report.abort_reasons.values()) == report.aborted
+            assert set(report.abort_reasons) <= set(ABORT_REASONS)
+
+    def test_nezha_aborts_carry_specific_reasons(self):
+        node = build_node(NezhaScheduler())
+        reports = mine_epochs(node, epochs=3)
+        classified = {
+            reason for report in reports for reason in report.abort_reasons
+        }
+        if any(report.aborted for report in reports):
+            # Nezha attributes every abort; nothing lands in the catch-all.
+            assert SCHEME_CONFLICT not in classified
+
+    def test_revived_is_non_negative_and_separate(self):
+        node = build_node(NezhaScheduler())
+        for report in mine_epochs(node, epochs=2):
+            assert report.revived >= 0
+            # Revived transactions commit; they are not in the abort counts.
+            assert report.committed + report.aborted + report.failed_simulation == (
+                report.input_transactions
+            )
+
+
+class TestMetricsLabels:
+    def test_record_epoch_emits_reason_labelled_counters(self):
+        metrics = MetricsRegistry()
+        node = build_node(NezhaScheduler())
+        node.metrics = metrics
+        reports = mine_epochs(node, epochs=2)
+        total_aborted = sum(report.aborted for report in reports)
+        assert metrics.counter("txns_aborted_total").value == total_aborted
+        labelled_total = sum(
+            metric.value
+            for name, _, series in metrics.families()
+            if name == "txns_abort_reason_total"
+            for _, metric in series
+        )
+        assert labelled_total == total_aborted
+
+    def test_phase_histograms_per_phase_label(self):
+        metrics = MetricsRegistry()
+        node = build_node(NezhaScheduler())
+        node.metrics = metrics
+        mine_epochs(node, epochs=1)
+        snapshot = metrics.snapshot()
+        for phase in ("validation", "execution", "concurrency_control", "commitment"):
+            key = f'phase_latency_seconds{{phase="{phase}"}}'
+            assert key in snapshot

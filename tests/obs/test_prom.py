@@ -1,0 +1,129 @@
+"""Prometheus text exposition: escaping, labels, and summary rendering."""
+
+from __future__ import annotations
+
+from repro.node.metrics import Histogram, MetricsRegistry
+from repro.obs import render_prometheus, write_prometheus
+from repro.obs.prom import escape_label_value, render_labels, sanitize_metric_name
+
+
+class TestEscaping:
+    def test_backslash_quote_and_newline(self):
+        assert escape_label_value('a\\b"c\nd') == 'a\\\\b\\"c\\nd'
+
+    def test_plain_values_unchanged(self):
+        assert escape_label_value("nezha") == "nezha"
+
+    def test_escaped_value_renders_inside_labels(self):
+        rendered = render_labels({"reason": 'say "no"\nplease'})
+        assert rendered == '{reason="say \\"no\\"\\nplease"}'
+
+
+class TestNamesAndLabels:
+    def test_legal_names_pass_through(self):
+        assert sanitize_metric_name("txns_total") == "txns_total"
+        assert sanitize_metric_name("ns:metric_1") == "ns:metric_1"
+
+    def test_illegal_chars_replaced(self):
+        assert sanitize_metric_name("epoch-latency.ms") == "epoch_latency_ms"
+
+    def test_leading_digit_prefixed(self):
+        assert sanitize_metric_name("9lives").startswith("_")
+
+    def test_labels_sorted_by_key(self):
+        rendered = render_labels({"z": "1", "a": "2"})
+        assert rendered == '{a="2",z="1"}'
+
+    def test_empty_labels_render_nothing(self):
+        assert render_labels({}) == ""
+
+
+class TestRenderRegistry:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("epochs_total").inc(3)
+        registry.gauge("last_epoch_index").set(2)
+        text = render_prometheus(registry)
+        assert "# TYPE epochs_total counter" in text
+        assert "epochs_total 3" in text
+        assert "# TYPE last_epoch_index gauge" in text
+        assert "last_epoch_index 2" in text
+
+    def test_labelled_series_one_line_each(self):
+        registry = MetricsRegistry()
+        registry.counter("aborts_total", labels={"reason": "doomed_reorder"}).inc(2)
+        registry.counter(
+            "aborts_total", labels={"reason": "unserializable_write"}
+        ).inc(5)
+        text = render_prometheus(registry)
+        assert text.count("# TYPE aborts_total counter") == 1
+        assert 'aborts_total{reason="doomed_reorder"} 2' in text
+        assert 'aborts_total{reason="unserializable_write"} 5' in text
+
+    def test_histogram_renders_as_summary(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency_seconds")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        text = render_prometheus(registry)
+        assert "# TYPE latency_seconds summary" in text
+        assert 'latency_seconds{quantile="0.5"}' in text
+        assert 'latency_seconds{quantile="0.95"}' in text
+        assert "latency_seconds_sum 10" in text
+        assert "latency_seconds_count 4" in text
+
+    def test_summary_count_is_cumulative_past_eviction(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        histogram.max_samples = 2
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        text = render_prometheus(registry)
+        # _sum/_count cover all three observations, not the retained two.
+        assert "h_sum 6" in text
+        assert "h_count 3" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_write_returns_line_count(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        path = tmp_path / "metrics.prom"
+        lines = write_prometheus(path, registry)
+        content = path.read_text()
+        assert lines == content.count("\n") == 2
+        assert content.endswith("c 1\n")
+
+
+class TestHistogramFix:
+    """Satellite 1: O(1) total/mean plus cumulative observed_* fields."""
+
+    def test_total_and_mean_track_retained_samples(self):
+        histogram = Histogram(max_samples=3)
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        assert histogram.total == 6.0
+        assert histogram.mean == 2.0
+        histogram.observe(10.0)  # evicts 1.0
+        assert histogram.samples == [2.0, 3.0, 10.0]
+        assert histogram.total == 15.0
+        assert histogram.mean == 5.0
+
+    def test_observed_fields_never_reset(self):
+        histogram = Histogram(max_samples=2)
+        for value in range(10):
+            histogram.observe(float(value))
+        assert histogram.observed_count == 10
+        assert histogram.observed_sum == sum(range(10))
+        assert histogram.count == 2
+
+    def test_summary_matches_legacy_shape(self):
+        histogram = Histogram()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert set(summary) == {"count", "mean", "p50", "p95", "max"}
+        assert summary["count"] == 4.0
+        assert summary["mean"] == 2.5
+        assert summary["max"] == 4.0

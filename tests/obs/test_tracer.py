@@ -1,0 +1,165 @@
+"""Tracer semantics: nesting, bounded retention, cross-process merging."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs import NULL_SPAN, Tracer, maybe_span, span_from_wire, span_to_wire
+
+
+class FakeClock:
+    """Deterministic monotonic clock for span-timing assertions."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        self.now += 1.0
+        return self.now
+
+
+class TestSpanNesting:
+    def test_child_records_parent_id(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("first") as first:
+                pass
+            with tracer.span("second") as second:
+                pass
+        assert first.parent_id == outer.span_id
+        assert second.parent_id == outer.span_id
+
+    def test_nesting_restored_after_exception(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        with tracer.span("after") as after:
+            pass
+        # The failing span's frame was popped, so "after" is a root span.
+        assert after.parent_id is None
+        assert {span.name for span in tracer.spans()} == {"failing", "after"}
+
+    def test_span_timing_uses_injected_clock(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("timed") as span:
+            pass
+        assert span.end > span.start
+        assert span.duration == span.end - span.start
+
+    def test_attrs_from_kwargs_and_set(self):
+        tracer = Tracer()
+        with tracer.span("attrs", epoch=3) as span:
+            span.set(committed=17, scheme="nezha")
+        assert span.attrs == {"epoch": 3, "committed": 17, "scheme": "nezha"}
+
+    def test_threads_get_their_own_track_and_stack(self):
+        tracer = Tracer()
+        done = threading.Event()
+
+        def worker() -> None:
+            with tracer.span("thread_work"):
+                pass
+            done.set()
+
+        with tracer.span("main_work"):
+            thread = threading.Thread(target=worker, name="pool-thread-1")
+            thread.start()
+            thread.join()
+        assert done.is_set()
+        by_name = {span.name: span for span in tracer.spans()}
+        assert by_name["main_work"].track == "main"
+        assert by_name["thread_work"].track == "pool-thread-1"
+        # The thread's stack is independent: its span is a root span, not
+        # a child of the main thread's open span.
+        assert by_name["thread_work"].parent_id is None
+
+
+class TestRingEviction:
+    def test_ring_keeps_newest_spans(self):
+        tracer = Tracer(max_spans=3)
+        for index in range(10):
+            with tracer.span(f"s{index}"):
+                pass
+        assert len(tracer) == 3
+        assert [span.name for span in tracer.spans()] == ["s7", "s8", "s9"]
+
+    def test_drain_empties_the_ring(self):
+        tracer = Tracer()
+        with tracer.span("only"):
+            pass
+        drained = tracer.drain()
+        assert [span.name for span in drained] == ["only"]
+        assert len(tracer) == 0
+
+    def test_clear(self):
+        tracer = Tracer()
+        with tracer.span("gone"):
+            pass
+        tracer.clear()
+        assert tracer.spans() == []
+
+
+class TestCrossProcessMerge:
+    def test_wire_round_trip_preserves_every_field(self):
+        tracer = Tracer(track="worker-2")
+        with tracer.span("execute.worker_chunk", txns=40, worker=2) as span:
+            pass
+        rebuilt = span_from_wire(span_to_wire(span))
+        assert rebuilt.name == span.name
+        assert rebuilt.span_id == span.span_id
+        assert rebuilt.parent_id == span.parent_id
+        assert rebuilt.track == "worker-2"
+        assert rebuilt.start == span.start
+        assert rebuilt.end == span.end
+        assert rebuilt.attrs == {"txns": 40, "worker": 2}
+
+    def test_extend_merges_into_timeline_order(self):
+        parent_clock = FakeClock()
+        parent = Tracer(clock=parent_clock)
+        with parent.span("parent_late"):
+            pass  # start=1, end=2
+        parent_clock.now = 10.0
+        with parent.span("parent_later"):
+            pass  # start=11
+        worker = Tracer(track="worker-0", clock=FakeClock())
+        worker._clock.now = 4.0  # starts between the parent spans
+        with worker.span("worker_mid"):
+            pass  # start=5
+        parent.extend(span_from_wire(span_to_wire(s)) for s in worker.drain())
+        names = [span.name for span in parent.spans()]
+        assert names == ["parent_late", "worker_mid", "parent_later"]
+
+    def test_wire_tuples_are_primitives_only(self):
+        tracer = Tracer()
+        with tracer.span("x", a=1, b="s") as span:
+            pass
+        wire = span_to_wire(span)
+        assert isinstance(wire, tuple)
+        flat = [wire[0], wire[1], wire[2], wire[3], wire[4], wire[5], *wire[6]]
+        for item in flat:
+            assert isinstance(item, (str, int, float, tuple, type(None)))
+
+
+class TestMaybeSpan:
+    def test_none_tracer_yields_null_span(self):
+        with maybe_span(None, "anything", attr=1) as span:
+            span.set(more=2)  # must be a silent no-op
+        assert span is NULL_SPAN
+
+    def test_live_tracer_records(self):
+        tracer = Tracer()
+        with maybe_span(tracer, "recorded", epoch=1) as span:
+            pass
+        assert span.attrs == {"epoch": 1}
+        assert [s.name for s in tracer.spans()] == ["recorded"]

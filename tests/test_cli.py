@@ -197,3 +197,86 @@ class TestAnalyze:
             ["analyze", "lint", str(bad), "--select", "ND101"], capsys
         )
         assert code == 0
+
+
+class TestFlightRecorder:
+    """The observability CLI surface: --trace-out/--metrics-out, multinode, top."""
+
+    def run(self, argv, capsys):
+        code = main(argv)
+        out = capsys.readouterr().out
+        return code, out
+
+    def test_simulate_writes_trace_and_metrics(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        trace_file = tmp_path / "trace.json"
+        metrics_file = tmp_path / "metrics.prom"
+        code, out = self.run(
+            ["simulate", "--scheme", "nezha", "--epochs", "2", "--omega", "2",
+             "--block-size", "10", "--accounts", "200",
+             "--trace-out", str(trace_file), "--metrics-out", str(metrics_file)],
+            capsys,
+        )
+        assert code == 0
+        assert "trace:" in out and "metrics:" in out
+        events = validate_chrome_trace(json.loads(trace_file.read_text()))
+        names = {event["name"] for event in events}
+        # Nested sub-phase spans: pipeline phases AND CC sub-phases.
+        assert "pipeline.epoch" in names
+        assert "cc.sorting" in names
+        prom = metrics_file.read_text()
+        assert "# TYPE epochs_total counter" in prom
+        assert "txns_abort_reason_total" in prom or "txns_aborted_total 0" in prom
+
+    def test_top_summarises_trace(self, tmp_path, capsys):
+        trace_file = tmp_path / "trace.json"
+        assert main(
+            ["simulate", "--epochs", "1", "--omega", "2", "--block-size", "10",
+             "--accounts", "200", "--trace-out", str(trace_file)]
+        ) == 0
+        capsys.readouterr()
+        code, out = self.run(["top", str(trace_file), "--limit", "5"], capsys)
+        assert code == 0
+        assert "pipeline.epoch" in out
+        assert len(out.strip().splitlines()) <= 7  # header + rule + 5 rows
+
+    def test_top_rejects_invalid_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"traceEvents\": []}")
+        assert main(["top", str(bad)]) == 2
+        assert "invalid trace" in capsys.readouterr().err
+
+    def test_multinode_agreement_and_outputs(self, tmp_path, capsys):
+        trace_file = tmp_path / "mn.json"
+        metrics_file = tmp_path / "mn.prom"
+        code, out = self.run(
+            ["multinode", "--replicas", "2", "--epochs", "2", "--omega", "2",
+             "--block-size", "10", "--accounts", "200",
+             "--trace-out", str(trace_file), "--metrics-out", str(metrics_file)],
+            capsys,
+        )
+        assert code == 0
+        assert "yes" in out
+        assert "net.replica_deliver" in trace_file.read_text()
+        assert "epochs_total 2" in metrics_file.read_text()
+
+    def test_trace_run_writes_obs_outputs(self, tmp_path, capsys):
+        workload_trace = str(tmp_path / "wl.jsonl")
+        assert main(
+            ["trace", "record", "--out", workload_trace, "--omega", "2",
+             "--block-size", "10", "--accounts", "100"]
+        ) == 0
+        capsys.readouterr()
+        trace_file = tmp_path / "run.json"
+        metrics_file = tmp_path / "run.prom"
+        code, out = self.run(
+            ["trace", "run", workload_trace, "--scheme", "nezha",
+             "--trace-out", str(trace_file), "--metrics-out", str(metrics_file)],
+            capsys,
+        )
+        assert code == 0
+        assert "cc.sorting" in trace_file.read_text()
+        assert "txns_committed_total" in metrics_file.read_text()
