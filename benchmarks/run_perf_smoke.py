@@ -18,6 +18,10 @@ milliseconds:
   epoch-processing latency.  This one is an absolute ceiling, no
   baseline drift: a relative gap between two interleaved replays on the
   same machine is already machine-independent.
+* **Delta-CC abort drop** — operation-level CC must dissolve >= 40% of
+  the baseline's ``unserializable_write`` aborts on SmallBank at skew
+  0.9.  An abort-count ratio on a fixed seed is deterministic, so this
+  gate has no tolerance band at all.
 
 On success (or with ``--update``) the JSON artifacts are rewritten with
 the fresh numbers.
@@ -58,6 +62,13 @@ from bench_obs_overhead import (  # noqa: E402
     measure_obs_overhead,
     write_results as write_obs_results,
 )
+from bench_delta_cc import (  # noqa: E402
+    ABORT_DROP_FLOOR as DELTA_DROP_FLOOR,
+    GATED_SKEW as DELTA_GATED_SKEW,
+    RESULTS_PATH as DELTA_RESULTS_PATH,
+    measure_delta_cc,
+    write_results as write_delta_results,
+)
 
 REGRESSION_TOLERANCE = 0.20
 SMOKE_ROUNDS = 5
@@ -67,6 +78,7 @@ EXEC_SMOKE_ROUNDS = 3
 # CC ratio — the absolute 2x floor still backstops it.
 EXEC_REGRESSION_TOLERANCE = 0.35
 OBS_SMOKE_ROUNDS = 4
+DELTA_SMOKE_EPOCHS = 1
 
 
 def load_baseline(path: Path = CC_RESULTS_PATH) -> dict | None:
@@ -160,15 +172,30 @@ def main(argv: list[str]) -> int:
         )
         failed = True
 
+    delta_payload = measure_delta_cc(epochs=DELTA_SMOKE_EPOCHS)
+    delta_drop = delta_payload["unserializable_drop_at_gated_skew"]
+    print(
+        f"delta-CC unserializable_write drop at skew {DELTA_GATED_SKEW}: "
+        f"{delta_drop:.1%} (floor {DELTA_DROP_FLOOR:.0%})"
+    )
+    if delta_drop < DELTA_DROP_FLOOR:
+        print(
+            f"FAIL [delta_cc]: abort drop below the "
+            f"{DELTA_DROP_FLOOR:.0%} floor"
+        )
+        failed = True
+
     elapsed = time.perf_counter() - started
     print(f"smoke wall-clock: {elapsed:.1f}s")
     if not failed or update_only:
         write_cc_results(cc_payload)
         write_exec_results(exec_payload)
         write_obs_results(obs_payload)
+        write_delta_results(delta_payload)
         print(f"wrote {CC_RESULTS_PATH}")
         print(f"wrote {EXEC_RESULTS_PATH}")
         print(f"wrote {OBS_RESULTS_PATH}")
+        print(f"wrote {DELTA_RESULTS_PATH}")
     return 1 if failed else 0
 
 

@@ -23,12 +23,21 @@ from repro.analysis.static.absdomain import (
     BinExpr,
     Caller,
     Const,
+    Load,
     NotExpr,
     Top,
     evaluate,
 )
 from repro.analysis.static.absint import AbstractResult, Finding, interpret
 from repro.analysis.static.cfg import CFG, BasicBlock, build_cfg, gas_bound
+from repro.analysis.static.deltas import (
+    EMPTY_CLASSIFICATION,
+    DeltaClassification,
+    DeltaSite,
+    classify_bytecode,
+    classify_contract,
+    resolve_sites,
+)
 from repro.analysis.static.contracts import (
     ContainmentFailure,
     ShippedContract,
@@ -65,8 +74,12 @@ __all__ = [
     "ContainmentResult",
     "Const",
     "DEFAULT_LINT_PACKAGES",
+    "DeltaClassification",
+    "DeltaSite",
+    "EMPTY_CLASSIFICATION",
     "Finding",
     "LintFinding",
+    "Load",
     "MethodReport",
     "NotExpr",
     "RULES",
@@ -76,10 +89,13 @@ __all__ = [
     "Top",
     "build_cfg",
     "check_containment",
+    "classify_bytecode",
+    "classify_contract",
     "default_lint_paths",
     "evaluate",
     "gas_bound",
     "interpret",
+    "resolve_sites",
     "lint_paths",
     "lint_source",
     "run_containment_sweep",

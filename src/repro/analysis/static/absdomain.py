@@ -79,6 +79,25 @@ class Caller(AbsVal):
 
 
 @dataclass(frozen=True)
+class Load(AbsVal):
+    """The word an ``SLOAD`` at ``pc`` read from storage key ``key``.
+
+    Only produced in the interpreter's load-tracking mode (the default
+    mode widens loads straight to ⊤): the delta classifier needs to see
+    *which* stored values flow into which store operands and branch
+    conditions.  ``evaluate`` cannot concretize a ``Load`` — its value
+    lives in storage, not in the inputs — so any term containing one
+    evaluates to ``None``.
+    """
+
+    key: AbsVal
+    pc: int
+
+    def __repr__(self) -> str:
+        return f"load[{self.pc}]({self.key!r})"
+
+
+@dataclass(frozen=True)
 class BinExpr(AbsVal):
     """A binary operation over two abstract words (``left op right``)."""
 
@@ -120,6 +139,8 @@ def _node_count(value: AbsVal) -> int:
         return 1 + _node_count(value.left) + _node_count(value.right)
     if isinstance(value, NotExpr):
         return 1 + _node_count(value.operand)
+    if isinstance(value, Load):
+        return 1 + _node_count(value.key)
     return 1
 
 

@@ -36,6 +36,7 @@ from repro.analysis.static.absdomain import (
     Arg,
     Caller,
     Const,
+    Load,
     Top,
     apply_binary,
     apply_iszero,
@@ -97,6 +98,12 @@ class AbstractResult:
     max_stack_depth: int = 0
     terminators: set[int] = field(default_factory=set)
     """pcs of RETURN/REVERT/STOP instructions (and implicit end-of-code)."""
+    store_sites: dict[int, set[tuple[AbsVal, AbsVal]]] = field(default_factory=dict)
+    """SSTORE pc -> every (key, value) term pair seen there (load tracking)."""
+    load_sites: dict[int, set[AbsVal]] = field(default_factory=dict)
+    """SLOAD pc -> every key term seen there (load tracking)."""
+    branch_conditions: set[AbsVal] = field(default_factory=set)
+    """Every non-constant JUMPI condition term (load tracking)."""
 
     @property
     def ok(self) -> bool:
@@ -110,10 +117,12 @@ class _Interpreter:
         layout: BytecodeLayout,
         nargs: int | None,
         debug: dict[int, int] | None,
+        track_loads: bool = False,
     ) -> None:
         self.layout = layout
         self.size = len(layout.code)
         self.nargs = nargs
+        self.track_loads = track_loads
         self.debug = debug or {}
         self.result = AbstractResult()
         self._seen_findings: set[tuple[str, int | None, str]] = set()
@@ -241,7 +250,14 @@ class _Interpreter:
             b, a = stack.pop(), stack.pop()
             stack.append(apply_binary(op, a, b))
         elif op is Op.ISZERO:
-            stack.append(apply_iszero(stack.pop()))
+            if self.track_loads:
+                # EQ-with-zero has identical concrete semantics but keeps
+                # symbolic (Load-carrying) operands alive instead of
+                # widening them to ⊤ — the classifier must see every
+                # branch that inspects a stored value.
+                stack.append(apply_binary(Op.EQ, stack.pop(), Const(0)))
+            else:
+                stack.append(apply_iszero(stack.pop()))
         elif op is Op.NOT:
             stack.append(apply_not(stack.pop()))
         elif op is Op.JUMP:
@@ -256,6 +272,8 @@ class _Interpreter:
             if isinstance(condition, Const):
                 take_jump = condition.value != 0
                 take_fallthrough = not take_jump
+            elif self.track_loads:
+                self.result.branch_conditions.add(condition)
             if take_jump:
                 resolved = self._resolve_jump(target, pc)
                 if resolved is not None:
@@ -265,10 +283,16 @@ class _Interpreter:
         elif op is Op.SLOAD:
             key = stack.pop()
             self._record_key("read", key, pc)
-            stack.append(TOP)
+            if self.track_loads:
+                self.result.load_sites.setdefault(pc, set()).add(key)
+                stack.append(Load(key, pc))
+            else:
+                stack.append(TOP)
         elif op is Op.SSTORE:
-            _value, key = stack.pop(), stack.pop()
+            value, key = stack.pop(), stack.pop()
             self._record_key("write", key, pc)
+            if self.track_loads:
+                self.result.store_sites.setdefault(pc, set()).add((key, value))
         elif op is Op.LOG:
             stack.pop()
             stack.pop()
@@ -369,11 +393,17 @@ def interpret(
     *,
     nargs: int | None = None,
     debug: dict[int, int] | None = None,
+    track_loads: bool = False,
 ) -> AbstractResult:
     """Run the abstract interpreter over a decoded bytecode layout.
 
     ``nargs`` (when known) bounds ``ARG`` indices statically, matching
     the interpreter's dynamic range check; ``debug`` is an optional
     pc -> source-line map from :func:`repro.vm.assembler.assemble_with_debug`.
+    ``track_loads`` switches ``SLOAD`` results from ⊤ to symbolic
+    :class:`~repro.analysis.static.absdomain.Load` terms and records
+    store sites, load sites, and branch conditions for the commutative
+    delta classifier; the default mode is byte-identical to before the
+    flag existed.
     """
-    return _Interpreter(layout, nargs, debug).run()
+    return _Interpreter(layout, nargs, debug, track_loads=track_loads).run()

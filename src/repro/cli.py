@@ -74,6 +74,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution-phase backend (process = multi-core speculative "
         "execution with delta-synced worker state replicas)",
     )
+    simulate.add_argument(
+        "--delta-cc",
+        action="store_true",
+        help="operation-level CC: promote provably commutative writes to "
+        "delta units that share sequence numbers instead of conflicting "
+        "(Nezha scheduler only; baselines ignore the flag)",
+    )
     _add_obs_args(simulate)
 
     multinode = sub.add_parser(
@@ -316,6 +323,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             seed=args.seed,
             workers=args.workers,
             exec_backend=args.exec_backend,
+            delta_cc=args.delta_cc,
             cost_model=ExecutionCostModel() if args.paper_costs else ZERO_COST,
         ),
         metrics=metrics,

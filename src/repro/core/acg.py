@@ -63,7 +63,7 @@ class ACG:
 
     @property
     def unit_count(self) -> int:
-        """Total number of read and write units across all addresses."""
+        """Total number of read, write, and delta units across all addresses."""
         return sum(len(rw) for rw in self.rw_lists.values())
 
     def rw(self, address: Address) -> AddressRWList:
@@ -127,7 +127,14 @@ def build_acg(transactions: Sequence[Transaction] | Iterable[Transaction]) -> AC
             if rw is None:
                 rw = rw_lists[address] = AddressRWList(address)
             rw.add_write(txn.txid)
-        for write_addr in txn.write_set:
+        for address in txn.delta_set:
+            rw = rw_lists.get(address)
+            if rw is None:
+                rw = rw_lists[address] = AddressRWList(address)
+            rw.add_delta(txn.txid)
+        # Delta units mutate their address, so they join the write side of
+        # the address-dependency edges (write-addr -> read-addr).
+        for write_addr in txn.write_set | txn.delta_set:
             for read_addr in txn.read_set:
                 if write_addr == read_addr:
                     continue
@@ -171,9 +178,10 @@ class DenseACG:
     ``array('q')`` buffers — no per-vertex dicts or sets, so the sorting
     and validation passes iterate plain integer slices.
 
-    * ``read_indptr/read_txns`` and ``write_indptr/write_txns`` are the
-      per-address unit lists ``RW_j`` (dense txn indices, ascending — the
-      paper's deterministic unit order);
+    * ``read_indptr/read_txns``, ``write_indptr/write_txns`` and
+      ``delta_indptr/delta_txns`` are the per-address unit lists ``RW_j``
+      (dense txn indices, ascending — the paper's deterministic unit
+      order);
     * ``out_indptr/out_ids`` and ``in_indptr/in_ids`` are the
       deduplicated address-dependency adjacency (sorted successor ids);
     * ``txn_read_indptr/txn_read_addrs`` and the write twins are the
@@ -190,6 +198,8 @@ class DenseACG:
     read_txns: array
     write_indptr: array
     write_txns: array
+    delta_indptr: array
+    delta_txns: array
     out_indptr: array
     out_ids: array
     in_indptr: array
@@ -198,6 +208,8 @@ class DenseACG:
     txn_read_addrs: array
     txn_write_indptr: array
     txn_write_addrs: array
+    txn_delta_indptr: array
+    txn_delta_addrs: array
     edge_mult: dict[int, int] = field(default_factory=dict)
 
     @property
@@ -217,8 +229,8 @@ class DenseACG:
 
     @property
     def unit_count(self) -> int:
-        """Total number of read and write units across all addresses."""
-        return len(self.read_txns) + len(self.write_txns)
+        """Total number of read, write, and delta units across all addresses."""
+        return len(self.read_txns) + len(self.write_txns) + len(self.delta_txns)
 
     def reads_of(self, addr_id: int) -> array:
         """Dense txn indices reading ``addr_id`` (ascending)."""
@@ -230,9 +242,19 @@ class DenseACG:
             self.write_indptr[addr_id] : self.write_indptr[addr_id + 1]
         ]
 
+    def deltas_of(self, addr_id: int) -> array:
+        """Dense txn indices applying deltas to ``addr_id`` (ascending)."""
+        return self.delta_txns[
+            self.delta_indptr[addr_id] : self.delta_indptr[addr_id + 1]
+        ]
+
     def write_count_of(self, txn_idx: int) -> int:
-        """Number of write units of transaction ``txn_idx``."""
+        """Number of plain write units of transaction ``txn_idx``."""
         return self.txn_write_indptr[txn_idx + 1] - self.txn_write_indptr[txn_idx]
+
+    def delta_count_of(self, txn_idx: int) -> int:
+        """Number of delta units of transaction ``txn_idx``."""
+        return self.txn_delta_indptr[txn_idx + 1] - self.txn_delta_indptr[txn_idx]
 
     def to_acg(self) -> ACG:
         """Materialise the equivalent string-keyed :class:`ACG`.
@@ -249,6 +271,7 @@ class DenseACG:
             rw = AddressRWList(address)
             rw.reads = [txids[t] for t in self.reads_of(addr_id)]
             rw.writes = [txids[t] for t in self.writes_of(addr_id)]
+            rw.deltas = [txids[t] for t in self.deltas_of(addr_id)]
             acg.rw_lists[address] = rw
         addr_count = len(addresses)
         for key, count in self.edge_mult.items():
@@ -272,21 +295,27 @@ def build_dense_acg(batch: InternedBatch) -> DenseACG:
     addr_count = batch.addr_count
     reads_by_addr: list[list[int]] = [[] for _ in range(addr_count)]
     writes_by_addr: list[list[int]] = [[] for _ in range(addr_count)]
+    deltas_by_addr: list[list[int]] = [[] for _ in range(addr_count)]
     out_lists: list[list[int]] = [[] for _ in range(addr_count)]
     in_lists: list[list[int]] = [[] for _ in range(addr_count)]
     edge_mult: dict[int, int] = {}
     txn_reads: list[list[int]] = []
     txn_writes: list[list[int]] = []
+    txn_deltas: list[list[int]] = []
     for txn_idx, txn in enumerate(batch.transactions):
         read_ids = [addr_ids[a] for a in txn.rwset.reads]
         write_ids = [addr_ids[a] for a in txn.rwset.writes]
+        delta_ids = [addr_ids[a] for a in txn.rwset.deltas]
         txn_reads.append(read_ids)
         txn_writes.append(write_ids)
+        txn_deltas.append(delta_ids)
         for addr_id in read_ids:
             reads_by_addr[addr_id].append(txn_idx)
         for addr_id in write_ids:
             writes_by_addr[addr_id].append(txn_idx)
-        for write_id in write_ids:
+        for addr_id in delta_ids:
+            deltas_by_addr[addr_id].append(txn_idx)
+        for write_id in write_ids + delta_ids:
             base = write_id * addr_count
             for read_id in read_ids:
                 if write_id == read_id:
@@ -303,16 +332,20 @@ def build_dense_acg(batch: InternedBatch) -> DenseACG:
         row.sort()
     read_indptr, read_txns = _csr(reads_by_addr)
     write_indptr, write_txns = _csr(writes_by_addr)
+    delta_indptr, delta_txns = _csr(deltas_by_addr)
     out_indptr, out_ids = _csr(out_lists)
     in_indptr, in_ids = _csr(in_lists)
     txn_read_indptr, txn_read_addrs = _csr(txn_reads)
     txn_write_indptr, txn_write_addrs = _csr(txn_writes)
+    txn_delta_indptr, txn_delta_addrs = _csr(txn_deltas)
     return DenseACG(
         batch=batch,
         read_indptr=read_indptr,
         read_txns=read_txns,
         write_indptr=write_indptr,
         write_txns=write_txns,
+        delta_indptr=delta_indptr,
+        delta_txns=delta_txns,
         out_indptr=out_indptr,
         out_ids=out_ids,
         in_indptr=in_indptr,
@@ -321,6 +354,8 @@ def build_dense_acg(batch: InternedBatch) -> DenseACG:
         txn_read_addrs=txn_read_addrs,
         txn_write_indptr=txn_write_indptr,
         txn_write_addrs=txn_write_addrs,
+        txn_delta_indptr=txn_delta_indptr,
+        txn_delta_addrs=txn_delta_addrs,
         edge_mult=edge_mult,
     )
 

@@ -94,6 +94,7 @@ def intern_batch(
         txids.append(txn.txid)
         seen.update(txn.rwset.reads)
         seen.update(txn.rwset.writes)
+        seen.update(txn.rwset.deltas)
     addresses = sorted(seen)
     addr_ids = {address: i for i, address in enumerate(addresses)}
     return InternedBatch(

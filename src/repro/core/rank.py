@@ -155,9 +155,11 @@ def divide_ranks_dense(
         score = [0] * addr_count
     elif policy is RankPolicy.MAX_UNIT_COUNT:
         read_indptr, write_indptr = dense.read_indptr, dense.write_indptr
+        delta_indptr = dense.delta_indptr
         score = [
             (read_indptr[v + 1] - read_indptr[v])
             + (write_indptr[v + 1] - write_indptr[v])
+            + (delta_indptr[v + 1] - delta_indptr[v])
             for v in range(addr_count)
         ]
     else:

@@ -104,6 +104,7 @@ class NezhaResult:
         dense_acg: DenseACG | None = None,
         abort_reasons: dict[int, str] | None = None,
         revived: int = 0,
+        delta_commuted: int = 0,
     ) -> None:
         self.schedule = schedule
         self.timings = timings
@@ -111,6 +112,7 @@ class NezhaResult:
         self.dense_acg = dense_acg
         self.abort_reasons = abort_reasons if abort_reasons is not None else {}
         self.revived = revived
+        self.delta_commuted = delta_commuted
         self._acg = acg
 
     @property
@@ -142,6 +144,11 @@ class NezhaScheduler:
     """
 
     name = "nezha"
+
+    # Commutative delta units are first-class in the Nezha pipeline; the
+    # executor only emits them for schedulers advertising this flag, so
+    # baselines keep seeing plain read-modify-writes.
+    supports_deltas = True
 
     def __init__(
         self, config: NezhaConfig | None = None, tracer: Tracer | None = None
@@ -217,6 +224,12 @@ class NezhaScheduler:
             sequences=sequences, aborted=aborted, reordered=reordered
         )
         addresses = dense.batch.addresses
+        delta_commuted = 0
+        if len(dense.delta_txns):
+            for addr_id in range(dense.addr_count):
+                committed = sum(1 for t in dense.deltas_of(addr_id) if alive[t])
+                if committed >= 2:
+                    delta_commuted += committed
         return NezhaResult(
             schedule=schedule,
             timings=timings,
@@ -226,6 +239,7 @@ class NezhaScheduler:
                 txids[i]: reason for i, reason in sorted(state.reasons.items())
             },
             revived=len(state.revived),
+            delta_commuted=delta_commuted,
         )
 
     def _schedule_reference(
@@ -279,6 +293,12 @@ class NezhaScheduler:
             aborted=state.aborted,
             reordered=state.reordered,
         )
+        delta_commuted = 0
+        for rw in acg.rw_lists.values():
+            if rw.deltas:
+                committed = sum(1 for t in rw.deltas if state.is_live(t))
+                if committed >= 2:
+                    delta_commuted += committed
         return NezhaResult(
             schedule=schedule,
             timings=timings,
@@ -286,4 +306,5 @@ class NezhaScheduler:
             rank_order=rank_order,
             abort_reasons=dict(sorted(state.reasons.items())),
             revived=len(state.revived),
+            delta_commuted=delta_commuted,
         )

@@ -18,6 +18,21 @@ The *reordering* enhancement (Section IV-D) rescues an unserializable
 transaction with multiple write units by re-assigning it a number greater
 than the maximum already used on any address it touches, exploiting the
 reorderability of write-write dependencies.
+
+Commutative *delta* units extend the scheme with a third unit kind that
+behaves like the shared-read case on the write side:
+
+* delta units on an address may freely share one sequence number with
+  each other (their effects fold to the same sum in any order — ``D=D``);
+* every delta number must be strictly greater than the address's maximum
+  read number (readers must observe the pre-delta value — ``R<D``);
+* a delta unit never shares a number with a plain write unit on the same
+  address (a plain write clobbers the folded value — ``W≠D``).
+
+Plain writes are processed first; deltas second.  A previously-assigned
+plain writer colliding with a delta number pays in the write pass, and a
+previously-assigned delta colliding with a surviving plain-write number
+pays in the delta pass — deterministic in both pipelines.
 """
 
 from __future__ import annotations
@@ -113,6 +128,7 @@ def _sort_address(
     rw = acg.rw(address)
     reads = [t for t in rw.reads if state.is_live(t)]
     writes = [t for t in rw.writes if state.is_live(t)]
+    deltas = [t for t in rw.deltas if state.is_live(t)]
 
     # --- Read units -------------------------------------------------------
     sorted_reads = [t for t in reads if state.sequence_of(t) is not None]
@@ -155,14 +171,20 @@ def _sort_address(
     # Unserializability check (paper lines 20-24).  The paper tests
     # ``sequence < maxRead``; rule 1 requires reads to be *strictly*
     # smaller than writes, so equality is also invalid (see DESIGN.md).
+    # A plain write landing on a previously-assigned delta number is the
+    # same anomaly as a write-write duplicate (W≠D).
+    delta_seqs_assigned = {
+        state.sequences[t] for t in deltas if state.sequence_of(t) is not None
+    }
     seen_write_seqs: dict[int, int] = {}
     for txid in sorted_writes:
         sequence = state.sequences[txid]
         duplicate = sequence in seen_write_seqs and seen_write_seqs[sequence] != txid
         too_small = sequence <= max_read and txid not in read_ids
-        if too_small or duplicate:
-            # Either below a read unit, or two writes assigned on
-            # different earlier addresses collided with equal numbers.
+        if too_small or duplicate or sequence in delta_seqs_assigned:
+            # Below a read unit, two writes assigned on different earlier
+            # addresses collided with equal numbers, or a write collided
+            # with a delta number.
             _resolve_unserializable(
                 acg, address, txid, state, transactions, enable_reorder
             )
@@ -173,7 +195,7 @@ def _sort_address(
     write_seq = initial_seq if max_read == 0 else max_read + 1
     assigned_here = {
         state.sequences[t]
-        for t in (*reads, *writes)
+        for t in (*reads, *writes, *deltas)
         if state.is_live(t) and state.sequence_of(t) is not None
     }
     for txid in writes:
@@ -183,6 +205,63 @@ def _sort_address(
             write_seq += 1
         state.sequences[txid] = write_seq
         assigned_here.add(write_seq)
+
+    # --- Delta units ------------------------------------------------------
+    if deltas:
+        _sort_deltas(
+            acg, address, deltas, max_read, state, transactions,
+            enable_reorder, initial_seq,
+        )
+
+
+def _sort_deltas(
+    acg: ACG,
+    address: Address,
+    deltas: list[int],
+    max_read: int,
+    state: SortState,
+    transactions: Mapping[int, Transaction],
+    enable_reorder: bool,
+    initial_seq: int,
+) -> None:
+    """Assign sequence numbers to the live delta units of one address.
+
+    All deltas on the address converge on one shared number — the minimum
+    valid number already held by a previously-assigned delta, or a fresh
+    number above ``max_read`` that avoids every plain-write number (the
+    shared-read rule transplanted to the write side).
+    """
+    rw = acg.rw(address)
+    writer_seqs = {
+        state.sequences[t]
+        for t in rw.writes
+        if state.is_live(t) and state.sequence_of(t) is not None
+    }
+    # Previously-assigned deltas: R<D and W≠D violations pay here.
+    for txid in deltas:
+        sequence = state.sequence_of(txid)
+        if sequence is None:
+            continue
+        if sequence <= max_read or sequence in writer_seqs:
+            _resolve_unserializable(
+                acg, address, txid, state, transactions, enable_reorder
+            )
+    # Surviving assigned deltas all hold valid numbers now (a rescue bumps
+    # past every assigned number on every touched address).
+    valid = [
+        state.sequences[t]
+        for t in deltas
+        if state.is_live(t) and state.sequence_of(t) is not None
+    ]
+    if valid:
+        fill = min(valid)
+    else:
+        fill = initial_seq if max_read == 0 else max_read + 1
+        while fill in writer_seqs:
+            fill += 1
+    for txid in deltas:
+        if state.is_live(txid) and state.sequence_of(txid) is None:
+            state.sequences[txid] = fill
 
 
 def _resolve_unserializable(
@@ -225,12 +304,15 @@ def _resolve_unserializable(
 
 
 def reads_are_writer_free(acg: ACG, txn: Transaction, state: SortState) -> bool:
-    """True when no other live transaction writes any address ``txn`` reads."""
+    """True when no other live transaction writes any address ``txn`` reads.
+
+    Delta units mutate their address, so they count as writers here.
+    """
     for address in txn.read_set:
         rw = acg.rw_lists.get(address)
         if rw is None:
             continue
-        for writer in rw.writes:
+        for writer in (*rw.writes, *rw.deltas):
             if writer != txn.txid and state.is_live(writer):
                 return False
     return True
@@ -243,7 +325,7 @@ def _max_sequence_on_addresses(acg: ACG, txn: Transaction, state: SortState) -> 
         rw = acg.rw_lists.get(address)
         if rw is None:
             continue
-        for other in (*rw.reads, *rw.writes):
+        for other in (*rw.reads, *rw.writes, *rw.deltas):
             if not state.is_live(other):
                 continue
             sequence = state.sequence_of(other)
@@ -325,12 +407,22 @@ def sort_transactions_dense(
     alive = state.alive
     read_indptr, read_txns = dense.read_indptr, dense.read_txns
     write_indptr, write_txns = dense.write_indptr, dense.write_txns
+    delta_indptr, delta_txns = dense.delta_indptr, dense.delta_txns
     allow_trivial = initial_seq >= 1
     for addr_id in rank_order:
         read_lo, read_hi = read_indptr[addr_id], read_indptr[addr_id + 1]
         write_lo, write_hi = write_indptr[addr_id], write_indptr[addr_id + 1]
+        delta_lo, delta_hi = delta_indptr[addr_id], delta_indptr[addr_id + 1]
         reads = [t for t in read_txns[read_lo:read_hi] if alive[t]]
         writes = [t for t in write_txns[write_lo:write_hi] if alive[t]]
+        if delta_lo != delta_hi:
+            # Delta-carrying addresses take the full pass: the constant
+            # shortcuts below model the plain read/write shapes only.
+            deltas = [t for t in delta_txns[delta_lo:delta_hi] if alive[t]]
+            _sort_address_dense(
+                dense, reads, writes, deltas, state, enable_reorder, initial_seq
+            )
+            continue
         if not writes:
             if not reads:
                 continue
@@ -357,7 +449,7 @@ def sort_transactions_dense(
                 seq[owner] = initial_seq
             continue
         _sort_address_dense(
-            dense, reads, writes, state, enable_reorder, initial_seq
+            dense, reads, writes, [], state, enable_reorder, initial_seq
         )
     for txn_idx in range(txn_count):
         if alive[txn_idx] and seq[txn_idx] == UNASSIGNED:
@@ -369,14 +461,15 @@ def _sort_address_dense(
     dense: DenseACG,
     reads: list[int],
     writes: list[int],
+    deltas: list[int],
     state: DenseSortState,
     enable_reorder: bool,
     initial_seq: int,
 ) -> None:
     """Assign sequence numbers to the live units of one address (dense).
 
-    ``reads``/``writes`` are the address's live unit lists, pre-filtered
-    by the caller's liveness scan.
+    ``reads``/``writes``/``deltas`` are the address's live unit lists,
+    pre-filtered by the caller's liveness scan.
     """
     seq = state.seq
     alive = state.alive
@@ -414,6 +507,7 @@ def _sort_address_dense(
             seq[txn_idx] = max(max_read, other_max) + 1
         max_read = max(max_read, seq[txn_idx])
 
+    delta_seqs_assigned = {seq[t] for t in deltas if seq[t] != UNASSIGNED}
     seen_write_seqs: dict[int, int] = {}
     for txn_idx in sorted_writes:
         sequence = seq[txn_idx]
@@ -421,7 +515,7 @@ def _sort_address_dense(
             sequence in seen_write_seqs and seen_write_seqs[sequence] != txn_idx
         )
         too_small = sequence <= max_read and txn_idx not in read_ids
-        if too_small or duplicate:
+        if too_small or duplicate or sequence in delta_seqs_assigned:
             _resolve_unserializable_dense(dense, txn_idx, state, enable_reorder)
         if alive[txn_idx]:
             seen_write_seqs[seq[txn_idx]] = txn_idx
@@ -429,7 +523,9 @@ def _sort_address_dense(
     # --- Remaining write units --------------------------------------------
     write_seq = initial_seq if max_read == 0 else max_read + 1
     assigned_here = {
-        seq[t] for t in (*reads, *writes) if alive[t] and seq[t] != UNASSIGNED
+        seq[t]
+        for t in (*reads, *writes, *deltas)
+        if alive[t] and seq[t] != UNASSIGNED
     }
     for txn_idx in writes:
         if not alive[txn_idx] or seq[txn_idx] != UNASSIGNED:
@@ -438,6 +534,26 @@ def _sort_address_dense(
             write_seq += 1
         seq[txn_idx] = write_seq
         assigned_here.add(write_seq)
+
+    # --- Delta units ------------------------------------------------------
+    if deltas:
+        writer_seqs = {seq[t] for t in writes if alive[t] and seq[t] != UNASSIGNED}
+        for txn_idx in deltas:
+            sequence = seq[txn_idx]
+            if sequence == UNASSIGNED:
+                continue
+            if sequence <= max_read or sequence in writer_seqs:
+                _resolve_unserializable_dense(dense, txn_idx, state, enable_reorder)
+        valid = [seq[t] for t in deltas if alive[t] and seq[t] != UNASSIGNED]
+        if valid:
+            fill = min(valid)
+        else:
+            fill = initial_seq if max_read == 0 else max_read + 1
+            while fill in writer_seqs:
+                fill += 1
+        for txn_idx in deltas:
+            if alive[txn_idx] and seq[txn_idx] == UNASSIGNED:
+                seq[txn_idx] = fill
 
 
 def _resolve_unserializable_dense(
@@ -461,13 +577,17 @@ def _resolve_unserializable_dense(
 def reads_are_writer_free_dense(
     dense: DenseACG, txn_idx: int, state: DenseSortState
 ) -> bool:
-    """True when no other live transaction writes any address ``txn_idx`` reads."""
+    """True when no other live transaction writes any address ``txn_idx`` reads.
+
+    Delta units mutate their address, so they count as writers here.
+    """
     alive = state.alive
     addrs = dense.txn_read_addrs
     for position in range(
         dense.txn_read_indptr[txn_idx], dense.txn_read_indptr[txn_idx + 1]
     ):
-        for writer in dense.writes_of(addrs[position]):
+        addr_id = addrs[position]
+        for writer in (*dense.writes_of(addr_id), *dense.deltas_of(addr_id)):
             if writer != txn_idx and alive[writer]:
                 return False
     return True
@@ -486,8 +606,15 @@ def max_sequence_on_addresses_dense(
     write_addrs = dense.txn_write_addrs[
         dense.txn_write_indptr[txn_idx] : dense.txn_write_indptr[txn_idx + 1]
     ]
-    for addr_id in (*read_addrs, *write_addrs):
-        for other in (*dense.reads_of(addr_id), *dense.writes_of(addr_id)):
+    delta_addrs = dense.txn_delta_addrs[
+        dense.txn_delta_indptr[txn_idx] : dense.txn_delta_indptr[txn_idx + 1]
+    ]
+    for addr_id in (*read_addrs, *write_addrs, *delta_addrs):
+        for other in (
+            *dense.reads_of(addr_id),
+            *dense.writes_of(addr_id),
+            *dense.deltas_of(addr_id),
+        ):
             if not alive[other]:
                 continue
             sequence = seq[other]

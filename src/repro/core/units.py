@@ -17,10 +17,12 @@ from repro.txn.rwset import Address
 
 
 class UnitKind(enum.Enum):
-    """Whether a unit is a read (``T^R``) or a write (``T^W``)."""
+    """Whether a unit is a read (``T^R``), a write (``T^W``), or a
+    commutative delta (``T^D``)."""
 
     READ = "R"
     WRITE = "W"
+    DELTA = "D"
 
 
 @dataclass(frozen=True, order=True)
@@ -49,6 +51,7 @@ class AddressRWList:
     address: Address
     reads: list[int] = field(default_factory=list)
     writes: list[int] = field(default_factory=list)
+    deltas: list[int] = field(default_factory=list)
 
     def add_read(self, txid: int) -> None:
         """Record that ``txid`` reads this address (id order maintained)."""
@@ -58,14 +61,19 @@ class AddressRWList:
         """Record that ``txid`` writes this address (id order maintained)."""
         self.writes.append(txid)
 
+    def add_delta(self, txid: int) -> None:
+        """Record that ``txid`` applies a commutative delta to this address."""
+        self.deltas.append(txid)
+
     def finalize(self) -> None:
-        """Sort both unit lists by transaction id.
+        """Sort the unit lists by transaction id.
 
         Construction appends in whatever order transactions arrive; the
         paper's ordering rules require id order, restored here once.
         """
         self.reads.sort()
         self.writes.sort()
+        self.deltas.sort()
 
     @property
     def read_set(self) -> set[int]:
@@ -77,17 +85,25 @@ class AddressRWList:
         """Ids of transactions writing this address."""
         return set(self.writes)
 
+    @property
+    def delta_set(self) -> set[int]:
+        """Ids of transactions applying commutative deltas to this address."""
+        return set(self.deltas)
+
     def units(self) -> Iterator[Unit]:
-        """Yield units in ``RW_j`` order: reads first, then writes."""
+        """Yield units in ``RW_j`` order: reads, then writes, then deltas."""
         for txid in self.reads:
             yield Unit(txid=txid, kind=UnitKind.READ, address=self.address)
         for txid in self.writes:
             yield Unit(txid=txid, kind=UnitKind.WRITE, address=self.address)
+        for txid in self.deltas:
+            yield Unit(txid=txid, kind=UnitKind.DELTA, address=self.address)
 
     def __len__(self) -> int:
-        return len(self.reads) + len(self.writes)
+        return len(self.reads) + len(self.writes) + len(self.deltas)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         reads = ", ".join(f"T{t}^R" for t in self.reads)
         writes = ", ".join(f"T{t}^W" for t in self.writes)
-        return f"RW({self.address}: [{reads} | {writes}])"
+        deltas = ", ".join(f"T{t}^D" for t in self.deltas)
+        return f"RW({self.address}: [{reads} | {writes} | {deltas}])"

@@ -20,6 +20,11 @@ library emits is conflict-serializable:
   address ``v`` writes, then ``seq(u) < seq(v)``;
 * **W!=W**: two live writers of the same address never share a number.
 
+Commutative delta units are pseudo-writers: **R<D** (every reader stays
+below every delta) and **W!=D** (a delta never shares a number with a
+plain write) are enforced the same way, while two deltas on one address
+may legally share a number (**D=D** — their effects fold commutatively).
+
 Abort policy: the *writer* is aborted (matching the paper, which aborts
 the transaction whose write unit carries the abnormal number) — unless
 the blocking reader is a transaction the reordering enhancement bumped,
@@ -137,7 +142,7 @@ def _max_sequence_on_addresses(acg: ACG, txn: Transaction, state: SortState) -> 
         rw = acg.rw_lists.get(address)
         if rw is None:
             continue
-        for other in (*rw.reads, *rw.writes):
+        for other in (*rw.reads, *rw.writes, *rw.deltas):
             if not state.is_live(other):
                 continue
             sequence = state.sequence_of(other)
@@ -199,6 +204,26 @@ def _find_violations(
                 violators.add(_duplicate_victim(prior, txid, state))
             else:
                 seen[sequence] = txid
+        # Delta units: pseudo-writers.  R<D against every normal reader
+        # (a delta transaction never reads its own delta address, so the
+        # top-reader carve-out is vacuous), W!=D against the plain
+        # writers recorded in ``seen``; two deltas may share a number.
+        for txid in rw.deltas:
+            if not state.is_live(txid):
+                continue
+            sequence = state.sequence_of(txid)
+            if sequence is None:
+                violators.add(txid)
+                continue
+            if sequence <= top_seq:
+                violators.add(txid)
+            else:
+                for reader, read_seq in reordered_readers:
+                    if reader != txid and sequence <= read_seq:
+                        violators.add(reader)
+            prior = seen.get(sequence)
+            if prior is not None and prior != txid:
+                violators.add(_duplicate_victim(prior, txid, state))
     return violators
 
 
@@ -313,6 +338,22 @@ def _find_violations_dense(dense: DenseACG, state: DenseSortState) -> set[int]:
                 violators.add(_duplicate_victim_dense(prior, txn_idx, reordered))
             else:
                 seen[sequence] = txn_idx
+        for txn_idx in dense.deltas_of(addr_id):
+            if not alive[txn_idx]:
+                continue
+            sequence = seq[txn_idx]
+            if sequence == UNASSIGNED:
+                violators.add(txn_idx)
+                continue
+            if sequence <= top_seq:
+                violators.add(txn_idx)
+            else:
+                for reader, read_seq in reordered_readers:
+                    if reader != txn_idx and sequence <= read_seq:
+                        violators.add(reader)
+            prior = seen.get(sequence)
+            if prior is not None and prior != txn_idx:
+                violators.add(_duplicate_victim_dense(prior, txn_idx, reordered))
     return violators
 
 
@@ -341,6 +382,7 @@ def check_invariants(
     problems: list[str] = []
     readers: dict[str, list[tuple[int, int]]] = {}
     writers: dict[str, list[tuple[int, int]]] = {}
+    delta_writers: dict[str, list[tuple[int, int]]] = {}
     for txid, txn in transactions.items():
         if txid in aborted:
             continue
@@ -352,6 +394,8 @@ def check_invariants(
             readers.setdefault(address, []).append((txid, sequence))
         for address in txn.write_set:
             writers.setdefault(address, []).append((txid, sequence))
+        for address in txn.delta_set:
+            delta_writers.setdefault(address, []).append((txid, sequence))
     for address, write_list in sorted(writers.items()):
         seen: dict[int, int] = {}
         for txid, sequence in write_list:
@@ -367,5 +411,22 @@ def check_invariants(
                     problems.append(
                         f"T{reader} reads {address} at seq {read_seq} but "
                         f"T{writer} writes it at seq {write_seq}"
+                    )
+    # Delta pseudo-writers: R<D against every reader, W!=D against every
+    # plain writer; two deltas may legally share a number (D=D).
+    for address, delta_list in sorted(delta_writers.items()):
+        plain_seqs = {sequence: txid for txid, sequence in writers.get(address, ())}
+        for txid, sequence in delta_list:
+            plain = plain_seqs.get(sequence)
+            if plain is not None and plain != txid:
+                problems.append(
+                    f"delta of T{txid} and write of T{plain} on {address} "
+                    f"share sequence {sequence}"
+                )
+            for reader, read_seq in readers.get(address, ()):
+                if reader != txid and sequence <= read_seq:
+                    problems.append(
+                        f"T{reader} reads {address} at seq {read_seq} but "
+                        f"T{txid} applies a delta at seq {sequence}"
                     )
     return problems

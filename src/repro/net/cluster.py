@@ -52,6 +52,7 @@ class ClusterConfig:
     workers: int = 0
     use_vm: bool = False
     exec_backend: str = "auto"
+    delta_cc: bool = False
     cost_model: ExecutionCostModel = ZERO_COST
 
     def __post_init__(self) -> None:
@@ -145,11 +146,16 @@ class Cluster:
             ),
             state=state,
             scheduler=scheduler,
-            registry=default_registry(include_bytecode=self.config.use_vm),
+            # Delta-CC needs the assembled bytecode deployed even for
+            # native execution: the static classifier reads it.
+            registry=default_registry(
+                include_bytecode=self.config.use_vm or self.config.delta_cc
+            ),
             config=PipelineConfig(
                 workers=self.config.workers,
                 use_vm=self.config.use_vm,
                 backend=self.config.exec_backend,
+                delta_cc=self.config.delta_cc,
             ),
             metrics=metrics,
             tracer=tracer,

@@ -12,7 +12,7 @@ flushed to the backing store, yielding the epoch's new state root.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.core.schedule import Schedule
 from repro.errors import ExecutionError
@@ -22,6 +22,7 @@ from repro.state.statedb import StateDB
 from repro.txn.rwset import Address
 from repro.txn.transaction import Transaction
 from repro.vm.native import ContractRegistry
+from repro.vm.opcodes import WORD_MASK
 
 
 @dataclass(frozen=True)
@@ -35,12 +36,114 @@ class CommitReport:
     tracks the epoch's write set rather than the world state.  Paths
     that commit without a schedule (serial execute-and-commit) leave it
     ``None``.
+
+    ``guard_aborted`` lists scheduled transactions the commit-time
+    over/underflow guard rejected: folding their commutative deltas
+    would have pushed some address outside ``[0, 2**64)``.  The check is
+    a pure function of the schedule and the pre-epoch state, so every
+    correct replica rejects the same set.  ``delta_commuted`` counts the
+    delta units that actually committed on addresses carrying at least
+    two of them — each was a write-write conflict saved by
+    operation-level CC.
     """
 
     state_root: bytes
     committed_count: int
     group_count: int
     write_delta: "Mapping[Address, int] | None" = None
+    guard_aborted: tuple[int, ...] = ()
+    delta_commuted: int = 0
+
+
+class _DeltaPlan:
+    """Serial fold plan for one epoch's commutative deltas.
+
+    Built once per commit: walks the schedule in group order keeping a
+    running value for every delta-carrying address (plain writes replace
+    it, deltas add to it) and guard-aborts any transaction whose fold
+    would leave an address outside ``[0, 2**64)``.  The group-apply loop
+    then skips planned addresses entirely — their final values install
+    in one pass at the end, which is exactly what the serial walk
+    computed, whatever interleaving the parallel group apply uses for
+    the rest.  Without deltas the plan is a transparent passthrough.
+    """
+
+    def __init__(
+        self, write_values: Mapping[int, Mapping[Address, Any]]
+    ) -> None:
+        self._write_values = write_values
+        self._addresses: frozenset[Address] = frozenset()
+        self._aborted: frozenset[int] = frozenset()
+        self.finals: dict[Address, int] = {}
+        self.guard_aborted: tuple[int, ...] = ()
+        self.delta_commuted = 0
+
+    @classmethod
+    def build(
+        cls,
+        schedule: Schedule,
+        write_values: Mapping[int, Mapping[Address, Any]],
+        delta_values: Mapping[int, Mapping[Address, int]] | None,
+        state: StateDB,
+    ) -> "_DeltaPlan":
+        plan = cls(write_values)
+        if not delta_values:
+            return plan
+        addresses: set[Address] = set()
+        for group in schedule.iter_groups():
+            for txid in group.txids:
+                addresses.update(delta_values.get(txid, ()))
+        if not addresses:
+            return plan
+        running = {address: state.get(address) for address in addresses}
+        touched: set[Address] = set()
+        units: dict[Address, int] = {}
+        aborted: list[int] = []
+        for group in schedule.iter_groups():
+            for txid in group.txids:
+                deltas = delta_values.get(txid)
+                if deltas and any(
+                    not 0 <= running[address] + delta <= WORD_MASK
+                    for address, delta in deltas.items()
+                ):
+                    aborted.append(txid)
+                    continue
+                for address, value in write_values.get(txid, {}).items():
+                    if address in addresses:
+                        running[address] = int(value)
+                        touched.add(address)
+                if deltas:
+                    for address, delta in deltas.items():
+                        running[address] += delta
+                        touched.add(address)
+                        units[address] = units.get(address, 0) + 1
+        plan._addresses = frozenset(addresses)
+        plan._aborted = frozenset(aborted)
+        plan.finals = {
+            address: running[address] for address in sorted(touched)
+        }
+        plan.guard_aborted = tuple(aborted)
+        plan.delta_commuted = sum(
+            count for count in units.values() if count >= 2
+        )
+        return plan
+
+    def surviving(self, txids: tuple[int, ...]) -> tuple[int, ...]:
+        """A group's txids minus the guard-aborted ones."""
+        if not self._aborted:
+            return txids
+        return tuple(txid for txid in txids if txid not in self._aborted)
+
+    def writes_of(self, txid: int) -> Mapping[Address, Any]:
+        """A transaction's plain writes minus planned delta addresses."""
+        writes = self._write_values[txid]
+        if not self._addresses:
+            return writes
+        return {
+            address: value
+            for address, value in writes.items()
+            if address not in self._addresses
+        }
 
 
 class Committer:
@@ -65,10 +168,20 @@ class Committer:
         schedule: Schedule,
         write_values: Mapping[int, Mapping[Address, Any]],
         state: StateDB,
+        delta_values: Mapping[int, Mapping[Address, int]] | None = None,
     ) -> CommitReport:
-        """Apply the writes of every committed transaction in group order."""
+        """Apply the writes of every committed transaction in group order.
+
+        ``delta_values`` maps txid -> commutative deltas to fold at
+        commit time.  Delta-carrying addresses are planned serially in
+        schedule order first (running value per address, whole-transaction
+        guard abort on word over/underflow), then plain writes apply
+        group by group as before — minus the planned addresses, whose
+        final folded values install at the end.
+        """
         committed = 0
         delta: dict[Address, int] = {}
+        plan = _DeltaPlan.build(schedule, write_values, delta_values, state)
         with maybe_span(self.tracer, "commit.apply_groups") as span:
             for group in schedule.iter_groups():
                 for txid in group.txids:
@@ -76,18 +189,22 @@ class Committer:
                         raise ExecutionError(
                             f"committed T{txid} has no simulated write values"
                         )
-                if self.workers > 1 and len(group.txids) > 1:
-                    self._apply_group_parallel(group.txids, write_values, state)
+                txids = plan.surviving(group.txids)
+                if self.workers > 1 and len(txids) > 1:
+                    self._apply_group_parallel(txids, plan.writes_of, state)
                 else:
-                    for txid in group.txids:
-                        self._apply_one(write_values[txid], state)
+                    for txid in txids:
+                        self._apply_one(plan.writes_of(txid), state)
                 # Within a group writes are pairwise disjoint, so merging in
                 # txid order equals any interleaving; across groups the later
                 # group overwrites, matching the application order above.
-                for txid in group.txids:
-                    for address, value in write_values[txid].items():
+                for txid in txids:
+                    for address, value in plan.writes_of(txid).items():
                         delta[address] = int(value)
-                committed += len(group.txids)
+                committed += len(txids)
+            for address, value in plan.finals.items():
+                state.set(address, value)
+                delta[address] = value
             span.set(committed=committed, groups=len(schedule.groups))
         with maybe_span(self.tracer, "commit.state_root") as span:
             root = state.commit()
@@ -97,12 +214,14 @@ class Committer:
             committed_count=committed,
             group_count=len(schedule.groups),
             write_delta=delta,
+            guard_aborted=plan.guard_aborted,
+            delta_commuted=plan.delta_commuted,
         )
 
     def _apply_group_parallel(
         self,
         txids: tuple[int, ...],
-        write_values: Mapping[int, Mapping[Address, Any]],
+        writes_of: "Callable[[int], Mapping[Address, Any]]",
         state: StateDB,
     ) -> None:
         if self._pool is None:
@@ -113,7 +232,7 @@ class Committer:
             )
         list(
             self._pool.map(
-                lambda txid: self._apply_one(write_values[txid], state), txids
+                lambda txid: self._apply_one(writes_of(txid), state), txids
             )
         )
 
@@ -153,6 +272,11 @@ class SerialExecutorCommitter:
             if txn.contract is None or self.registry is None:
                 for address, value in txn.rwset.writes.items():
                     state.set(address, int(value) if value is not None else 0)
+                # Declared deltas fold against the live state — under
+                # serial execution a commutative increment is just the
+                # read-modify-write it abbreviates.
+                for address, delta in txn.rwset.deltas.items():
+                    state.set(address, state.get(address) + delta)
                 committed += 1
                 continue
             result = self.executor.execute_one(txn, state.get)

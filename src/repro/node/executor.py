@@ -36,6 +36,12 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Mapping, Sequence
 
+from repro.analysis.static.deltas import (
+    EMPTY_CLASSIFICATION,
+    DeltaClassification,
+    classify_bytecode,
+    resolve_sites,
+)
 from repro.errors import ExecutionError
 from repro.obs.tracer import Tracer, maybe_span
 from repro.txn.codec import (
@@ -68,7 +74,9 @@ def caller_id(sender: str) -> int:
         return 0
 
 
-def _worker_main(conn, registry, use_vm, gas_limit, txn_cost_seconds, index) -> None:
+def _worker_main(
+    conn, registry, use_vm, gas_limit, txn_cost_seconds, index, delta_cc=False
+) -> None:
     """Loop of one persistent worker process.
 
     The worker is bootstrapped once (registry, VM flags, worker index) and
@@ -94,6 +102,7 @@ def _worker_main(conn, registry, use_vm, gas_limit, txn_cost_seconds, index) -> 
         use_vm=use_vm,
         gas_limit=gas_limit,
         txn_cost_seconds=txn_cost_seconds,
+        delta_cc=delta_cc,
     )
     tracer = Tracer(track=f"worker-{index}")
     replica: dict[Address, int] = {}
@@ -143,6 +152,7 @@ class _ProcessPool:
         use_vm: bool,
         gas_limit: int,
         txn_cost_seconds: float,
+        delta_cc: bool = False,
     ) -> None:
         import multiprocessing as mp
 
@@ -154,7 +164,15 @@ class _ProcessPool:
             parent_conn, child_conn = context.Pipe(duplex=True)
             process = context.Process(
                 target=_worker_main,
-                args=(child_conn, registry, use_vm, gas_limit, txn_cost_seconds, index),
+                args=(
+                    child_conn,
+                    registry,
+                    use_vm,
+                    gas_limit,
+                    txn_cost_seconds,
+                    index,
+                    delta_cc,
+                ),
                 daemon=True,
             )
             process.start()
@@ -254,6 +272,7 @@ class ConcurrentExecutor:
         state_provider: StateProvider | None = None,
         txn_cost_seconds: float = 0.0,
         tracer: Tracer | None = None,
+        delta_cc: bool = False,
     ) -> None:
         if backend not in BACKENDS:
             raise ExecutionError(
@@ -267,6 +286,8 @@ class ConcurrentExecutor:
         self.state_provider = state_provider
         self.txn_cost_seconds = txn_cost_seconds
         self.tracer = tracer
+        self.delta_cc = delta_cc
+        self._delta_classes: dict[tuple[str, str], DeltaClassification] = {}
         self._svm = SVM()
         self._pool: ThreadPoolExecutor | None = None
         self._process_pool: _ProcessPool | None = None
@@ -313,6 +334,7 @@ class ConcurrentExecutor:
                     self.use_vm,
                     self.gas_limit,
                     self.txn_cost_seconds,
+                    self.delta_cc,
                 )
             except Exception:
                 self._retire_process_pool()
@@ -461,10 +483,55 @@ class ConcurrentExecutor:
         return self._execute_native(txn, read_fn)
 
     def _passthrough(self, txn: Transaction, read_fn: ReadFn) -> SimulationResult:
-        """Synthetic transaction: rwset provided up front, reads resolved."""
+        """Synthetic transaction: rwset provided up front, reads resolved.
+
+        Declared delta units pass through only under delta-CC; otherwise
+        they *downgrade* to the equivalent read-modify-write (the read
+        resolves against the snapshot and the write carries the summed
+        value), so baseline schedulers see the plain conflict structure.
+        """
         reads = {address: read_fn(address) for address in txn.read_set}
-        rwset = RWSet(reads=reads, writes=dict(txn.rwset.writes))
+        writes: dict[Address, object] = dict(txn.rwset.writes)
+        deltas: dict[Address, int] = {}
+        if self.delta_cc:
+            deltas = dict(txn.rwset.deltas)
+        else:
+            for address, delta in txn.rwset.deltas.items():
+                value = read_fn(address)
+                reads[address] = value
+                writes[address] = value + delta
+        rwset = RWSet(reads=reads, writes=writes, deltas=deltas)
         return SimulationResult(transaction=txn, rwset=rwset)
+
+    def _delta_classification(self, contract: str, function: str) -> DeltaClassification:
+        """Cached static delta classification of one deployed function."""
+        key = (contract, function)
+        cached = self._delta_classes.get(key)
+        if cached is not None:
+            return cached
+        code = self.registry.bytecode(contract, function) if self.registry else None
+        classification = (
+            classify_bytecode(code) if code is not None else EMPTY_CLASSIFICATION
+        )
+        self._delta_classes[key] = classification
+        return classification
+
+    def _delta_sites(self, txn: Transaction) -> tuple[tuple[Address, int], ...]:
+        """Resolve a call's statically classified delta sites, if any."""
+        if not self.delta_cc or txn.contract is None or self.registry is None:
+            return ()
+        classification = self._delta_classification(txn.contract, txn.function)
+        if not classification.sites:
+            return ()
+        renderer = self.registry.key_renderer(txn.contract)
+        if renderer is None:
+            return ()
+        return resolve_sites(
+            classification,
+            (int(a) for a in txn.args),
+            caller_id(txn.sender),
+            renderer,
+        )
 
     def _execute_native(self, txn: Transaction, read_fn: ReadFn) -> SimulationResult:
         contract = self.registry.native(txn.contract)
@@ -474,6 +541,11 @@ class ConcurrentExecutor:
         receipt = contract.call(
             txn.function, storage, tuple(txn.args), caller=caller_id(txn.sender)
         )
+        if receipt.success:
+            sites = self._delta_sites(txn)
+            if sites:
+                storage.promote_deltas(sites)
+                receipt.rwset = storage.rwset()
         return self._result_from_receipt(txn, receipt)
 
     def _execute_vm(self, txn: Transaction, read_fn: ReadFn) -> SimulationResult:
@@ -490,6 +562,7 @@ class ConcurrentExecutor:
             caller=caller_id(txn.sender),
             gas_limit=self.gas_limit,
             key_renderer=renderer,
+            delta_sites=self._delta_sites(txn),
         )
         receipt = self._svm.execute(code, context)
         return self._result_from_receipt(txn, receipt)

@@ -233,6 +233,8 @@ def record_epoch(metrics: MetricsRegistry, report: EpochReport) -> None:
         ).inc(count)
     if report.revived:
         metrics.counter("txns_revived_total").inc(report.revived)
+    if report.delta_commuted:
+        metrics.counter("txns_delta_commuted_total").inc(report.delta_commuted)
     metrics.gauge("last_epoch_index").set(report.epoch_index)
     metrics.gauge("last_abort_rate").set(report.abort_rate)
     metrics.histogram("epoch_latency_seconds").observe(report.phases.total)

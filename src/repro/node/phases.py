@@ -49,7 +49,10 @@ class EpochReport:
     :mod:`repro.obs.taxonomy`) to the number of transactions aborted for
     it; the counts always sum to ``aborted``.  ``revived`` counts
     §IV-D-doomed transactions the validation pass rescued back into the
-    schedule (they are *not* part of ``aborted``).
+    schedule (they are *not* part of ``aborted``).  ``delta_commuted``
+    counts committed commutative delta units that shared an address with
+    at least one other committed delta — each would have been a
+    write-write conflict without operation-level CC.
     """
 
     epoch_index: int
@@ -66,6 +69,7 @@ class EpochReport:
     scheduler_failed: bool = False
     abort_reasons: Mapping[str, int] = field(default_factory=dict)
     revived: int = 0
+    delta_commuted: int = 0
 
     @property
     def abort_rate(self) -> float:

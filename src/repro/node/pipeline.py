@@ -31,7 +31,7 @@ from repro.errors import BlockValidationError
 from repro.node.committer import Committer, SerialExecutorCommitter
 from repro.node.executor import ConcurrentExecutor
 from repro.node.phases import EpochReport, PhaseLatencies
-from repro.obs.taxonomy import taxonomy_counts
+from repro.obs.taxonomy import DELTA_OVERFLOW, taxonomy_counts
 from repro.obs.tracer import Tracer, maybe_span
 from repro.state.statedb import StateDB
 from repro.txn.transaction import Transaction
@@ -56,13 +56,19 @@ class PipelineConfig:
     :class:`~repro.node.executor.ConcurrentExecutor`); "auto" keeps the
     historical behaviour (threads when ``workers > 1``, else serial).
     ``workers`` feeds both the executor pool and the committer's
-    within-group parallel apply.
+    within-group parallel apply.  ``delta_cc`` turns on operation-level
+    concurrency control: the executor promotes statically classified
+    commutative writes to delta units and the committer folds them at
+    commit time — effective only for schedulers advertising
+    ``supports_deltas`` (Nezha); baselines keep seeing plain
+    read-modify-writes.
     """
 
     workers: int = 0
     use_vm: bool = False
     validate_blocks: bool = True
     backend: str = "auto"
+    delta_cc: bool = False
 
 
 class TransactionPipeline:
@@ -91,6 +97,12 @@ class TransactionPipeline:
             # Schedulers that record sub-phase spans (Nezha) nest them
             # under this pipeline's concurrency-control span.
             scheduler.tracer = tracer  # type: ignore[attr-defined]
+        # Delta promotion changes the conflict structure the scheduler
+        # sees, so it is only safe for schedulers that understand delta
+        # units; everything else keeps plain read-modify-writes.
+        self._delta_cc = self.config.delta_cc and bool(
+            getattr(scheduler, "supports_deltas", False)
+        )
         self.executor = ConcurrentExecutor(
             registry=registry,
             workers=self.config.workers,
@@ -100,6 +112,7 @@ class TransactionPipeline:
             # state; steady-state sync then ships only commit deltas.
             state_provider=lambda: dict(self.state.items()),
             tracer=tracer,
+            delta_cc=self._delta_cc,
         )
         self.committer = Committer(workers=self.config.workers, tracer=tracer)
         self._serial = SerialExecutorCommitter(
@@ -189,6 +202,8 @@ class TransactionPipeline:
 
         start = time.perf_counter()
         failed = bool(getattr(result, "failed", False))
+        guard_aborted: tuple[int, ...] = ()
+        delta_commuted = 0
         with maybe_span(self.tracer, "pipeline.commit") as span:
             if failed:
                 commit_root = self.state.root
@@ -196,11 +211,16 @@ class TransactionPipeline:
                 committed = 0
             else:
                 report = self.committer.commit(
-                    schedule, batch.write_values(), self.state
+                    schedule,
+                    batch.write_values(),
+                    self.state,
+                    delta_values=batch.delta_values() if self._delta_cc else None,
                 )
                 commit_root = report.state_root
                 group_count = report.group_count
                 committed = report.committed_count
+                guard_aborted = report.guard_aborted
+                delta_commuted = report.delta_commuted
                 if report.write_delta:
                     # Keep the process backend's worker replicas in lockstep
                     # with the committed state before the next epoch executes.
@@ -208,6 +228,14 @@ class TransactionPipeline:
             span.set(committed=committed, groups=group_count)
         phases.commitment = time.perf_counter() - start
 
+        abort_reasons = self._taxonomy(schedule, result)
+        if guard_aborted:
+            # Guard aborts happen after scheduling, so they are absent
+            # from the schedule's aborted set; fold them in to keep the
+            # taxonomy conservation invariant (counts sum to ``aborted``).
+            abort_reasons[DELTA_OVERFLOW] = (
+                abort_reasons.get(DELTA_OVERFLOW, 0) + len(guard_aborted)
+            )
         timings = getattr(result, "timings", None)
         scheme_phases = timings.as_dict() if timings is not None else {}
         return EpochReport(
@@ -216,15 +244,16 @@ class TransactionPipeline:
             block_concurrency=epoch.concurrency,
             input_transactions=len(transactions),
             committed=committed,
-            aborted=schedule.aborted_count,
+            aborted=schedule.aborted_count + len(guard_aborted),
             failed_simulation=batch.failed_count,
             state_root=commit_root,
             phases=phases,
             scheme_phases=scheme_phases,
             commit_group_count=group_count,
             scheduler_failed=failed,
-            abort_reasons=self._taxonomy(schedule, result),
+            abort_reasons=abort_reasons,
             revived=int(getattr(result, "revived", 0)),
+            delta_commuted=delta_commuted,
         )
 
     @staticmethod
@@ -265,6 +294,13 @@ class TransactionPipeline:
                         for address, value in txn.rwset.writes.items():
                             self.state.set(
                                 address, int(value) if value is not None else 0
+                            )
+                        # Declared deltas fold against the live wave state;
+                        # under lock-based waves that is exactly the
+                        # read-modify-write the delta abbreviates.
+                        for address, amount in txn.rwset.deltas.items():
+                            self.state.set(
+                                address, self.state.get(address) + amount
                             )
                         committed += 1
                         continue

@@ -16,6 +16,7 @@ from repro.obs.export import (
 from repro.obs.prom import render_prometheus, write_prometheus
 from repro.obs.taxonomy import (
     ABORT_REASONS,
+    DELTA_OVERFLOW,
     DOOMED_REORDER,
     SCHEME_CONFLICT,
     UNSERIALIZABLE_WRITE,
@@ -33,6 +34,7 @@ from repro.obs.tracer import (
 
 __all__ = [
     "ABORT_REASONS",
+    "DELTA_OVERFLOW",
     "DOOMED_REORDER",
     "NULL_SPAN",
     "SCHEME_CONFLICT",

@@ -22,6 +22,11 @@ Reasons
     Fallback bucket for schemes that abort without attribution (OCC's
     first-committer-wins, CG's feedback vertex set) and for any abort a
     scheduler fails to label.
+``delta_overflow``
+    The commit-time fold of a transaction's commutative deltas left some
+    address outside the machine-word range ``[0, 2**64)``; the bounded
+    over/underflow guard aborted the whole transaction deterministically
+    (every correct replica folds the same values in the same order).
 
 ``failed_simulation`` and ``revived`` are *not* abort reasons — failed
 simulations never enter the schedule (they are accounted separately in
@@ -37,11 +42,13 @@ from typing import Iterable, Mapping
 UNSERIALIZABLE_WRITE = "unserializable_write"
 DOOMED_REORDER = "doomed_reorder"
 SCHEME_CONFLICT = "scheme_conflict"
+DELTA_OVERFLOW = "delta_overflow"
 
 ABORT_REASONS: tuple[str, ...] = (
     UNSERIALIZABLE_WRITE,
     DOOMED_REORDER,
     SCHEME_CONFLICT,
+    DELTA_OVERFLOW,
 )
 """Every reason an aborted transaction can carry (closed set)."""
 

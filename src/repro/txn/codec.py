@@ -3,11 +3,17 @@
 Blocks must be persisted and (in a real deployment) shipped over the
 wire, so transactions need a canonical byte encoding.  Layout::
 
-    [txid, sender, contract_tag, function, [args...], [reads...], [writes...]]
+    [txid, sender, contract_tag, function, [args...], [reads...], [writes...],
+     [deltas...]]
 
 where args are tagged scalars (none / int / str) and reads/writes are
-``[address, tagged-value]`` pairs.  ``decode_transaction`` is the exact
-inverse of ``encode_transaction`` (property-tested).
+``[address, tagged-value]`` pairs.  Deltas are ``[address, amount]``
+pairs whose signed amount travels as ``amount % 2**64`` (the scalar
+codec is unsigned) and is re-signed on decode.  The trailing deltas
+list is omitted when empty, so delta-free transactions keep their
+legacy 7-item encoding and old blobs still decode.
+``decode_transaction`` is the exact inverse of ``encode_transaction``
+(property-tested).
 
 The module also carries the *wire-tuple* codec used by the process
 execution backend: transactions and simulation results are flattened to
@@ -55,6 +61,16 @@ _TAG_BYTES = b"\x03"
 
 _NO_CONTRACT = b"\x00"
 _HAS_CONTRACT = b"\x01"
+
+_DELTA_MOD = 1 << 64
+
+
+def _unsign_delta(amount: int) -> int:
+    return amount % _DELTA_MOD
+
+
+def _resign_delta(amount: int) -> int:
+    return amount - _DELTA_MOD if amount >= _DELTA_MOD // 2 else amount
 
 
 def _encode_scalar(value: Any) -> bytes:
@@ -117,15 +133,23 @@ def encode_transaction(txn: Transaction) -> bytes:
         reads,
         writes,
     ]
+    if txn.rwset.deltas:
+        item.append(
+            [
+                [address.encode(), _encode_scalar(_unsign_delta(txn.rwset.deltas[address]))]
+                for address in sorted(txn.rwset.deltas)
+            ]
+        )
     return rlp_encode(item)
 
 
 def decode_transaction(data: bytes) -> Transaction:
     """Parse the canonical transaction encoding."""
     item = rlp_decode(data)
-    if not isinstance(item, list) or len(item) != 7:
-        raise TransactionError("transaction encoding must be a 7-item list")
-    txid_blob, sender, contract_blob, function, args, reads, writes = item
+    if not isinstance(item, list) or len(item) not in (7, 8):
+        raise TransactionError("transaction encoding must be a 7- or 8-item list")
+    txid_blob, sender, contract_blob, function, args, reads, writes = item[:7]
+    deltas = item[7] if len(item) == 8 else []
     txid = int.from_bytes(txid_blob, "big")
     if not isinstance(contract_blob, bytes) or not contract_blob:
         raise TransactionError("malformed contract field")
@@ -142,6 +166,10 @@ def decode_transaction(data: bytes) -> Transaction:
         rwset=RWSet(
             reads={addr.decode(): _decode_scalar(val) for addr, val in reads},
             writes={addr.decode(): _decode_scalar(val) for addr, val in writes},
+            deltas={
+                addr.decode(): _resign_delta(_decode_scalar(val))
+                for addr, val in deltas
+            },
         ),
     )
 
@@ -166,19 +194,20 @@ def transaction_to_wire(txn: Transaction) -> tuple:
         tuple(txn.args),
         tuple(txn.rwset.reads.items()),
         tuple(txn.rwset.writes.items()),
+        tuple(txn.rwset.deltas.items()),
     )
 
 
 def transaction_from_wire(wire: tuple) -> Transaction:
     """Rebuild a transaction from its wire tuple."""
-    txid, sender, contract, function, args, reads, writes = wire
+    txid, sender, contract, function, args, reads, writes, deltas = wire
     return Transaction(
         txid=txid,
         sender=sender,
         contract=contract,
         function=function,
         args=tuple(args),
-        rwset=RWSet(reads=dict(reads), writes=dict(writes)),
+        rwset=RWSet(reads=dict(reads), writes=dict(writes), deltas=dict(deltas)),
     )
 
 
@@ -192,6 +221,7 @@ def simulation_result_to_wire(result: SimulationResult) -> tuple:
         result.error,
         tuple(result.rwset.reads.items()),
         tuple(result.rwset.writes.items()),
+        tuple(result.rwset.deltas.items()),
     )
 
 
@@ -199,14 +229,14 @@ def simulation_result_from_wire(
     wire: tuple, transaction: Transaction
 ) -> SimulationResult:
     """Re-attach the parent's transaction to a worker's wire result."""
-    txid, status_code, gas_used, return_value, error, reads, writes = wire
+    txid, status_code, gas_used, return_value, error, reads, writes, deltas = wire
     if txid != transaction.txid:
         raise TransactionError(
             f"wire result for T{txid} paired with transaction T{transaction.txid}"
         )
     return SimulationResult(
         transaction=transaction,
-        rwset=RWSet(reads=dict(reads), writes=dict(writes)),
+        rwset=RWSet(reads=dict(reads), writes=dict(writes), deltas=dict(deltas)),
         status=_CODE_TO_STATUS[status_code],
         gas_used=gas_used,
         return_value=return_value,

@@ -86,6 +86,10 @@ class SimulationBatch:
         """Map txid -> write values, for the commitment phase."""
         return {r.txid: r.rwset.writes for r in self.successful()}
 
+    def delta_values(self) -> dict[int, Mapping[Address, int]]:
+        """Map txid -> commutative delta amounts, for the commitment fold."""
+        return {r.txid: r.rwset.deltas for r in self.successful()}
+
     @property
     def failed_count(self) -> int:
         """Number of reverted or failed speculative executions."""

@@ -57,13 +57,22 @@ class Transaction:
 
     @property
     def write_set(self) -> frozenset[Address]:
-        """``WS(T)`` — the set of addresses the transaction writes."""
+        """``WS(T)`` — the set of addresses the transaction plainly writes.
+
+        Commutative delta addresses are *not* included; they live in
+        :attr:`delta_set` and are scheduled under relaxed rules.
+        """
         return self.rwset.write_addresses
 
     @property
+    def delta_set(self) -> frozenset[Address]:
+        """``DS(T)`` — addresses updated by a commutative delta."""
+        return self.rwset.delta_addresses
+
+    @property
     def is_read_only(self) -> bool:
-        """True if the transaction performs no writes."""
-        return not self.rwset.writes
+        """True if the transaction performs no writes (plain or delta)."""
+        return not self.rwset.writes and not self.rwset.deltas
 
     def with_rwset(self, rwset: RWSet) -> "Transaction":
         """Return a copy carrying the given read/write summary."""
@@ -96,6 +105,10 @@ class Transaction:
         for address in sorted(self.write_set):
             h.update(b"|w:")
             h.update(address.encode())
+        for address in sorted(self.delta_set):
+            h.update(b"|d:")
+            h.update(address.encode())
+            h.update(str(self.rwset.deltas[address]).encode())
         return h.digest()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -109,6 +122,7 @@ def make_transaction(
     txid: int,
     reads: Mapping[Address, Any] | list[Address] | tuple[Address, ...] | frozenset[Address] = (),
     writes: Mapping[Address, Any] | list[Address] | tuple[Address, ...] | frozenset[Address] = (),
+    deltas: Mapping[Address, int] | None = None,
     **kwargs: Any,
 ) -> Transaction:
     """Convenience constructor accepting address lists or value mappings.
@@ -123,4 +137,8 @@ def make_transaction(
         reads = {address: None for address in reads}
     if not isinstance(writes, Mapping):
         writes = {address: None for address in writes}
-    return Transaction(txid=txid, rwset=RWSet(reads=reads, writes=writes), **kwargs)
+    return Transaction(
+        txid=txid,
+        rwset=RWSet(reads=reads, writes=writes, deltas=dict(deltas) if deltas else {}),
+        **kwargs,
+    )

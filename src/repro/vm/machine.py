@@ -49,6 +49,10 @@ class ExecutionContext:
     caller: int = 0
     gas_limit: int = DEFAULT_GAS_LIMIT
     key_renderer: KeyRenderer = default_key_renderer
+    delta_sites: tuple[tuple[Address, int], ...] = ()
+    """Statically classified commutative-write sites for this call:
+    ``(address, delta mod 2**64)`` pairs the logger may promote to delta
+    units after a successful run (each is re-checked dynamically)."""
 
 
 @dataclass
@@ -97,6 +101,8 @@ class SVM:
                 rwset=context.storage.rwset(),
                 error=str(exc),
             )
+        if context.delta_sites:
+            context.storage.promote_deltas(context.delta_sites)
         return Receipt(
             success=True,
             return_value=value,

@@ -78,12 +78,20 @@ class SmallBankConfig:
     read_only_fraction:
         Probability of ``getBalance``; the paper selects all six types
         uniformly, i.e. 1/6.
+    delta_writes:
+        Emit the commutative-delta form of the analytic summaries: the
+        ``old + amount`` read-modify-writes of ``updateSavings``,
+        ``updateBalance``, and ``sendPayment``'s destination become
+        delta units — exactly the sites the static classifier proves on
+        the contract bytecode, so CC-only benchmarks reproduce the
+        delta-CC conflict structure without executing.
     """
 
     account_count: int = DEFAULT_ACCOUNT_COUNT
     skew: float = 0.0
     seed: int = 0
     read_only_fraction: float = 1.0 / 6.0
+    delta_writes: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.read_only_fraction <= 1.0:
@@ -133,7 +141,12 @@ class SmallBankWorkload:
             customer = self._sampler.sample()
             args = (customer,) if op is SmallBankOp.GET_BALANCE else (customer, amount)
             customers = (customer,)
-        rwset = rwset_for(op, customers)
+        rwset = rwset_for(
+            op,
+            customers,
+            amount=amount,
+            delta_writes=self.config.delta_writes,
+        )
         return Transaction(
             txid=txid,
             rwset=rwset,
@@ -154,22 +167,41 @@ class SmallBankWorkload:
         return self._rng.choice(WRITE_OPS)
 
 
-def rwset_for(op: SmallBankOp, customers: Sequence[int]) -> RWSet:
+def rwset_for(
+    op: SmallBankOp,
+    customers: Sequence[int],
+    amount: int | None = None,
+    delta_writes: bool = False,
+) -> RWSet:
     """Analytic read/write address sets of one SmallBank operation.
 
     These match what the VM's read/write logger observes when executing
     the contract (asserted by integration tests), so CC-only benchmarks
-    can skip execution without changing the conflict structure.
+    can skip execution without changing the conflict structure.  With
+    ``delta_writes`` (and a concrete ``amount``) the provably commutative
+    read-modify-writes become delta units, mirroring what the executor's
+    static classification plus dynamic promotion produce; ``sendPayment``
+    keeps the plain form when source and destination alias, exactly as
+    the runtime alias check downgrades that case.
     """
+    emit_deltas = delta_writes and amount is not None
     if op is SmallBankOp.UPDATE_SAVINGS:
         address = savings_address(customers[0])
+        if emit_deltas:
+            return RWSet.from_addresses([], [], deltas={address: amount})
         return RWSet.from_addresses([address], [address])
     if op is SmallBankOp.UPDATE_BALANCE:
         address = checking_address(customers[0])
+        if emit_deltas:
+            return RWSet.from_addresses([], [], deltas={address: amount})
         return RWSet.from_addresses([address], [address])
     if op is SmallBankOp.SEND_PAYMENT:
         src_chk = checking_address(customers[0])
         dst_chk = checking_address(customers[1])
+        if emit_deltas and src_chk != dst_chk:
+            return RWSet.from_addresses(
+                [src_chk], [src_chk], deltas={dst_chk: amount}
+            )
         return RWSet.from_addresses([src_chk, dst_chk], [src_chk, dst_chk])
     if op is SmallBankOp.WRITE_CHECK:
         savings = savings_address(customers[0])

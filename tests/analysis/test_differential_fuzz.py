@@ -24,11 +24,13 @@ from __future__ import annotations
 
 import random
 
-from repro.analysis.static import verify_bytecode
+from repro.analysis.static import classify_bytecode, resolve_sites, verify_bytecode
 from repro.vm import ExecutionContext, LoggedStorage, SVM, assemble
+from repro.vm.machine import default_key_renderer
 
 PROGRAM_COUNT = 420
 MUTANT_COUNT = 180
+DELTA_PROGRAM_COUNT = 160
 NARGS = 3
 CALLER = 9
 
@@ -219,5 +221,155 @@ def test_mutated_programs_agree():
     assert rejected > MUTANT_COUNT // 4
 
 
+def generate_delta_program(rng: random.Random):
+    """Straight-line ``K <- K ± E`` read-modify-writes plus masked noise.
+
+    Noise keys are masked to 0..15 while the RMW keys live at 16+, so
+    no alias kill fires and every emitted site is provably commutative —
+    the classifier must find all of them, and the dynamic promotion
+    check must accept each one.  Returns the source and the expected
+    ``(address, signed delta)`` pairs.
+    """
+    args = tuple(range(1, NARGS + 1))
+    lines: list[str] = []
+    specs: list[tuple[str, int]] = []
+
+    def noise() -> list[str]:
+        chunk: list[str] = []
+        for _ in range(rng.randrange(0, 4)):
+            pick = rng.randrange(3)
+            if pick == 0:
+                chunk += [f"PUSH {rng.randrange(100)}", "POP"]
+            elif pick == 1:
+                chunk += [
+                    f"ARG {rng.randrange(NARGS)}",
+                    "PUSH 15",
+                    "AND",
+                    "SLOAD",
+                    "POP",
+                ]
+            else:
+                chunk += [
+                    f"PUSH {rng.randrange(16)}",
+                    f"PUSH {rng.randrange(2**20)}",
+                    "SSTORE",
+                ]
+        return chunk
+
+    for key in rng.sample(range(16, 64), k=rng.randrange(1, 3)):
+        lines += noise()
+        sign = rng.choice((1, -1))
+        kind = rng.choice(("push", "arg", "caller", "sum"))
+        if kind == "push":
+            value = rng.randrange(1, 1000)
+            operand = [f"PUSH {value}"]
+        elif kind == "arg":
+            j = rng.randrange(NARGS)
+            value = args[j]
+            operand = [f"ARG {j}"]
+        elif kind == "caller":
+            value = CALLER
+            operand = ["CALLER"]
+        else:
+            j = rng.randrange(NARGS)
+            const = rng.randrange(1, 50)
+            value = args[j] + const
+            operand = [f"ARG {j}", f"PUSH {const}", "ADD"]
+        lines.append(f"PUSH {key}")
+        lines.append("DUP 1")
+        lines.append("SLOAD")
+        lines += operand
+        lines.append("ADD" if sign == 1 else "SUB")
+        lines.append("SSTORE")
+        specs.append((default_key_renderer(key), sign * value))
+    lines += noise()
+    lines.append("STOP")
+    return "\n".join(lines), specs
+
+
+def test_delta_classification_agrees_with_dynamic_promotion():
+    """Static delta classification == what the rw-logger promotes."""
+    rng = random.Random(0xDE17A)
+    args = tuple(range(1, NARGS + 1))
+    promoted_total = 0
+    for index in range(DELTA_PROGRAM_COUNT):
+        source, specs = generate_delta_program(rng)
+        code = assemble(source)
+        check_program(code)  # structural + containment invariants
+
+        classification = classify_bytecode(code, nargs=NARGS)
+        sites = resolve_sites(
+            classification, args, CALLER, default_key_renderer
+        )
+        expected = {
+            address: delta % 2**64 for address, delta in specs
+        }
+        assert dict(sites) == expected, (
+            f"classifier missed provably commutative sites in program "
+            f"#{index}:\n{source}"
+        )
+
+        plain = run(code, 1_000_000)
+        assert plain.error is None, source
+        storage = LoggedStorage(lambda _address: 7)
+        context = ExecutionContext(
+            storage=storage,
+            args=args,
+            caller=CALLER,
+            gas_limit=1_000_000,
+            delta_sites=tuple(sites),
+        )
+        promoted = SVM().execute(code, context)
+        assert promoted.error is None
+
+        for address, signed in specs:
+            # Promotion moved the RMW out of the plain read/write sets...
+            assert promoted.rwset.deltas[address] == signed
+            assert address not in promoted.rwset.reads
+            assert address not in promoted.rwset.writes
+            # ...and the fold reproduces the plain write exactly.
+            assert (7 + signed) % 2**64 == plain.rwset.writes[address]
+            promoted_total += 1
+        # Everything else is untouched by promotion.
+        untouched = {
+            a: v for a, v in plain.rwset.writes.items() if a not in expected
+        }
+        assert dict(promoted.rwset.writes) == untouched
+        assert set(plain.rwset.reads) - set(expected) == set(
+            promoted.rwset.reads
+        )
+    assert promoted_total >= DELTA_PROGRAM_COUNT
+
+
+def test_delta_promotion_preserves_static_containment():
+    """Static ⊇ dynamic still holds when deltas leave the plain sets."""
+    rng = random.Random(0xF01D)
+    args = tuple(range(1, NARGS + 1))
+    for _ in range(DELTA_PROGRAM_COUNT // 2):
+        source, _specs = generate_delta_program(rng)
+        code = assemble(source)
+        report = verify_bytecode(code, nargs=NARGS)
+        assert report.ok, source
+        static_reads, static_writes = report.static_addresses(args, caller=CALLER)
+        sites = resolve_sites(
+            classify_bytecode(code, nargs=NARGS), args, CALLER, default_key_renderer
+        )
+        storage = LoggedStorage(lambda _address: 7)
+        context = ExecutionContext(
+            storage=storage,
+            args=args,
+            caller=CALLER,
+            gas_limit=1_000_000,
+            delta_sites=tuple(sites),
+        )
+        receipt = SVM().execute(code, context)
+        assert receipt.error is None
+        observed = receipt.rwset
+        if static_reads is not None:
+            assert set(observed.reads) | set(observed.deltas) <= static_reads
+        if static_writes is not None:
+            assert set(observed.writes) | set(observed.deltas) <= static_writes
+
+
 def test_total_program_budget():
-    assert PROGRAM_COUNT + MUTANT_COUNT >= 500
+    assert PROGRAM_COUNT + MUTANT_COUNT + DELTA_PROGRAM_COUNT >= 500

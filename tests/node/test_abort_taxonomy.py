@@ -11,15 +11,27 @@ import pytest
 
 from repro.baselines import CGScheduler, OCCScheduler
 from repro.core import NezhaConfig, NezhaScheduler
+from repro.dag import EpochCoordinator, Mempool, ParallelChains, PoWParams
+from repro.node import FullNode, PipelineConfig
 from repro.node.metrics import MetricsRegistry
 from repro.obs import (
     ABORT_REASONS,
+    DELTA_OVERFLOW,
     DOOMED_REORDER,
     SCHEME_CONFLICT,
     UNSERIALIZABLE_WRITE,
     taxonomy_counts,
 )
-from repro.workload import SmallBankConfig, SmallBankWorkload, flatten_blocks
+from repro.state import StateDB
+from repro.txn import make_transaction
+from repro.vm.contracts.smallbank import default_registry
+from repro.vm.opcodes import WORD_MASK
+from repro.workload import (
+    SmallBankConfig,
+    SmallBankWorkload,
+    flatten_blocks,
+    initial_state,
+)
 
 from tests.node.test_pipeline import build_node, mine_epochs
 
@@ -98,6 +110,81 @@ class TestReportConservation:
             assert report.committed + report.aborted + report.failed_simulation == (
                 report.input_transactions
             )
+
+
+class TestDeltaCCConservation:
+    """Taxonomy conservation must survive operation-level CC, including
+    the commit-time guard aborts that never appear in the schedule."""
+
+    def _mine(self, delta_cc, epochs=2, block_size=40):
+        state = StateDB()
+        state.seed(initial_state(CONTENDED))
+        node = FullNode(
+            chains=ParallelChains(chain_count=3, pow_params=PoWParams(6)),
+            state=state,
+            scheduler=NezhaScheduler(),
+            registry=default_registry(include_bytecode=True),
+            config=PipelineConfig(delta_cc=delta_cc),
+        )
+        chains = ParallelChains(chain_count=3, pow_params=node.chains.pow_params)
+        coordinator = EpochCoordinator(
+            chains=chains, miners=["m0"], block_size=block_size
+        )
+        pool = Mempool()
+        pool.submit_many(
+            SmallBankWorkload(CONTENDED).generate(epochs * 3 * block_size + 60)
+        )
+        with node:
+            return [
+                node.receive_epoch(
+                    coordinator.mine_epoch(pool, state_root=node.state_root)
+                )
+                for _ in range(epochs)
+            ]
+
+    @pytest.mark.parametrize("delta_cc", [False, True], ids=["baseline", "delta-cc"])
+    def test_reason_counts_sum_to_aborted(self, delta_cc):
+        for report in self._mine(delta_cc):
+            assert sum(report.abort_reasons.values()) == report.aborted
+            assert set(report.abort_reasons) <= set(ABORT_REASONS)
+            assert report.committed + report.aborted + report.failed_simulation == (
+                report.input_transactions
+            )
+            assert report.delta_commuted >= 0
+            if not delta_cc:
+                assert report.delta_commuted == 0
+
+    def test_delta_cc_commutes_and_reduces_aborts(self):
+        baseline = self._mine(False)
+        delta = self._mine(True)
+        assert sum(r.delta_commuted for r in delta) > 0
+        assert sum(r.aborted for r in delta) < sum(r.aborted for r in baseline)
+
+    def test_overflow_guard_reason_threads_to_report(self):
+        state = StateDB()
+        state.seed({"hot": WORD_MASK - 10})
+        node = FullNode(
+            chains=ParallelChains(chain_count=3, pow_params=PoWParams(6)),
+            state=state,
+            scheduler=NezhaScheduler(),
+            config=PipelineConfig(delta_cc=True),
+        )
+        chains = ParallelChains(chain_count=3, pow_params=node.chains.pow_params)
+        coordinator = EpochCoordinator(chains=chains, miners=["m0"], block_size=8)
+        pool = Mempool()
+        # Declared-delta passthrough transactions racing one nearly full
+        # counter: the first fold fits, every later one overflows.
+        pool.submit_many(
+            make_transaction(txid, deltas={"hot": 8}) for txid in range(1, 25)
+        )
+        with node:
+            blocks = coordinator.mine_epoch(pool, state_root=node.state_root)
+            report = node.receive_epoch(blocks)
+        assert report.abort_reasons.get(DELTA_OVERFLOW, 0) > 0
+        assert sum(report.abort_reasons.values()) == report.aborted
+        assert report.committed + report.aborted + report.failed_simulation == (
+            report.input_transactions
+        )
 
 
 class TestMetricsLabels:

@@ -1,0 +1,34 @@
+"""Shared fixtures for the workload test package.
+
+Every workload generator under test must be deterministic: an unseeded
+:class:`~repro.workload.ZipfSampler` seeds its PRNG from OS entropy and
+turns distribution assertions into flaky tests.  The autouse fixture
+pins a default seed for any construction that forgets to pass one —
+SmallBank, Token, Synthetic, and mixed workloads all draw their account
+picks through this sampler, so this covers every generator in the
+package.  Tests that want a specific stream still pass their own
+``seed=``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload import ZipfSampler
+
+DEFAULT_TEST_SEED = 0x5EED
+
+
+@pytest.fixture(autouse=True)
+def _seed_unseeded_samplers(monkeypatch):
+    original = ZipfSampler.__init__
+
+    def seeded(self, population, skew=0.0, seed=None):
+        original(
+            self,
+            population,
+            skew,
+            DEFAULT_TEST_SEED if seed is None else seed,
+        )
+
+    monkeypatch.setattr(ZipfSampler, "__init__", seeded)

@@ -53,11 +53,11 @@ class TestZipfSampler:
 
     def test_probabilities_sum_to_one(self):
         for skew in (0.0, 0.5, 1.3):
-            sampler = ZipfSampler(population=200, skew=skew)
+            sampler = ZipfSampler(population=200, skew=skew, seed=11)
             assert math.isclose(sum(sampler.probabilities()), 1.0, rel_tol=1e-9)
 
     def test_probabilities_match_zipf_ratio(self):
-        sampler = ZipfSampler(population=100, skew=1.0)
+        sampler = ZipfSampler(population=100, skew=1.0, seed=11)
         probabilities = sampler.probabilities()
         assert math.isclose(probabilities[0] / probabilities[1], 2.0, rel_tol=1e-9)
 
