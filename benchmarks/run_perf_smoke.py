@@ -22,6 +22,12 @@ milliseconds:
   the baseline's ``unserializable_write`` aborts on SmallBank at skew
   0.9.  An abort-count ratio on a fixed seed is deterministic, so this
   gate has no tolerance band at all.
+* **Flat-state commit** — the flat journaled state's batched epoch seal
+  must be >= 3x cheaper than sequential trie puts at 100k accounts
+  (ratio gate, baselined in ``BENCH_state_scale.json``), and its
+  per-write cost must stay within 2x across the account sweep
+  (absolute ceiling — the whole point of the fast path is that commit
+  cost does not grow with state size).
 
 On success (or with ``--update``) the JSON artifacts are rewritten with
 the fresh numbers.
@@ -69,6 +75,14 @@ from bench_delta_cc import (  # noqa: E402
     measure_delta_cc,
     write_results as write_delta_results,
 )
+from bench_state_scale import (  # noqa: E402
+    FLATNESS_CEILING as STATE_FLATNESS_CEILING,
+    GATED_SIZE as STATE_GATED_SIZE,
+    RESULTS_PATH as STATE_RESULTS_PATH,
+    SPEEDUP_FLOOR as STATE_SPEEDUP_FLOOR,
+    measure_state_scale,
+    write_results as write_state_results,
+)
 
 REGRESSION_TOLERANCE = 0.20
 SMOKE_ROUNDS = 5
@@ -79,6 +93,7 @@ EXEC_SMOKE_ROUNDS = 3
 EXEC_REGRESSION_TOLERANCE = 0.35
 OBS_SMOKE_ROUNDS = 4
 DELTA_SMOKE_EPOCHS = 1
+STATE_SMOKE_ROUNDS = 3
 
 
 def load_baseline(path: Path = CC_RESULTS_PATH) -> dict | None:
@@ -185,6 +200,33 @@ def main(argv: list[str]) -> int:
         )
         failed = True
 
+    state_baseline = load_baseline(STATE_RESULTS_PATH) or {}
+    state_payload = measure_state_scale(rounds=STATE_SMOKE_ROUNDS)
+    state_speedup = state_payload["speedup_at_gated"]
+    print(
+        f"flat-state commit speedup at {STATE_GATED_SIZE} accounts: "
+        f"{state_speedup:.2f}x"
+    )
+    failed |= _gate(
+        "state_scale",
+        state_speedup,
+        STATE_SPEEDUP_FLOOR,
+        float(state_baseline.get("speedup_at_gated", 0.0)),
+        REGRESSION_TOLERANCE,
+        update_only,
+    )
+    state_flatness = state_payload["flat_per_write_ratio"]
+    print(
+        f"flat-state per-write spread across sweep: {state_flatness:.2f}x "
+        f"(ceiling {STATE_FLATNESS_CEILING}x)"
+    )
+    if state_flatness > STATE_FLATNESS_CEILING:
+        print(
+            f"FAIL [state_scale]: per-write commit cost varies "
+            f"{state_flatness:.2f}x across the account sweep"
+        )
+        failed = True
+
     elapsed = time.perf_counter() - started
     print(f"smoke wall-clock: {elapsed:.1f}s")
     if not failed or update_only:
@@ -192,10 +234,12 @@ def main(argv: list[str]) -> int:
         write_exec_results(exec_payload)
         write_obs_results(obs_payload)
         write_delta_results(delta_payload)
+        write_state_results(state_payload)
         print(f"wrote {CC_RESULTS_PATH}")
         print(f"wrote {EXEC_RESULTS_PATH}")
         print(f"wrote {OBS_RESULTS_PATH}")
         print(f"wrote {DELTA_RESULTS_PATH}")
+        print(f"wrote {STATE_RESULTS_PATH}")
     return 1 if failed else 0
 
 

@@ -81,6 +81,20 @@ def build_parser() -> argparse.ArgumentParser:
         "delta units that share sequence numbers instead of conflicting "
         "(Nezha scheduler only; baselines ignore the flag)",
     )
+    simulate.add_argument(
+        "--state-cache",
+        type=int,
+        default=0,
+        metavar="N",
+        help="trie-node LRU cache capacity in front of the state store "
+        "(0 = uncached; hit rate lands in the metrics snapshot)",
+    )
+    simulate.add_argument(
+        "--trie-state",
+        action="store_true",
+        help="disable the flat journaled state fast path and run the "
+        "trie-backed reference StateDB (same roots, slower commits)",
+    )
     _add_obs_args(simulate)
 
     multinode = sub.add_parser(
@@ -324,6 +338,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             workers=args.workers,
             exec_backend=args.exec_backend,
             delta_cc=args.delta_cc,
+            flat_state=not args.trie_state,
+            state_cache=args.state_cache,
             cost_model=ExecutionCostModel() if args.paper_costs else ZERO_COST,
         ),
         metrics=metrics,

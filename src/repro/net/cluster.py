@@ -31,7 +31,7 @@ from repro.node.node import FullNode
 from repro.node.phases import EpochReport
 from repro.node.pipeline import PipelineConfig, Scheduler
 from repro.obs.tracer import Tracer, maybe_span
-from repro.state.statedb import StateDB
+from repro.state.flat import make_statedb
 from repro.storage.memstore import MemStore
 from repro.vm.contracts.smallbank import default_registry
 from repro.vm.costmodel import ExecutionCostModel, ZERO_COST
@@ -53,6 +53,8 @@ class ClusterConfig:
     use_vm: bool = False
     exec_backend: str = "auto"
     delta_cc: bool = False
+    flat_state: bool = True
+    state_cache: int = 0
     cost_model: ExecutionCostModel = ZERO_COST
 
     def __post_init__(self) -> None:
@@ -138,7 +140,12 @@ class Cluster:
             miners=[f"miner-{i}" for i in range(self.config.miner_count)],
             block_size=self.config.block_size,
         )
-        state = StateDB(store=MemStore())
+        state = make_statedb(
+            store=MemStore(),
+            cache_size=self.config.state_cache,
+            flat=self.config.flat_state,
+            tracer=tracer,
+        )
         state.seed(initial_state(workload_config))
         self.node = FullNode(
             chains=ParallelChains(
@@ -156,6 +163,8 @@ class Cluster:
                 use_vm=self.config.use_vm,
                 backend=self.config.exec_backend,
                 delta_cc=self.config.delta_cc,
+                flat_state=self.config.flat_state,
+                state_cache=self.config.state_cache,
             ),
             metrics=metrics,
             tracer=tracer,

@@ -27,7 +27,7 @@ from repro.node.node import FullNode
 from repro.node.phases import EpochReport
 from repro.node.pipeline import Scheduler
 from repro.obs.tracer import Tracer, maybe_span
-from repro.state.statedb import StateDB
+from repro.state.flat import make_statedb
 from repro.vm.contracts.smallbank import default_registry
 from repro.workload.smallbank import SmallBankConfig, SmallBankWorkload, initial_state
 
@@ -103,7 +103,9 @@ class ReplicaNetwork:
         # would hide a diverging one).
         self.metrics: list[MetricsRegistry] = []
         for _ in range(self.config.replica_count):
-            state = StateDB()
+            # Replicas run the flat fast path; the agreement check across
+            # replicas (and the flat/trie equivalence sweep) guards roots.
+            state = make_statedb()
             state.seed(initial_state(workload_config))
             registry = MetricsRegistry()
             self.metrics.append(registry)

@@ -17,7 +17,7 @@ from repro.dag.blockstore import BlockStore
 from repro.dag.chain import ParallelChains
 from repro.dag.epochs import Epoch, extract_epoch
 from repro.errors import BlockValidationError
-from repro.node.metrics import MetricsRegistry, record_epoch
+from repro.node.metrics import MetricsRegistry, record_epoch, record_state
 from repro.node.phases import EpochReport
 from repro.node.pipeline import PipelineConfig, Scheduler, TransactionPipeline
 from repro.obs.tracer import Tracer, maybe_span
@@ -133,6 +133,7 @@ class FullNode:
         self.reports.append(report)
         if self.metrics is not None:
             record_epoch(self.metrics, report)
+            record_state(self.metrics, self.state)
         return report
 
     def close(self) -> None:

@@ -61,7 +61,13 @@ class PipelineConfig:
     commutative writes to delta units and the committer folds them at
     commit time — effective only for schedulers advertising
     ``supports_deltas`` (Nezha); baselines keep seeing plain
-    read-modify-writes.
+    read-modify-writes.  ``flat_state`` selects the journaled flat
+    account state (:class:`~repro.state.flat.FlatStateDB`) when the
+    surrounding deployment builds the node's state from this config;
+    ``state_cache`` bounds the trie-node LRU in front of the backing
+    store (0 = uncached).  Both only take effect where the state is
+    constructed (``Cluster``, ``ReplicaNetwork``, CLI) — a pipeline
+    handed an explicit ``state`` object uses it as-is.
     """
 
     workers: int = 0
@@ -69,6 +75,8 @@ class PipelineConfig:
     validate_blocks: bool = True
     backend: str = "auto"
     delta_cc: bool = False
+    flat_state: bool = True
+    state_cache: int = 0
 
 
 class TransactionPipeline:
@@ -97,6 +105,10 @@ class TransactionPipeline:
             # Schedulers that record sub-phase spans (Nezha) nest them
             # under this pipeline's concurrency-control span.
             scheduler.tracer = tracer  # type: ignore[attr-defined]
+        if tracer is not None and getattr(state, "tracer", "absent") is None:
+            # State backends that record seal/read spans (FlatStateDB)
+            # nest them under this pipeline's commit span.
+            state.tracer = tracer  # type: ignore[attr-defined]
         # Delta promotion changes the conflict structure the scheduler
         # sees, so it is only safe for schedulers that understand delta
         # units; everything else keeps plain read-modify-writes.

@@ -2,6 +2,7 @@
 
 from repro.state.account import Account, decode_int, encode_int
 from repro.state.cache import CacheStats, LRUCacheMapping
+from repro.state.flat import FlatSnapshot, FlatStateDB, JournalLayer, make_statedb
 from repro.state.mpt import EMPTY_ROOT, MerklePatriciaTrie, NodeStore, verify_proof
 from repro.state.pruning import PruneReport, collect_reachable, prune
 from repro.state.statedb import KVNodeMapping, StateDB, StateSnapshot
@@ -9,6 +10,9 @@ from repro.state.statedb import KVNodeMapping, StateDB, StateSnapshot
 __all__ = [
     "Account",
     "CacheStats",
+    "FlatSnapshot",
+    "FlatStateDB",
+    "JournalLayer",
     "LRUCacheMapping",
     "PruneReport",
     "EMPTY_ROOT",
@@ -20,6 +24,7 @@ __all__ = [
     "collect_reachable",
     "decode_int",
     "encode_int",
+    "make_statedb",
     "prune",
     "verify_proof",
 ]

@@ -12,7 +12,7 @@ with branch-node "no value" slots, as in Ethereum).
 from __future__ import annotations
 
 import hashlib
-from typing import Iterator, MutableMapping
+from typing import Iterable, Iterator, MutableMapping
 
 from repro.errors import TrieError
 from repro.state.mpt.nibbles import (
@@ -35,26 +35,73 @@ EMPTY_ROOT = hashlib.sha256(b"").digest()
 """Root hash of the empty trie."""
 
 
-class NodeStore:
-    """Content-addressed node storage (hash -> encoded node)."""
+DEFAULT_DECODED_CACHE = 1 << 18
+"""Decoded interior nodes retained in memory (nodes are immutable, so
+sharing is safe).  Sized to keep the whole upper trie resident at about
+a million accounts; occupancy — and therefore memory — scales with the
+live interior set, not the cap."""
 
-    def __init__(self, backing: MutableMapping[bytes, bytes] | None = None) -> None:
+
+class NodeStore:
+    """Content-addressed node storage (hash -> encoded node).
+
+    ``decoded_cache_size > 0`` keeps a bounded cache of *decoded* nodes:
+    every save and load-miss parks the node object, so walking a path
+    that a previous commit rebuilt skips the RLP decode entirely.  Off
+    by default — the reference read path decodes every load; the flat
+    fast path (:class:`repro.state.flat.FlatStateDB`) turns it on.
+    Content addressing makes the cache trivially coherent — a ref's node
+    can never change — except for explicit deletion (pruning), which
+    must call :meth:`drop_caches`.
+    """
+
+    def __init__(
+        self,
+        backing: MutableMapping[bytes, bytes] | None = None,
+        decoded_cache_size: int = 0,
+    ) -> None:
         self._nodes: MutableMapping[bytes, bytes] = backing if backing is not None else {}
+        self._decoded: dict[bytes, Node] = {}
+        self._decoded_cap = decoded_cache_size
 
     def load(self, ref: bytes) -> Node:
         """Fetch and decode a node by reference."""
+        node = self._decoded.get(ref)
+        if node is not None:
+            return node
         try:
             encoded = self._nodes[ref]
         except KeyError:
             raise TrieError(f"missing trie node {ref.hex()[:16]}...") from None
-        return decode_node(encoded)
+        node = decode_node(encoded)
+        self._cache_decoded(ref, node)
+        return node
 
     def save(self, node: Node) -> bytes:
         """Encode, hash, and persist a node; returns its reference."""
         encoded = node.encode()
         ref = hash_node(encoded)
         self._nodes[ref] = encoded
+        self._cache_decoded(ref, node)
         return ref
+
+    def drop_caches(self) -> None:
+        """Forget every decoded node (required after external deletes)."""
+        self._decoded.clear()
+
+    def _cache_decoded(self, ref: bytes, node: Node) -> None:
+        if self._decoded_cap <= 0:
+            return
+        if isinstance(node, LeafNode):
+            # Leaves are the long tail: one per key, touched once per
+            # write.  Caching only interior nodes keeps the whole upper
+            # trie resident even at millions of accounts.
+            return
+        if len(self._decoded) >= self._decoded_cap:
+            # Wholesale eviction: cheaper than LRU bookkeeping on every
+            # hit, and the next commits re-warm the hot upper levels.
+            self._decoded.clear()
+        self._decoded[ref] = node
 
     def raw(self, ref: bytes) -> bytes:
         """The encoded bytes of a node (used to build proofs)."""
@@ -248,6 +295,139 @@ class MerklePatriciaTrie:
             return self.store.save(node.with_child(slot, leaf))
         new_child = self._put(child, path[1:], value)
         return self.store.save(node.with_child(slot, new_child))
+
+    def put_batch(self, items: "Iterable[tuple[bytes, bytes]]") -> bytes:
+        """Insert or overwrite many keys in one subtree rebuild.
+
+        Equivalent to calling :meth:`put` per item (later duplicates win)
+        but each touched subtree is rebuilt exactly once, bottom-up:
+        the dirty keys are sorted and grouped by shared nibble prefix, so
+        a path node shared by N keys is re-encoded and re-hashed once
+        instead of N times, and untouched children keep their existing
+        refs — their hashes are never recomputed.  The trie's canonical
+        form (maximal path compression) makes the resulting root
+        bit-identical to the sequential-put root for the same content.
+        """
+        staged: dict[Nibbles, bytes] = {}
+        for key, value in items:
+            if not isinstance(value, (bytes, bytearray)) or len(value) == 0:
+                raise TrieError("trie values must be non-empty bytes")
+            staged[bytes_to_nibbles(key)] = bytes(value)
+        if not staged:
+            return self.root
+        pairs = sorted(staged.items())
+        if self.root == EMPTY_ROOT:
+            node = self._build_subtree(pairs)
+        else:
+            node = self._put_batch(self.store.load(self.root), pairs)
+        self.root = self.store.save(node)
+        return self.root
+
+    def _put_batch(self, node: Node, pairs: list[tuple[Nibbles, bytes]]) -> Node:
+        """Merge sorted ``(path, value)`` pairs into ``node``'s subtree.
+
+        Returns the replacement node *unsaved*; the caller saves it (the
+        recursion saves children, so every new node is hashed once).
+        """
+        if isinstance(node, LeafNode):
+            merged = dict(pairs)
+            merged.setdefault(node.path, node.value)
+            return self._build_subtree(sorted(merged.items()))
+        if isinstance(node, ExtensionNode):
+            return self._put_batch_extension(node, pairs)
+        return self._put_batch_branch(node, pairs)
+
+    def _put_batch_branch(
+        self, node: BranchNode, pairs: list[tuple[Nibbles, bytes]]
+    ) -> BranchNode:
+        value = node.value
+        groups: dict[int, list[tuple[Nibbles, bytes]]] = {}
+        for path, item in pairs:
+            if not path:
+                value = item
+            else:
+                groups.setdefault(path[0], []).append((path[1:], item))
+        children = list(node.children)
+        for slot, group in groups.items():
+            if children[slot] == EMPTY_REF:
+                sub = self._build_subtree(group)
+            else:
+                sub = self._put_batch(self.store.load(children[slot]), group)
+            children[slot] = self.store.save(sub)
+        return BranchNode(children=tuple(children), value=value)
+
+    def _put_batch_extension(
+        self, node: ExtensionNode, pairs: list[tuple[Nibbles, bytes]]
+    ) -> Node:
+        shared = min(
+            common_prefix_length(node.path, path) for path, _ in pairs
+        )
+        if shared == len(node.path):
+            trimmed = [(path[shared:], value) for path, value in pairs]
+            child = self._put_batch(self.store.load(node.child), trimmed)
+            return ExtensionNode(path=node.path, child=self.store.save(child))
+        # Split the extension at the earliest divergence point.
+        value: bytes | None = None
+        groups: dict[int, list[tuple[Nibbles, bytes]]] = {}
+        for path, item in pairs:
+            rest = path[shared:]
+            if not rest:
+                value = item
+            else:
+                groups.setdefault(rest[0], []).append((rest[1:], item))
+        children: list[bytes] = [EMPTY_REF] * 16
+        ext_rest = node.path[shared:]
+        if ext_rest[0] in groups:
+            # Some pairs continue into the extension's own subtree.
+            if len(ext_rest) == 1:
+                inner: Node = self.store.load(node.child)
+            else:
+                inner = ExtensionNode(path=ext_rest[1:], child=node.child)
+            merged = self._put_batch(inner, groups.pop(ext_rest[0]))
+            children[ext_rest[0]] = self.store.save(merged)
+        elif len(ext_rest) == 1:
+            children[ext_rest[0]] = node.child  # untouched ref, reused as-is
+        else:
+            children[ext_rest[0]] = self.store.save(
+                ExtensionNode(path=ext_rest[1:], child=node.child)
+            )
+        for slot, group in groups.items():
+            children[slot] = self.store.save(self._build_subtree(group))
+        branch = BranchNode(children=tuple(children), value=value)
+        if shared:
+            return ExtensionNode(
+                path=node.path[:shared], child=self.store.save(branch)
+            )
+        return branch
+
+    def _build_subtree(self, pairs: list[tuple[Nibbles, bytes]]) -> Node:
+        """Canonical subtree for sorted, distinct ``(path, value)`` pairs."""
+        if len(pairs) == 1:
+            path, value = pairs[0]
+            return LeafNode(path=path, value=value)
+        # Sorted input: the common prefix of first and last covers all.
+        shared = common_prefix_length(pairs[0][0], pairs[-1][0])
+        if shared:
+            trimmed = [(path[shared:], value) for path, value in pairs]
+            branch = self._build_branch(trimmed)
+            return ExtensionNode(
+                path=pairs[0][0][:shared], child=self.store.save(branch)
+            )
+        return self._build_branch(pairs)
+
+    def _build_branch(self, pairs: list[tuple[Nibbles, bytes]]) -> BranchNode:
+        """Branch over pairs that share no leading nibble (>= 2 pairs)."""
+        value: bytes | None = None
+        groups: dict[int, list[tuple[Nibbles, bytes]]] = {}
+        for path, item in pairs:
+            if not path:
+                value = item
+            else:
+                groups.setdefault(path[0], []).append((path[1:], item))
+        children: list[bytes] = [EMPTY_REF] * 16
+        for slot, group in groups.items():
+            children[slot] = self.store.save(self._build_subtree(group))
+        return BranchNode(children=tuple(children), value=value)
 
     def delete(self, key: bytes) -> bytes:
         """Remove ``key`` if present; returns the new root hash."""

@@ -74,6 +74,7 @@ def prune(store: NodeStore, keep_roots: Iterable[bytes]) -> PruneReport:
     doomed = [ref for ref in list(backing) if ref not in reachable]
     for ref in doomed:
         del backing[ref]
+    store.drop_caches()  # decoded-node cache must not outlive deletions
     return PruneReport(
         live_roots=len(roots),
         reachable_nodes=len(reachable),

@@ -21,11 +21,18 @@ from repro.txn.rwset import Address
 
 
 class KVNodeMapping(MutableMapping[bytes, bytes]):
-    """Adapter exposing a KVStore as the trie's node mapping."""
+    """Adapter exposing a KVStore as the trie's node mapping.
+
+    ``len()`` needs the store's key count, which only a full scan can
+    establish; :meth:`count` performs that scan once, caches the result,
+    and keeps it current incrementally.  Until someone asks, mutations
+    stay scan-free — the trie's save path never pays for the counter.
+    """
 
     def __init__(self, store: KVStore, prefix: bytes = b"n:") -> None:
         self._store = store
         self._prefix = prefix
+        self._count: int | None = None
 
     def __getitem__(self, key: bytes) -> bytes:
         value = self._store.get(self._prefix + key)
@@ -34,9 +41,13 @@ class KVNodeMapping(MutableMapping[bytes, bytes]):
         return value
 
     def __setitem__(self, key: bytes, value: bytes) -> None:
+        if self._count is not None and self._store.get(self._prefix + key) is None:
+            self._count += 1
         self._store.put(self._prefix + key, value)
 
     def __delitem__(self, key: bytes) -> None:
+        if self._count is not None and self._store.get(self._prefix + key) is not None:
+            self._count -= 1
         self._store.delete(self._prefix + key)
 
     def __iter__(self) -> Iterator[bytes]:
@@ -44,8 +55,14 @@ class KVNodeMapping(MutableMapping[bytes, bytes]):
         for key, _ in self._store.scan(self._prefix):
             yield key[offset:]
 
+    def count(self) -> int:
+        """Number of stored nodes (one scan, then tracked incrementally)."""
+        if self._count is None:
+            self._count = sum(1 for _ in self)
+        return self._count
+
     def __len__(self) -> int:
-        return sum(1 for _ in self)
+        return self.count()
 
 
 class StateSnapshot:
@@ -74,6 +91,9 @@ class StateDB:
     returns the new root.
     """
 
+    DECODED_CACHE_SIZE = 0
+    """Decoded-node cache capacity; the flat fast path overrides this."""
+
     def __init__(
         self,
         store: KVStore | None = None,
@@ -87,7 +107,13 @@ class StateDB:
 
             backing = LRUCacheMapping(backing, capacity=cache_size)
             self.cache = backing
-        self._nodes = NodeStore(backing)
+        # With an explicit node-byte LRU, leave the decoded-node cache off
+        # so the configured cache sees every load and its hit-rate stats
+        # (exported via --state-cache / record_state) stay truthful.
+        self._nodes = NodeStore(
+            backing,
+            decoded_cache_size=0 if self.cache is not None else self.DECODED_CACHE_SIZE,
+        )
         self._trie = MerklePatriciaTrie(store=self._nodes, root=root)
         self._dirty: dict[Address, int] = {}
 

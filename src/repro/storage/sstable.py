@@ -17,6 +17,7 @@ it after a bloom-filter pre-check, mirroring LevelDB's read path.
 from __future__ import annotations
 
 import bisect
+import os
 import struct
 import zlib
 from pathlib import Path
@@ -109,6 +110,10 @@ def write_sstable(path: str | Path, entries: list[tuple[bytes, bytes | None]]) -
         out.write(index_blob)
         out.write(bloom_blob)
         out.write(footer)
+        out.flush()
+        # The manifest may reference this table the moment we return, so
+        # the data must be durable before the rename publishes it.
+        os.fsync(out.fileno())
     tmp_path.replace(path)
 
 
