@@ -1,0 +1,256 @@
+"""Extension — streaming epoch engine vs. the barrier pipeline.
+
+Not a paper figure: measures the tentpole win of the streaming engine
+(``repro.node.engine``) — overlapping epoch ``e+1``'s speculative
+execution with epoch ``e``'s concurrency control + commit — and emits
+``benchmarks/results/BENCH_streaming.json``.
+
+Setup: a synthetic passthrough workload (precomputed read/write sets,
+no contract execution) at skew 0.6 over ω=12 chains, four thread
+workers, with the modelled per-transaction execution charge paying for
+the simulated EVM latency.  The passthrough keeps speculation's own CPU
+cost tiny, so the benchmark isolates exactly what the engine overlaps:
+modelled execution time against the very real CC + commit CPU.  Both
+arms replay the same pre-mined blocks:
+
+* **barrier** — ``receive_epoch`` per epoch: validate → execute → CC →
+  commit in strict sequence;
+* **streaming** — ``submit_epoch`` per epoch + one final ``drain()``:
+  epoch ``e+1`` executes while epoch ``e`` runs CC + commit in the
+  background stage.
+
+Gated claims (perf smoke):
+
+* streaming holds >= 1.4x epochs/sec over barrier (best-of-``rounds``
+  per arm — single-core hosts timeshare the two stages, so the floor
+  survives even without real parallelism);
+* every report is bit-identical between the arms — roots, commit and
+  abort counts (DESIGN.md invariant 11);
+* the speculation hit rate stays >= 0.9: the overlap win is real work
+  kept, not re-execution hidden behind a faster clock.
+
+The per-transaction charge makes wake-up scheduling part of the
+measurement, so both arms run under a 1 ms GIL switch interval
+(restored afterwards) to keep sleep wake-ups from stalling behind the
+background stage's CPU-bound CC + commit.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import NezhaScheduler
+from repro.dag import EpochCoordinator, Mempool, ParallelChains, PoWParams
+from repro.dag.block import Block
+from repro.node import FullNode, PipelineConfig
+from repro.state.flat import make_statedb
+from repro.workload.generator import SyntheticConfig, SyntheticWorkload
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_streaming.json"
+
+OMEGA = 12
+BLOCK_SIZE = 200
+EPOCHS = 8
+SKEW = 0.6
+SEED = 42
+ADDRESSES = 1_000_000
+READS_PER_TXN = 1
+WRITES_PER_TXN = 2
+WORKERS = 4
+ROUNDS = 3
+SPEEDUP_FLOOR = 1.4
+HIT_RATE_FLOOR = 0.9
+
+CHARGE_SECONDS = 0.0006
+"""Modelled per-transaction execution latency (same order as the
+paper's EVM testbed rate); sized so the execution phase roughly matches
+CC + commit — the regime where overlapping them pays the most."""
+
+SWITCH_INTERVAL = 0.001
+"""GIL switch interval during measurement: a charged chunk wakes from
+its sleep into contention with the background stage's CPU-bound CC +
+commit; the default 5 ms interval turns each wake-up into a stall."""
+
+
+def _mine_epochs() -> tuple[PoWParams, list[list[Block]]]:
+    """Pre-mine the replayed block sequence with a matching probe node."""
+    config = SyntheticConfig(
+        address_count=ADDRESSES,
+        reads_per_txn=READS_PER_TXN,
+        writes_per_txn=WRITES_PER_TXN,
+        skew=SKEW,
+        seed=SEED,
+    )
+    pow_params = PoWParams(4)
+    coordinator = EpochCoordinator(
+        chains=ParallelChains(chain_count=OMEGA, pow_params=pow_params),
+        miners=["miner-0"],
+        block_size=BLOCK_SIZE,
+    )
+    mempool = Mempool()
+    mempool.submit_many(
+        SyntheticWorkload(config).generate(EPOCHS * OMEGA * BLOCK_SIZE + 500)
+    )
+    probe = _make_node(pow_params, streaming=False, charge=0.0)
+    epochs: list[list[Block]] = []
+    root = probe.state_root
+    with probe:
+        for _ in range(EPOCHS):
+            blocks = coordinator.mine_epoch(mempool, state_root=root)
+            epochs.append(blocks)
+            root = probe.receive_epoch(blocks).state_root
+    return pow_params, epochs
+
+
+def _make_node(
+    pow_params: PoWParams, streaming: bool, charge: float
+) -> FullNode:
+    return FullNode(
+        chains=ParallelChains(chain_count=OMEGA, pow_params=pow_params),
+        state=make_statedb(),
+        scheduler=NezhaScheduler(),
+        registry=None,
+        config=PipelineConfig(
+            workers=WORKERS,
+            backend="thread",
+            streaming=streaming,
+            txn_cost_seconds=charge,
+        ),
+    )
+
+
+def _replay(
+    pow_params: PoWParams, epochs: list[list[Block]], streaming: bool
+) -> tuple[float, list[tuple], float]:
+    """One full replay; returns (wall seconds, fingerprints, hit rate)."""
+    node = _make_node(pow_params, streaming, CHARGE_SECONDS)
+    with node:
+        start = time.perf_counter()
+        if streaming:
+            for blocks in epochs:
+                node.submit_epoch(blocks)
+            node.drain()
+        else:
+            for blocks in epochs:
+                node.receive_epoch(blocks)
+        wall = time.perf_counter() - start
+        hit_rate = node.engine.stats.hit_rate if node.engine else 0.0
+        fingerprints = [
+            (
+                report.state_root.hex(),
+                report.committed,
+                report.aborted,
+                report.failed_simulation,
+                report.input_transactions,
+                report.commit_group_count,
+            )
+            for report in node.reports
+        ]
+    return wall, fingerprints, hit_rate
+
+
+def measure_streaming(rounds: int = ROUNDS) -> dict:
+    """The BENCH json payload: best-of-``rounds`` wall per arm.
+
+    Arms alternate (barrier, streaming, barrier, ...) so slow-host noise
+    hits both equally; best-of is the noise-robust estimator for a
+    ratio gate on a shared machine.
+    """
+    pow_params, epochs = _mine_epochs()
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(SWITCH_INTERVAL)
+    try:
+        barrier_walls: list[float] = []
+        streaming_walls: list[float] = []
+        identical = True
+        hit_rate = 0.0
+        for _ in range(rounds):
+            barrier_wall, barrier_fp, _ = _replay(pow_params, epochs, False)
+            stream_wall, stream_fp, hit_rate = _replay(
+                pow_params, epochs, True
+            )
+            barrier_walls.append(barrier_wall)
+            streaming_walls.append(stream_wall)
+            identical = identical and barrier_fp == stream_fp
+    finally:
+        sys.setswitchinterval(previous)
+    barrier_best = min(barrier_walls)
+    streaming_best = min(streaming_walls)
+    return {
+        "benchmark": "streaming",
+        "workload": {
+            "generator": "synthetic",
+            "omega": OMEGA,
+            "block_size": BLOCK_SIZE,
+            "epochs": EPOCHS,
+            "skew": SKEW,
+            "seed": SEED,
+            "address_count": ADDRESSES,
+            "reads_per_txn": READS_PER_TXN,
+            "writes_per_txn": WRITES_PER_TXN,
+            "charge_ms_per_txn": round(CHARGE_SECONDS * 1e3, 4),
+        },
+        "rounds": rounds,
+        "workers": WORKERS,
+        "barrier_ms_per_epoch": round(barrier_best / EPOCHS * 1e3, 3),
+        "streaming_ms_per_epoch": round(streaming_best / EPOCHS * 1e3, 3),
+        "barrier_epochs_per_sec": round(EPOCHS / barrier_best, 3),
+        "streaming_epochs_per_sec": round(EPOCHS / streaming_best, 3),
+        "speedup_best": round(barrier_best / max(streaming_best, 1e-9), 3),
+        "speculation_hit_rate": round(hit_rate, 4),
+        "reports_identical": identical,
+    }
+
+
+def write_results(payload: dict, path: Path = RESULTS_PATH) -> None:
+    path.parent.mkdir(exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.mark.perf_smoke
+def test_streaming_speedup(report_table):
+    """Streaming must hold >= 1.4x epochs/sec, bit-identical reports."""
+    payload = measure_streaming()
+    write_results(payload)
+    lines = [
+        "arm | ms/epoch | epochs/sec",
+        f"barrier | {payload['barrier_ms_per_epoch']:.1f} | "
+        f"{payload['barrier_epochs_per_sec']:.2f}",
+        f"streaming | {payload['streaming_ms_per_epoch']:.1f} | "
+        f"{payload['streaming_epochs_per_sec']:.2f}",
+        f"speedup (best-of-{payload['rounds']}): "
+        f"{payload['speedup_best']:.2f}x",
+        f"speculation hit rate: {payload['speculation_hit_rate']:.2f}",
+        f"reports identical: {payload['reports_identical']}",
+    ]
+    report_table("streaming", "\n".join(lines))
+    assert payload["reports_identical"]
+    assert payload["speculation_hit_rate"] >= HIT_RATE_FLOOR
+    assert payload["speedup_best"] >= SPEEDUP_FLOOR
+
+
+def main() -> int:
+    payload = measure_streaming()
+    write_results(payload)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    print(
+        f"\nstreaming speedup: {payload['speedup_best']:.2f}x "
+        f"(floor {SPEEDUP_FLOOR}x), hit rate "
+        f"{payload['speculation_hit_rate']:.2f}, identical "
+        f"{payload['reports_identical']}"
+    )
+    return (
+        0
+        if payload["speedup_best"] >= SPEEDUP_FLOOR
+        and payload["reports_identical"]
+        else 1
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,10 @@ milliseconds:
   per-write cost must stay within 2x across the account sweep
   (absolute ceiling — the whole point of the fast path is that commit
   cost does not grow with state size).
+* **Streaming engine** — the streaming epoch engine must hold >= 1.4x
+  epochs/sec over the barrier pipeline on the charged synthetic replay
+  (skew 0.6, ω=12, 4 thread workers), with every epoch report
+  bit-identical between the arms (``BENCH_streaming.json``).
 
 On success (or with ``--update``) the JSON artifacts are rewritten with
 the fresh numbers.
@@ -75,6 +79,13 @@ from bench_delta_cc import (  # noqa: E402
     measure_delta_cc,
     write_results as write_delta_results,
 )
+from bench_streaming import (  # noqa: E402
+    HIT_RATE_FLOOR as STREAM_HIT_FLOOR,
+    RESULTS_PATH as STREAM_RESULTS_PATH,
+    SPEEDUP_FLOOR as STREAM_SPEEDUP_FLOOR,
+    measure_streaming,
+    write_results as write_streaming_results,
+)
 from bench_state_scale import (  # noqa: E402
     FLATNESS_CEILING as STATE_FLATNESS_CEILING,
     GATED_SIZE as STATE_GATED_SIZE,
@@ -94,6 +105,11 @@ EXEC_REGRESSION_TOLERANCE = 0.35
 OBS_SMOKE_ROUNDS = 4
 DELTA_SMOKE_EPOCHS = 1
 STATE_SMOKE_ROUNDS = 3
+STREAM_SMOKE_ROUNDS = 3
+# The streaming ratio pits wall-clock sleep scheduling against CC +
+# commit CPU across two threads; shared single-core hosts drift more
+# than the in-process CC ratio, so it gets the exec-style band.
+STREAM_REGRESSION_TOLERANCE = 0.35
 
 
 def load_baseline(path: Path = CC_RESULTS_PATH) -> dict | None:
@@ -227,6 +243,29 @@ def main(argv: list[str]) -> int:
         )
         failed = True
 
+    stream_baseline = load_baseline(STREAM_RESULTS_PATH) or {}
+    stream_payload = measure_streaming(rounds=STREAM_SMOKE_ROUNDS)
+    stream_speedup = stream_payload["speedup_best"]
+    print(f"streaming engine speedup over barrier: {stream_speedup:.2f}x")
+    if not stream_payload["reports_identical"]:
+        print("FAIL [streaming]: streaming reports diverged from barrier")
+        failed = True
+    stream_hit = stream_payload["speculation_hit_rate"]
+    if stream_hit < STREAM_HIT_FLOOR:
+        print(
+            f"FAIL [streaming]: speculation hit rate {stream_hit:.2f} "
+            f"below the {STREAM_HIT_FLOOR} floor"
+        )
+        failed = True
+    failed |= _gate(
+        "streaming",
+        stream_speedup,
+        STREAM_SPEEDUP_FLOOR,
+        float(stream_baseline.get("speedup_best", 0.0)),
+        STREAM_REGRESSION_TOLERANCE,
+        update_only,
+    )
+
     elapsed = time.perf_counter() - started
     print(f"smoke wall-clock: {elapsed:.1f}s")
     if not failed or update_only:
@@ -235,11 +274,13 @@ def main(argv: list[str]) -> int:
         write_obs_results(obs_payload)
         write_delta_results(delta_payload)
         write_state_results(state_payload)
+        write_streaming_results(stream_payload)
         print(f"wrote {CC_RESULTS_PATH}")
         print(f"wrote {EXEC_RESULTS_PATH}")
         print(f"wrote {OBS_RESULTS_PATH}")
         print(f"wrote {DELTA_RESULTS_PATH}")
         print(f"wrote {STATE_RESULTS_PATH}")
+        print(f"wrote {STREAM_RESULTS_PATH}")
     return 1 if failed else 0
 
 

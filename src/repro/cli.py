@@ -95,6 +95,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the flat journaled state fast path and run the "
         "trie-backed reference StateDB (same roots, slower commits)",
     )
+    simulate.add_argument(
+        "--streaming",
+        action="store_true",
+        help="streaming epoch engine: overlap the next epoch's speculative "
+        "execution with the current epoch's concurrency control and commit "
+        "(Nezha scheduler only; results stay bit-identical to the barrier "
+        "pipeline)",
+    )
     _add_obs_args(simulate)
 
     multinode = sub.add_parser(
@@ -315,7 +323,7 @@ def _write_obs_outputs(args: argparse.Namespace, tracer, metrics) -> None:
         count = write_chrome_trace(args.trace_out, tracer.spans())
         print(f"trace: {count} spans -> {args.trace_out}")
     if metrics is not None and args.metrics_out:
-        lines = write_prometheus(args.metrics_out, metrics)
+        lines = write_prometheus(args.metrics_out, metrics, tracer)
         print(f"metrics: {lines} lines -> {args.metrics_out}")
 
 
@@ -340,6 +348,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             delta_cc=args.delta_cc,
             flat_state=not args.trie_state,
             state_cache=args.state_cache,
+            streaming=args.streaming,
             cost_model=ExecutionCostModel() if args.paper_costs else ZERO_COST,
         ),
         metrics=metrics,

@@ -8,6 +8,7 @@ from repro.core.acg import (
     dense_acg_from_transactions,
 )
 from repro.core.export import acg_to_dot, conflict_graph_to_dot, schedule_to_dot
+from repro.core.incremental import IncrementalACG, dense_acg_equal
 from repro.core.interner import InternedBatch, intern_batch
 from repro.core.rank import (
     RankPolicy,
@@ -39,6 +40,7 @@ __all__ = [
     "DenseACG",
     "DenseSortState",
     "INITIAL_SEQUENCE",
+    "IncrementalACG",
     "InternedBatch",
     "NezhaConfig",
     "NezhaResult",
@@ -54,6 +56,7 @@ __all__ = [
     "build_dense_acg",
     "conflict_graph_to_dot",
     "check_invariants",
+    "dense_acg_equal",
     "dense_acg_from_transactions",
     "divide_ranks",
     "divide_ranks_dense",

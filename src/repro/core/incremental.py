@@ -1,0 +1,279 @@
+"""Incremental ACG construction for the streaming epoch engine.
+
+The barrier pipeline builds the dense conflict graph in one shot at
+``process_epoch`` time (:func:`~repro.core.acg.build_dense_acg` over an
+interned batch).  The streaming engine instead *accumulates* the graph
+while epoch ``e+1``'s blocks are speculatively executing — one
+:meth:`IncrementalACG.add_block` call per block's simulated results —
+and seals the CSR structures once at epoch close, after reconciliation
+replaced the few transactions whose speculation was invalidated.
+
+Bit-identity contract: :meth:`IncrementalACG.seal` returns a
+:class:`~repro.core.acg.DenseACG` **bit-identical** to
+``build_dense_acg(intern_batch(transactions))`` over the same final
+transaction set (swept by ``tests/core/test_incremental_acg.py``).  The
+two properties that make this cheap to guarantee:
+
+* per-address unit lists in the batch construction are appended in
+  ascending txid order, so they equal the *sorted* dense indices of the
+  accumulated (arrival-ordered) txid lists;
+* the deduplicated adjacency rows are sorted in both constructions, so
+  deriving them from the accumulated edge-multiplicity map at seal time
+  reproduces them exactly.
+
+The incremental unit-of-work per block is the per-transaction rwset walk
+(the ``O(u * N)`` part of graph construction); the seal pays only the
+sorts and the CSR flattening.  ``build_seconds`` accumulates both, so
+the scheduler's ``graph_construction`` timing stays honest.
+"""
+
+from __future__ import annotations
+
+import time
+from array import array
+from typing import Iterable
+
+from repro.core.acg import DenseACG, _csr
+from repro.core.interner import InternedBatch
+from repro.errors import SchedulingError
+from repro.txn.rwset import Address
+from repro.txn.transaction import Transaction
+
+
+class IncrementalACG:
+    """Accumulates one epoch's conflict graph block by block.
+
+    Feed **successful simulated transactions** (rwsets attached) with
+    :meth:`add_block`; retract or swap individual transactions with
+    :meth:`replace` when reconciliation re-executes them; then
+    :meth:`seal` the dense CSR graph for rank division and sorting.
+    """
+
+    def __init__(self) -> None:
+        self._txns: dict[int, Transaction] = {}
+        self._reads: dict[Address, list[int]] = {}
+        self._writes: dict[Address, list[int]] = {}
+        self._deltas: dict[Address, list[int]] = {}
+        self._edges: dict[tuple[Address, Address], int] = {}
+        self.build_seconds = 0.0
+        self.blocks_fed = 0
+
+    @property
+    def txn_count(self) -> int:
+        """Transactions currently contributing units to the graph."""
+        return len(self._txns)
+
+    def __contains__(self, txid: int) -> bool:
+        return txid in self._txns
+
+    # ------------------------------------------------------------- growing
+
+    def add_block(self, transactions: Iterable[Transaction]) -> None:
+        """Extend the graph with one block's simulated transactions.
+
+        Rejects duplicate txids exactly like
+        :func:`~repro.core.interner.intern_batch`, so a block replayed
+        twice fails loudly instead of double-counting units.
+        """
+        start = time.perf_counter()
+        for txn in transactions:
+            self._add_txn(txn)
+        self.blocks_fed += 1
+        self.build_seconds += time.perf_counter() - start
+
+    def replace(self, txid: int, txn: Transaction | None) -> None:
+        """Swap (or retract, when ``txn`` is ``None``) one transaction.
+
+        Used by reconciliation: a re-executed transaction's new rwset
+        replaces its speculated one; a re-execution that failed retracts
+        the transaction entirely (failed simulations never enter CC).
+        """
+        start = time.perf_counter()
+        old = self._txns.pop(txid, None)
+        if old is not None:
+            self._remove_units(old)
+        if txn is not None:
+            self._add_txn(txn)
+        self.build_seconds += time.perf_counter() - start
+
+    def _add_txn(self, txn: Transaction) -> None:
+        if txn.txid in self._txns:
+            raise SchedulingError(f"duplicate txid {txn.txid} in batch")
+        self._txns[txn.txid] = txn
+        txid = txn.txid
+        reads = list(txn.rwset.reads)
+        for address in reads:
+            self._reads.setdefault(address, []).append(txid)
+        mutated: list[Address] = []
+        for address in txn.rwset.writes:
+            self._writes.setdefault(address, []).append(txid)
+            mutated.append(address)
+        for address in txn.rwset.deltas:
+            self._deltas.setdefault(address, []).append(txid)
+            mutated.append(address)
+        edges = self._edges
+        for write_addr in mutated:
+            for read_addr in reads:
+                if write_addr == read_addr:
+                    continue
+                key = (write_addr, read_addr)
+                edges[key] = edges.get(key, 0) + 1
+
+    def _remove_units(self, txn: Transaction) -> None:
+        txid = txn.txid
+        reads = list(txn.rwset.reads)
+        for address in reads:
+            self._reads[address].remove(txid)
+        mutated: list[Address] = []
+        for address in txn.rwset.writes:
+            self._writes[address].remove(txid)
+            mutated.append(address)
+        for address in txn.rwset.deltas:
+            self._deltas[address].remove(txid)
+            mutated.append(address)
+        edges = self._edges
+        for write_addr in mutated:
+            for read_addr in reads:
+                if write_addr == read_addr:
+                    continue
+                key = (write_addr, read_addr)
+                count = edges[key] - 1
+                if count:
+                    edges[key] = count
+                else:
+                    del edges[key]
+
+    # -------------------------------------------------------------- sealing
+
+    def seal(self) -> DenseACG:
+        """Freeze the accumulated graph into dense CSR form.
+
+        Bit-identical to ``build_dense_acg(intern_batch(txns))`` over the
+        current transaction set; the accumulator itself stays usable (a
+        later :meth:`replace` + re-seal reflects the change).
+        """
+        start = time.perf_counter()
+        ordered = sorted(self._txns.values(), key=lambda t: t.txid)
+        txids = [t.txid for t in ordered]
+        txn_index = {txid: i for i, txid in enumerate(txids)}
+        universe: set[Address] = set()
+        for units in (self._reads, self._writes, self._deltas):
+            for address, txn_list in units.items():
+                if txn_list:
+                    universe.add(address)
+        addresses = sorted(universe)
+        addr_ids = {address: i for i, address in enumerate(addresses)}
+        batch = InternedBatch(
+            transactions=ordered,
+            txids=txids,
+            txn_index=txn_index,
+            addresses=addresses,
+            addr_ids=addr_ids,
+        )
+        addr_count = len(addresses)
+
+        def unit_rows(units: dict[Address, list[int]]) -> list[list[int]]:
+            rows: list[list[int]] = [[] for _ in range(addr_count)]
+            for address, txn_list in units.items():
+                if txn_list:
+                    rows[addr_ids[address]] = sorted(
+                        txn_index[txid] for txid in txn_list
+                    )
+            return rows
+
+        read_indptr, read_txns = _csr(unit_rows(self._reads))
+        write_indptr, write_txns = _csr(unit_rows(self._writes))
+        delta_indptr, delta_txns = _csr(unit_rows(self._deltas))
+
+        out_lists: list[list[int]] = [[] for _ in range(addr_count)]
+        in_lists: list[list[int]] = [[] for _ in range(addr_count)]
+        edge_mult: dict[int, int] = {}
+        for (write_addr, read_addr), count in self._edges.items():
+            write_id = addr_ids[write_addr]
+            read_id = addr_ids[read_addr]
+            edge_mult[write_id * addr_count + read_id] = count
+            out_lists[write_id].append(read_id)
+            in_lists[read_id].append(write_id)
+        for row in out_lists:
+            row.sort()
+        for row in in_lists:
+            row.sort()
+        out_indptr, out_ids = _csr(out_lists)
+        in_indptr, in_ids = _csr(in_lists)
+
+        txn_reads: list[list[int]] = []
+        txn_writes: list[list[int]] = []
+        txn_deltas: list[list[int]] = []
+        for txn in ordered:
+            txn_reads.append([addr_ids[a] for a in txn.rwset.reads])
+            txn_writes.append([addr_ids[a] for a in txn.rwset.writes])
+            txn_deltas.append([addr_ids[a] for a in txn.rwset.deltas])
+        txn_read_indptr, txn_read_addrs = _csr(txn_reads)
+        txn_write_indptr, txn_write_addrs = _csr(txn_writes)
+        txn_delta_indptr, txn_delta_addrs = _csr(txn_deltas)
+
+        dense = DenseACG(
+            batch=batch,
+            read_indptr=read_indptr,
+            read_txns=read_txns,
+            write_indptr=write_indptr,
+            write_txns=write_txns,
+            delta_indptr=delta_indptr,
+            delta_txns=delta_txns,
+            out_indptr=out_indptr,
+            out_ids=out_ids,
+            in_indptr=in_indptr,
+            in_ids=in_ids,
+            txn_read_indptr=txn_read_indptr,
+            txn_read_addrs=txn_read_addrs,
+            txn_write_indptr=txn_write_indptr,
+            txn_write_addrs=txn_write_addrs,
+            txn_delta_indptr=txn_delta_indptr,
+            txn_delta_addrs=txn_delta_addrs,
+            edge_mult=edge_mult,
+        )
+        self.build_seconds += time.perf_counter() - start
+        return dense
+
+
+def _csr_equal(left: tuple[array, array], right: tuple[array, array]) -> bool:
+    return left[0] == right[0] and left[1] == right[1]
+
+
+def dense_acg_equal(left: DenseACG, right: DenseACG) -> bool:
+    """Structural bit-equality of two dense graphs (test helper)."""
+    return (
+        left.batch.txids == right.batch.txids
+        and left.batch.addresses == right.batch.addresses
+        and _csr_equal(
+            (left.read_indptr, left.read_txns),
+            (right.read_indptr, right.read_txns),
+        )
+        and _csr_equal(
+            (left.write_indptr, left.write_txns),
+            (right.write_indptr, right.write_txns),
+        )
+        and _csr_equal(
+            (left.delta_indptr, left.delta_txns),
+            (right.delta_indptr, right.delta_txns),
+        )
+        and _csr_equal(
+            (left.out_indptr, left.out_ids), (right.out_indptr, right.out_ids)
+        )
+        and _csr_equal(
+            (left.in_indptr, left.in_ids), (right.in_indptr, right.in_ids)
+        )
+        and _csr_equal(
+            (left.txn_read_indptr, left.txn_read_addrs),
+            (right.txn_read_indptr, right.txn_read_addrs),
+        )
+        and _csr_equal(
+            (left.txn_write_indptr, left.txn_write_addrs),
+            (right.txn_write_indptr, right.txn_write_addrs),
+        )
+        and _csr_equal(
+            (left.txn_delta_indptr, left.txn_delta_addrs),
+            (right.txn_delta_indptr, right.txn_delta_addrs),
+        )
+        and left.edge_mult == right.edge_mult
+    )

@@ -179,6 +179,27 @@ class NezhaScheduler:
             span.set(txns=dense.txn_count, addresses=dense.addr_count)
         timings.graph_construction = time.perf_counter() - start
 
+        return self._finish_dense(dense, timings)
+
+    def schedule_dense(
+        self, dense: DenseACG, graph_seconds: float = 0.0
+    ) -> NezhaResult:
+        """Schedule a pre-built dense graph (streaming engine entry point).
+
+        The streaming epoch engine accumulates the ACG incrementally
+        (:class:`~repro.core.incremental.IncrementalACG`) while blocks
+        execute, then seals and hands the dense graph here —
+        ``graph_seconds`` carries the accumulated construction time so
+        the ``graph_construction`` sub-phase timing stays comparable to
+        a barrier run.  Everything after construction is the exact
+        fast-path pipeline, so results are bit-identical to
+        :meth:`schedule` over the same transaction set.
+        """
+        timings = PhaseTimings(graph_construction=graph_seconds)
+        return self._finish_dense(dense, timings)
+
+    def _finish_dense(self, dense: DenseACG, timings: PhaseTimings) -> NezhaResult:
+        """Rank + sort + validate an already-built dense graph."""
         start = time.perf_counter()
         with maybe_span(self.tracer, "cc.rank_division"):
             rank_ids = divide_ranks_dense(dense, policy=self.config.rank_policy)

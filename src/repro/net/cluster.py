@@ -32,6 +32,7 @@ from repro.node.phases import EpochReport
 from repro.node.pipeline import PipelineConfig, Scheduler
 from repro.obs.tracer import Tracer, maybe_span
 from repro.state.flat import make_statedb
+from repro.storage.api import KVStore
 from repro.storage.memstore import MemStore
 from repro.vm.contracts.smallbank import default_registry
 from repro.vm.costmodel import ExecutionCostModel, ZERO_COST
@@ -55,7 +56,9 @@ class ClusterConfig:
     delta_cc: bool = False
     flat_state: bool = True
     state_cache: int = 0
+    streaming: bool = False
     cost_model: ExecutionCostModel = ZERO_COST
+    store: "KVStore | None" = None
 
     def __post_init__(self) -> None:
         if self.block_concurrency <= 0 or self.miner_count <= 0:
@@ -141,7 +144,10 @@ class Cluster:
             block_size=self.config.block_size,
         )
         state = make_statedb(
-            store=MemStore(),
+            # An explicit store (e.g. an LSM-backed node) replaces the
+            # default in-memory trie-node store; roots are identical
+            # either way.
+            store=self.config.store if self.config.store is not None else MemStore(),
             cache_size=self.config.state_cache,
             flat=self.config.flat_state,
             tracer=tracer,
@@ -165,6 +171,7 @@ class Cluster:
                 delta_cc=self.config.delta_cc,
                 flat_state=self.config.flat_state,
                 state_cache=self.config.state_cache,
+                streaming=self.config.streaming,
             ),
             metrics=metrics,
             tracer=tracer,

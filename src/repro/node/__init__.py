@@ -1,6 +1,7 @@
 """Full-node transaction processing: the paper's four-phase pipeline."""
 
 from repro.node.committer import CommitReport, Committer, SerialExecutorCommitter
+from repro.node.engine import EngineStats, StreamingEpochEngine
 from repro.node.executor import BACKENDS, ConcurrentExecutor, caller_id
 from repro.node.ingest import BlockIngest, IngestStats
 from repro.node.metrics import (
@@ -21,6 +22,7 @@ __all__ = [
     "Committer",
     "ConcurrentExecutor",
     "Counter",
+    "EngineStats",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -30,6 +32,7 @@ __all__ = [
     "PhaseLatencies",
     "PipelineConfig",
     "SerialExecutorCommitter",
+    "StreamingEpochEngine",
     "TransactionPipeline",
     "caller_id",
     "record_epoch",

@@ -1,0 +1,492 @@
+"""Streaming epoch engine: overlap execution with CC + commit across epochs.
+
+The barrier pipeline runs validate → simulate → CC → commit as a strict
+sequence, so the flight recorder shows every phase idling while its
+neighbour runs.  This engine splits one epoch across two stages
+connected by a single-slot queue:
+
+* **front stage (main thread)** — speculative execution of the *next*
+  epoch's blocks on the executor pool, feeding an
+  :class:`~repro.core.incremental.IncrementalACG` per block;
+* **back stage (background thread)** — seal the incremental graph, run
+  Nezha concurrency control, and commit the *current* epoch.
+
+Steady state: while epoch ``e`` runs CC + commit in the background,
+epoch ``e+1`` speculates on the executor — per-epoch wall time
+approaches ``max(execution, cc+commit)`` instead of their sum.
+
+**Reconciliation rule.**  Speculation of ``e+1`` reads state that epoch
+``e`` is still committing (the flat state's race-tolerant
+:meth:`~repro.state.flat.FlatStateDB.peek`, or the process backend's
+replicas still at epoch ``e-1``'s values).  At join, every speculated
+transaction whose recorded read set intersects ``e``'s committed write
+delta is re-executed against the sealed post-``e`` snapshot — exactly
+the read the barrier pipeline would have performed — and swapped into
+the incremental graph.  Transactions whose reads are disjoint from the
+delta observed values the commit could not have changed, so their
+speculated results are bit-identical to a barrier execution.  Delta
+units and blind writes carry no state-dependence, so they never force a
+re-execution.  The merged batch therefore equals the barrier batch
+transaction for transaction, which makes the whole epoch — roots, abort
+sets, taxonomy — bit-identical (DESIGN.md invariant 11, swept by
+``tests/node/test_streaming.py``).
+
+**Backpressure.**  The stage queue holds exactly one in-flight epoch:
+``submit`` joins the previous epoch before admitting the next, so a
+flood of epochs degrades to barrier pacing — bounded memory, no dropped
+epochs — instead of queueing unboundedly.
+
+**Fallback.**  Anything that invalidates the optimistic guess — a block
+discarded at admission, a duplicate txid, an executor failure — falls
+back to the synchronous barrier pipeline for that epoch, which is
+bit-identical by construction.
+
+Threading contract: *all* executor traffic (speculation, replica delta
+sync, reconciliation re-execution) stays on the main thread; the
+background stage only runs pure CC and the committer (which mutates
+state — the main thread reads it only through ``peek`` while a commit
+is in flight).  Worker-replica sync for a background-committed epoch is
+deferred to join time on the main thread.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
+
+from repro.core.incremental import IncrementalACG
+from repro.dag.block import Block
+from repro.dag.epochs import Epoch, extract_epoch
+from repro.errors import BlockValidationError
+from repro.node.committer import CommitReport
+from repro.node.phases import EpochReport, PhaseLatencies
+from repro.obs.tracer import maybe_span
+from repro.state.flat import FlatStateDB
+from repro.txn.rwset import Address
+from repro.txn.simulation import SimulationBatch, SimulationResult
+from repro.txn.transaction import Transaction
+
+if TYPE_CHECKING:
+    from repro.node.node import FullNode
+
+
+@dataclass
+class EngineStats:
+    """Speculation accounting across the engine's lifetime."""
+
+    epochs_streamed: int = 0
+    epochs_fallback: int = 0
+    speculated: int = 0
+    kept: int = 0
+    reexecuted: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of speculated executions kept at reconciliation."""
+        return self.kept / self.speculated if self.speculated else 0.0
+
+
+@dataclass
+class _Speculation:
+    """One epoch's optimistic execution, pending admission."""
+
+    guess: Epoch
+    transactions: list[Transaction]
+    results: list[SimulationResult]
+    acg: IncrementalACG
+    seconds: float
+
+    def matches(self, epoch: Epoch) -> bool:
+        """True when the admitted epoch is exactly the speculated one."""
+        return [b.hash for b in self.guess.blocks] == [
+            b.hash for b in epoch.blocks
+        ]
+
+
+@dataclass
+class _Inflight:
+    """The single back-stage slot: one epoch in CC + commit."""
+
+    epoch: Epoch
+    txids: frozenset[int]
+    future: "Future[tuple[EpochReport, CommitReport | None]] | None"
+    # Fallback epochs complete synchronously; their report parks here
+    # until the next submit (or drain) hands it to the caller.
+    report: EpochReport | None = None
+
+
+class StreamingEpochEngine:
+    """Drives a :class:`~repro.node.node.FullNode` in streaming mode.
+
+    ``submit(blocks)`` returns the *previous* epoch's report (``None``
+    when the queue was empty); ``drain()`` joins whatever is still in
+    flight.  ``FullNode.receive_epoch`` composes the two so its
+    per-epoch contract is unchanged; feeding ``submit`` back-to-back
+    (block replay, node catch-up) is what realises the overlap.
+    """
+
+    def __init__(self, node: "FullNode") -> None:
+        self.node = node
+        self.pipeline = node.pipeline
+        self.tracer = node.tracer
+        self.stats = EngineStats()
+        self._inflight: _Inflight | None = None
+        # Post-join write delta of the most recently committed epoch;
+        # the reconciliation set for the speculation that overlapped it.
+        self._last_delta: Mapping[Address, int] | None = None
+        # Trie-backed states cannot be read while a background commit
+        # mutates them, so speculation reads this frozen copy instead
+        # (captured at launch time, when the state is quiescent).
+        self._spec_base: dict[Address, int] | None = None
+        self._stage = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-engine"
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------ public api
+
+    def submit(self, blocks: Sequence[Block]) -> EpochReport | None:
+        """Feed one epoch's blocks; returns the previous epoch's report.
+
+        Speculates the new epoch first (overlapping the in-flight
+        epoch's CC + commit), then joins, admits, reconciles, and hands
+        the new epoch to the background stage.  Raises
+        :class:`~repro.errors.BlockValidationError` — after finalising
+        the in-flight epoch — when every offered block is discarded,
+        matching the barrier node's contract.
+        """
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        spec = self._speculate(blocks)
+        previous = self._join()
+        admit_start = time.perf_counter()
+        epoch = self._admit(blocks)
+        admit_seconds = time.perf_counter() - admit_start
+        if spec is not None and spec.matches(epoch):
+            self.node._register_epoch(epoch)
+            batch, acg, spec_seconds = self._reconcile(spec)
+            phases = PhaseLatencies(
+                validation=admit_seconds, execution=spec_seconds
+            )
+            self._launch(epoch, spec.transactions, batch, acg, phases)
+            self.stats.epochs_streamed += 1
+        else:
+            # The admitted epoch is not the one speculated (a discarded
+            # block, a failed speculation): barrier-process it now, on
+            # this thread, and park the finished report in the slot.
+            self.stats.epochs_fallback += 1
+            self._last_delta = None
+            report = self.node.process_epoch(epoch)
+            if self.node.blockstore is not None:
+                self.node.blockstore.set_state_root(report.state_root)
+            self._inflight = _Inflight(
+                epoch=epoch,
+                txids=frozenset(self._epoch_txids(epoch)),
+                future=None,
+                report=report,
+            )
+        self._export_metrics()
+        return previous
+
+    def drain(self) -> list[EpochReport]:
+        """Join the in-flight epoch, if any, and return its report."""
+        report = self._join()
+        # The queue is now empty: the next speculation reads fully
+        # committed, quiescent state, so no reconciliation set applies.
+        self._last_delta = None
+        return [report] if report is not None else []
+
+    def close(self) -> None:
+        """Finish in-flight work and stop the background stage."""
+        if self._closed:
+            return
+        try:
+            self._join()
+        finally:
+            self._closed = True
+            self._stage.shutdown(wait=True)
+
+    # ------------------------------------------------------- front stage
+
+    def _speculate(self, blocks: Sequence[Block]) -> _Speculation | None:
+        """Optimistically execute the offered blocks; ``None`` on failure.
+
+        Runs while the previous epoch's CC + commit occupy the
+        background stage — this is the engine's entire overlap win.  The
+        guess assumes every block is admitted; any divergence is caught
+        by the hash comparison at admission and falls back to the
+        barrier path.
+        """
+        index = self.node._next_epoch
+        ordered = sorted(blocks, key=lambda b: b.chain_id)
+        guess = Epoch(index=index, blocks=tuple(ordered))
+        exclude = set(self.node._seen_txids)
+        if self._inflight is not None:
+            exclude |= self._inflight.txids
+        read_fn = self._spec_read_fn()
+        executor = self.pipeline.executor
+        acg = IncrementalACG()
+        transactions: list[Transaction] = []
+        results: list[SimulationResult] = []
+        start = time.perf_counter()
+        try:
+            with maybe_span(
+                self.tracer, "engine.speculate", epoch=index
+            ) as span:
+                groups: list[list[Transaction]] = []
+                for block in ordered:
+                    group = []
+                    for txn in block.transactions:
+                        if txn.txid in exclude:
+                            continue
+                        exclude.add(txn.txid)
+                        group.append(txn)
+                    if group:
+                        groups.append(group)
+                        transactions.extend(group)
+                if transactions:
+                    # One pool dispatch for the whole epoch — per-block
+                    # dispatches would multiply chunk boundaries (and,
+                    # with a modelled execution charge, sleep wake-ups
+                    # contending for the GIL against the background
+                    # stage).  Execution is per-transaction pure, so
+                    # results regroup into blocks losslessly.
+                    batch = executor.execute_batch(
+                        transactions,
+                        read_fn,
+                        snapshot_root=self.node.state.root,
+                    )
+                    results = list(batch.results)
+                    by_txid = {r.txid: r for r in results}
+                    for group in groups:
+                        acg.add_block(
+                            by_txid[txn.txid].as_transaction()
+                            for txn in group
+                            if by_txid[txn.txid].ok
+                        )
+                span.set(
+                    blocks=len(ordered),
+                    txns=len(transactions),
+                    failed=sum(1 for r in results if not r.ok),
+                )
+        except Exception:
+            return None
+        self.stats.speculated += len(results)
+        return _Speculation(
+            guess=guess,
+            transactions=transactions,
+            results=results,
+            acg=acg,
+            seconds=time.perf_counter() - start,
+        )
+
+    def _spec_read_fn(self) -> Callable[[Address], int]:
+        """Snapshot-tolerant read path for speculative execution.
+
+        Flat states expose a race-tolerant ``peek`` (the process backend
+        ignores the read function entirely and serves reads from its
+        replicas); trie-backed states get the frozen copy captured when
+        the in-flight epoch launched.  With nothing in flight the live
+        state is quiescent and committed, so reading it directly is
+        exact.
+        """
+        state = self.node.state
+        if isinstance(state, FlatStateDB):
+            return state.peek
+        if self._inflight is not None and self._inflight.future is not None:
+            base = self._spec_base or {}
+            return lambda address: base.get(address, 0)
+        return state.get
+
+    def _reconcile(
+        self, spec: _Speculation
+    ) -> tuple[SimulationBatch, IncrementalACG, float]:
+        """Keep delta-disjoint speculations; re-execute the touched rest.
+
+        Called after the previous epoch fully committed (so the state —
+        and the process backend's replicas, delta-synced at join — serve
+        exactly the snapshot the barrier pipeline would execute
+        against).  Returns the merged batch, bit-identical to a barrier
+        ``execute_batch`` over the same transactions.
+        """
+        delta = self._last_delta or {}
+        executor = self.pipeline.executor
+        state = self.node.state
+        start = time.perf_counter()
+        with maybe_span(
+            self.tracer, "engine.reconcile", epoch=spec.guess.index
+        ) as span:
+            kept: list[SimulationResult] = []
+            touched: list[Transaction] = []
+            if delta:
+                for result in spec.results:
+                    if any(a in delta for a in result.rwset.reads):
+                        touched.append(result.transaction)
+                    else:
+                        kept.append(result)
+            else:
+                kept = list(spec.results)
+            merged = kept
+            if touched:
+                snapshot = state.snapshot()
+                rebatch = executor.execute_batch(
+                    touched, snapshot.get, snapshot_root=state.root
+                )
+                for result in rebatch.results:
+                    spec.acg.replace(
+                        result.txid,
+                        result.as_transaction() if result.ok else None,
+                    )
+                merged = kept + list(rebatch.results)
+            span.set(kept=len(kept), reexecuted=len(touched))
+        self.stats.kept += len(kept)
+        self.stats.reexecuted += len(touched)
+        batch = SimulationBatch(
+            results=tuple(sorted(merged, key=lambda r: r.txid)),
+            snapshot_root=state.root,
+        )
+        return batch, spec.acg, spec.seconds + time.perf_counter() - start
+
+    # -------------------------------------------------------- admission
+
+    def _admit(self, blocks: Sequence[Block]) -> Epoch:
+        """The barrier node's accept loop, verbatim semantics.
+
+        Root-checks each block against the now-final previous root,
+        appends survivors to the chains, and seals the epoch.  Raising
+        here (every block discarded / empty epoch) matches
+        ``FullNode.receive_epoch`` exactly.
+        """
+        node = self.node
+        with maybe_span(
+            self.tracer, "node.block_arrival", epoch=node._next_epoch
+        ) as span:
+            accepted = 0
+            for block in blocks:
+                if block.header.state_root != node.state.root:
+                    continue  # Discard: stale or wrong state root.
+                try:
+                    node.chains.append(block)
+                except BlockValidationError:
+                    continue  # Discard: structural failure.
+                if node.blockstore is not None:
+                    node.blockstore.put_block(block)
+                accepted += 1
+            span.set(offered=len(blocks), accepted=accepted)
+            if accepted == 0:
+                raise BlockValidationError(
+                    "every block of the epoch was discarded"
+                )
+        with maybe_span(self.tracer, "node.epoch_seal", epoch=node._next_epoch):
+            epoch = extract_epoch(node.chains, node._next_epoch)
+        if epoch is None:
+            raise BlockValidationError(f"epoch {node._next_epoch} is empty")
+        node._next_epoch += 1
+        return epoch
+
+    @staticmethod
+    def _epoch_txids(epoch: Epoch) -> set[int]:
+        return {
+            txn.txid for block in epoch.blocks for txn in block.transactions
+        }
+
+    def _export_metrics(self) -> None:
+        """Publish speculation accounting into the node's registry."""
+        metrics = self.node.metrics
+        if metrics is None:
+            return
+        metrics.gauge("engine_speculation_hit_rate").set(self.stats.hit_rate)
+        metrics.gauge("engine_speculated_total").set(float(self.stats.speculated))
+        metrics.gauge("engine_kept_total").set(float(self.stats.kept))
+        metrics.gauge("engine_reexecuted_total").set(
+            float(self.stats.reexecuted)
+        )
+        metrics.gauge("engine_epochs_streamed").set(
+            float(self.stats.epochs_streamed)
+        )
+        metrics.gauge("engine_epochs_fallback").set(
+            float(self.stats.epochs_fallback)
+        )
+
+    # --------------------------------------------------------- back stage
+
+    def _launch(
+        self,
+        epoch: Epoch,
+        transactions: list[Transaction],
+        batch: SimulationBatch,
+        acg: IncrementalACG,
+        phases: PhaseLatencies,
+    ) -> None:
+        """Hand a reconciled epoch to the background CC + commit stage."""
+        if not isinstance(self.node.state, FlatStateDB):
+            # Freeze the pre-commit values for the *next* speculation:
+            # the live trie cannot be read while the background commit
+            # rewrites it.
+            self._spec_base = dict(self.node.state.items())
+        future = self._stage.submit(
+            self._run_back_stage, epoch, transactions, batch, acg, phases
+        )
+        self._inflight = _Inflight(
+            epoch=epoch,
+            txids=frozenset(self._epoch_txids(epoch)),
+            future=future,
+        )
+
+    def _run_back_stage(
+        self,
+        epoch: Epoch,
+        transactions: list[Transaction],
+        batch: SimulationBatch,
+        acg: IncrementalACG,
+        phases: PhaseLatencies,
+    ) -> tuple[EpochReport, CommitReport | None]:
+        """Background thread: seal the graph, schedule, commit, report.
+
+        Touches no executor pipes (replica sync is deferred to the join
+        on the main thread) — its only shared mutation is the state
+        commit, which the front stage reads through ``peek`` only.
+        """
+        start = time.perf_counter()
+        with maybe_span(
+            self.tracer, "pipeline.concurrency_control", epoch=epoch.index
+        ) as span:
+            dense = acg.seal()
+            result = self.node.scheduler.schedule_dense(
+                dense, acg.build_seconds
+            )
+            span.set(aborted=result.schedule.aborted_count)
+        phases.concurrency_control = time.perf_counter() - start
+        return self.pipeline._commit_and_report(
+            epoch,
+            transactions,
+            batch,
+            result,
+            result.schedule,
+            phases,
+            sync_replicas=False,
+        )
+
+    def _join(self) -> EpochReport | None:
+        """Wait out the in-flight epoch; sync replicas; finish its report."""
+        inflight, self._inflight = self._inflight, None
+        if inflight is None:
+            return None
+        if inflight.future is None:
+            # Fallback epoch: already processed and registered.
+            return inflight.report
+        with maybe_span(
+            self.tracer, "engine.queue_wait", epoch=inflight.epoch.index
+        ):
+            report, commit_report = inflight.future.result()
+        self._last_delta = (
+            commit_report.write_delta if commit_report is not None else None
+        )
+        if self._last_delta:
+            # Deferred replica sync: all executor traffic stays on the
+            # main thread.
+            self.pipeline.executor.apply_delta(self._last_delta)
+        self.node._finish_report(report)
+        return report

@@ -124,10 +124,11 @@ def _worker_main(
                     worker=index,
                 ):
                     results = [
-                        simulation_result_to_wire(
-                            executor.execute_one(transaction_from_wire(wire), read)
+                        simulation_result_to_wire(result)
+                        for result in executor.execute_run(
+                            [transaction_from_wire(wire) for wire in wires],
+                            read,
                         )
-                        for wire in wires
                     ]
                 spans = [span_to_wire(span) for span in tracer.drain()]
                 conn.send(("ok", results, spans))
@@ -405,7 +406,7 @@ class ConcurrentExecutor:
         if results is None and ordered and self.resolved_backend == "thread":
             results = self._execute_threaded(ordered, read_fn)
         if results is None:
-            results = [self._execute_one(txn, read_fn) for txn in ordered]
+            results = self.execute_run(ordered, read_fn)
         return SimulationBatch(results=tuple(results), snapshot_root=snapshot_root)
 
     def _execute_threaded(
@@ -416,8 +417,16 @@ class ConcurrentExecutor:
         # transaction.  Chunking must be manual: ThreadPoolExecutor.map
         # accepts ``chunksize`` but silently ignores it (only process
         # pools honour it), so mapping transactions directly would pay
-        # one queue round-trip per transaction.
-        chunksize = max(1, len(ordered) // (self.workers * 4))
+        # one queue round-trip per transaction.  With a modelled charge
+        # the usual 4-chunks-per-worker load balancing is a loss: every
+        # chunk pays its charge as one sleep, and each extra wake-up is
+        # a GIL reacquisition that can stall behind CPU-bound threads
+        # (the streaming engine's background CC + commit stage), so cut
+        # straight to one equal run per worker.
+        if self.txn_cost_seconds > 0.0:
+            chunksize = max(1, -(-len(ordered) // self.workers))
+        else:
+            chunksize = max(1, len(ordered) // (self.workers * 4))
         futures = [
             pool.submit(self._execute_chunk, ordered[i : i + chunksize], read_fn)
             for i in range(0, len(ordered), chunksize)
@@ -434,7 +443,7 @@ class ConcurrentExecutor:
         per-thread occupancy and stragglers directly.
         """
         with maybe_span(self.tracer, "execute.chunk", txns=len(chunk)):
-            return [self._execute_one(txn, read_fn) for txn in chunk]
+            return self.execute_run(chunk, read_fn)
 
     def _execute_process(
         self, ordered: list[Transaction]
@@ -469,6 +478,24 @@ class ConcurrentExecutor:
             for txn, wire in zip(chunk, wires)
         ]
 
+    def execute_run(
+        self, chunk: Sequence[Transaction], read_fn: ReadFn
+    ) -> list[SimulationResult]:
+        """Execute a run of transactions, paying the charge as one sleep.
+
+        Wall-clock equivalent to per-transaction charges (the modelled
+        latency is a fixed per-transaction amount either way), but one
+        aggregated ``sleep`` per run instead of ``len(chunk)`` short
+        ones.  That matters whenever a CPU-bound thread shares the
+        interpreter — e.g. the streaming engine's background CC/commit
+        stage: every short-sleep wakeup would otherwise wait out a GIL
+        switch interval behind it, inflating the charged phase by orders
+        of magnitude on single-core hosts.
+        """
+        if self.txn_cost_seconds > 0.0 and chunk:
+            time.sleep(self.txn_cost_seconds * len(chunk))
+        return [self._execute_uncharged(txn, read_fn) for txn in chunk]
+
     def execute_one(self, txn: Transaction, read_fn: ReadFn) -> SimulationResult:
         """Speculatively execute a single transaction (always in-process)."""
         return self._execute_one(txn, read_fn)
@@ -476,6 +503,9 @@ class ConcurrentExecutor:
     def _execute_one(self, txn: Transaction, read_fn: ReadFn) -> SimulationResult:
         if self.txn_cost_seconds > 0.0:
             time.sleep(self.txn_cost_seconds)
+        return self._execute_uncharged(txn, read_fn)
+
+    def _execute_uncharged(self, txn: Transaction, read_fn: ReadFn) -> SimulationResult:
         if txn.contract is None or self.registry is None:
             return self._passthrough(txn, read_fn)
         if self.use_vm:

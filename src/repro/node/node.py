@@ -11,6 +11,7 @@ epoch.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.dag.block import Block
 from repro.dag.blockstore import BlockStore
@@ -23,6 +24,9 @@ from repro.node.pipeline import PipelineConfig, Scheduler, TransactionPipeline
 from repro.obs.tracer import Tracer, maybe_span
 from repro.state.statedb import StateDB
 from repro.vm.native import ContractRegistry
+
+if TYPE_CHECKING:
+    from repro.node.engine import StreamingEpochEngine
 
 
 @dataclass
@@ -58,6 +62,14 @@ class FullNode:
             for block in self.chains.blocks.values()
             for txn in block.transactions
         }
+        # The streaming engine overlaps speculation with CC + commit; it
+        # needs a scheduler that accepts pre-built dense graphs (Nezha).
+        # Serial/locking schemes silently keep the barrier path.
+        self.engine: "StreamingEpochEngine | None" = None
+        if self.config.streaming and hasattr(self.scheduler, "schedule_dense"):
+            from repro.node.engine import StreamingEpochEngine
+
+            self.engine = StreamingEpochEngine(self)
 
     @classmethod
     def restore(
@@ -92,7 +104,18 @@ class FullNode:
         Invalid blocks are discarded (the paper: "each node will consider
         this block invalid and discard it"); the epoch proceeds with the
         surviving blocks.
+
+        With ``config.streaming`` the epoch routes through the
+        :class:`~repro.node.engine.StreamingEpochEngine` (same report,
+        bit-identical results).  A live miner needs this epoch's root to
+        stamp the next epoch's blocks, so this path submits and drains in
+        one call; feed :meth:`submit_epoch` directly (block replay, node
+        catch-up) to realise the cross-epoch overlap.
         """
+        if self.engine is not None:
+            previous = self.engine.submit(blocks)
+            tail = self.engine.drain()
+            return tail[-1] if tail else previous  # type: ignore[return-value]
         with maybe_span(
             self.tracer, "node.block_arrival", epoch=self._next_epoch
         ) as span:
@@ -120,6 +143,24 @@ class FullNode:
             self.blockstore.set_state_root(report.state_root)
         return report
 
+    def submit_epoch(self, blocks: list[Block]) -> EpochReport | None:
+        """Streaming ingress: feed one epoch, get the *previous* report.
+
+        Back-to-back submissions overlap epoch ``e``'s concurrency
+        control and commit with epoch ``e+1``'s speculative execution —
+        the engine's pipelining win.  Requires ``config.streaming``;
+        finish with :meth:`drain` to join the last in-flight epoch.
+        """
+        if self.engine is None:
+            raise RuntimeError("submit_epoch requires streaming mode")
+        return self.engine.submit(blocks)
+
+    def drain(self) -> list[EpochReport]:
+        """Join any in-flight streamed epoch and return its report."""
+        if self.engine is None:
+            return []
+        return self.engine.drain()
+
     def process_epoch(self, epoch: Epoch) -> EpochReport:
         """Run the pipeline on an already-validated epoch.
 
@@ -127,21 +168,43 @@ class FullNode:
         re-packing them) are excluded from the batch.
         """
         report = self.pipeline.process_epoch(epoch, exclude_txids=self._seen_txids)
-        self._seen_txids.update(
-            txn.txid for block in epoch.blocks for txn in block.transactions
-        )
+        self._register_epoch(epoch)
         self.reports.append(report)
         if self.metrics is not None:
             record_epoch(self.metrics, report)
             record_state(self.metrics, self.state)
         return report
 
+    def _register_epoch(self, epoch: Epoch) -> None:
+        """Fold an admitted epoch's txids into duplicate protection."""
+        self._seen_txids.update(
+            txn.txid for block in epoch.blocks for txn in block.transactions
+        )
+
+    def _finish_report(self, report: EpochReport) -> None:
+        """Record a completed epoch (streaming join path).
+
+        Mirrors the bookkeeping the barrier path performs inline in
+        :meth:`process_epoch` + :meth:`receive_epoch`: report history,
+        metrics, and the archive's state-root watermark.
+        """
+        self.reports.append(report)
+        if self.metrics is not None:
+            record_epoch(self.metrics, report)
+            record_state(self.metrics, self.state)
+        if self.blockstore is not None:
+            self.blockstore.set_state_root(report.state_root)
+
     def close(self) -> None:
-        """Release the pipeline's worker pools (idempotent).
+        """Release the engine's stage and the pipeline's worker pools
+        (idempotent).
 
         Nodes configured with the process execution backend own worker
-        processes; closing guarantees none outlive the node.
+        processes; closing guarantees none outlive the node.  The
+        streaming engine drains first so no epoch is lost in flight.
         """
+        if self.engine is not None:
+            self.engine.close()
         self.pipeline.close()
 
     def __enter__(self) -> "FullNode":

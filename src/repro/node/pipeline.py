@@ -28,7 +28,7 @@ from repro.core.schedule import Schedule
 from repro.dag.block import Block
 from repro.dag.epochs import Epoch
 from repro.errors import BlockValidationError
-from repro.node.committer import Committer, SerialExecutorCommitter
+from repro.node.committer import CommitReport, Committer, SerialExecutorCommitter
 from repro.node.executor import ConcurrentExecutor
 from repro.node.phases import EpochReport, PhaseLatencies
 from repro.obs.taxonomy import DELTA_OVERFLOW, taxonomy_counts
@@ -67,7 +67,15 @@ class PipelineConfig:
     ``state_cache`` bounds the trie-node LRU in front of the backing
     store (0 = uncached).  Both only take effect where the state is
     constructed (``Cluster``, ``ReplicaNetwork``, CLI) — a pipeline
-    handed an explicit ``state`` object uses it as-is.
+    handed an explicit ``state`` object uses it as-is.  ``streaming``
+    turns on the cross-epoch overlap engine
+    (:class:`~repro.node.engine.StreamingEpochEngine`): epoch ``e+1``
+    speculates on the executor pool while epoch ``e``'s concurrency
+    control and commit run on a background stage, with results
+    bit-identical to this barrier pipeline (default off).
+    ``txn_cost_seconds`` charges each speculative execution a fixed
+    modelled latency inside whichever backend runs it (the calibration
+    hook the scaling benchmarks use).
     """
 
     workers: int = 0
@@ -77,6 +85,8 @@ class PipelineConfig:
     delta_cc: bool = False
     flat_state: bool = True
     state_cache: int = 0
+    streaming: bool = False
+    txn_cost_seconds: float = 0.0
 
 
 class TransactionPipeline:
@@ -123,6 +133,7 @@ class TransactionPipeline:
             # Process-backend replicas bootstrap from the committed flat
             # state; steady-state sync then ships only commit deltas.
             state_provider=lambda: dict(self.state.items()),
+            txn_cost_seconds=self.config.txn_cost_seconds,
             tracer=tracer,
             delta_cc=self._delta_cc,
         )
@@ -212,31 +223,58 @@ class TransactionPipeline:
                 epoch, transactions, batch, result, schedule, phases
             )
 
+        return self._commit_and_report(
+            epoch, transactions, batch, result, schedule, phases
+        )[0]
+
+    def _commit_and_report(
+        self,
+        epoch: Epoch,
+        transactions: list[Transaction],
+        batch,
+        result,
+        schedule: Schedule,
+        phases: PhaseLatencies,
+        sync_replicas: bool = True,
+    ) -> "tuple[EpochReport, CommitReport | None]":
+        """Commit a scheduled batch and assemble its epoch report.
+
+        Shared between the barrier pipeline and the streaming engine's
+        background commit stage.  ``sync_replicas=False`` skips the
+        process-backend replica delta sync — the engine runs this method
+        off the main thread and must apply the delta itself at join
+        time, because all executor pipe traffic stays on the main thread
+        (the same thread that runs speculation).  The returned
+        :class:`~repro.node.committer.CommitReport` carries the write
+        delta for exactly that deferred sync (``None`` on scheduler
+        failure).
+        """
         start = time.perf_counter()
         failed = bool(getattr(result, "failed", False))
         guard_aborted: tuple[int, ...] = ()
         delta_commuted = 0
+        commit_report: CommitReport | None = None
         with maybe_span(self.tracer, "pipeline.commit") as span:
             if failed:
                 commit_root = self.state.root
                 group_count = 0
                 committed = 0
             else:
-                report = self.committer.commit(
+                commit_report = self.committer.commit(
                     schedule,
                     batch.write_values(),
                     self.state,
                     delta_values=batch.delta_values() if self._delta_cc else None,
                 )
-                commit_root = report.state_root
-                group_count = report.group_count
-                committed = report.committed_count
-                guard_aborted = report.guard_aborted
-                delta_commuted = report.delta_commuted
-                if report.write_delta:
+                commit_root = commit_report.state_root
+                group_count = commit_report.group_count
+                committed = commit_report.committed_count
+                guard_aborted = commit_report.guard_aborted
+                delta_commuted = commit_report.delta_commuted
+                if sync_replicas and commit_report.write_delta:
                     # Keep the process backend's worker replicas in lockstep
                     # with the committed state before the next epoch executes.
-                    self.executor.apply_delta(report.write_delta)
+                    self.executor.apply_delta(commit_report.write_delta)
             span.set(committed=committed, groups=group_count)
         phases.commitment = time.perf_counter() - start
 
@@ -250,7 +288,7 @@ class TransactionPipeline:
             )
         timings = getattr(result, "timings", None)
         scheme_phases = timings.as_dict() if timings is not None else {}
-        return EpochReport(
+        report = EpochReport(
             epoch_index=epoch.index,
             scheme=self.scheduler.name,
             block_concurrency=epoch.concurrency,
@@ -267,6 +305,7 @@ class TransactionPipeline:
             revived=int(getattr(result, "revived", 0)),
             delta_commuted=delta_commuted,
         )
+        return report, commit_report
 
     @staticmethod
     def _taxonomy(schedule: Schedule, result: object) -> dict[str, int]:

@@ -13,7 +13,11 @@ from repro.obs.export import (
     validate_chrome_trace,
     write_chrome_trace,
 )
-from repro.obs.prom import render_prometheus, write_prometheus
+from repro.obs.prom import (
+    render_prometheus,
+    render_tracer_aggregates,
+    write_prometheus,
+)
 from repro.obs.taxonomy import (
     ABORT_REASONS,
     DELTA_OVERFLOW,
@@ -25,6 +29,7 @@ from repro.obs.taxonomy import (
 from repro.obs.tracer import (
     NULL_SPAN,
     Span,
+    SpanAggregate,
     SpanLike,
     Tracer,
     maybe_span,
@@ -39,6 +44,7 @@ __all__ = [
     "NULL_SPAN",
     "SCHEME_CONFLICT",
     "Span",
+    "SpanAggregate",
     "SpanLike",
     "Tracer",
     "UNSERIALIZABLE_WRITE",
@@ -46,6 +52,7 @@ __all__ = [
     "maybe_span",
     "render_prometheus",
     "render_top",
+    "render_tracer_aggregates",
     "span_from_wire",
     "span_to_wire",
     "summarize_events",

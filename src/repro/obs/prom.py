@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Mapping, Union
 
 if TYPE_CHECKING:  # avoid a module-level repro.node import cycle
     from repro.node.metrics import Counter, Gauge, Histogram, MetricsRegistry
+    from repro.obs.tracer import Tracer
 
     Metric = Union[Counter, Gauge, Histogram]
 
@@ -81,11 +82,46 @@ def _summary_lines(
     return lines
 
 
-def render_prometheus(registry: "MetricsRegistry") -> str:
-    """The whole registry in Prometheus text-exposition format."""
+def render_tracer_aggregates(tracer: "Tracer") -> str:
+    """The tracer's cumulative per-span-name totals as two counter
+    families.
+
+    The aggregates survive the bounded span ring's eviction, so these
+    counters stay truthful over runs long enough to overflow the ring —
+    exactly the runs where a Prometheus scrape matters.
+    """
+    aggregates = tracer.aggregates()
+    if not aggregates:
+        return ""
+    count_lines = ["# TYPE repro_span_count counter"]
+    seconds_lines = ["# TYPE repro_span_seconds_total counter"]
+    for name, entry in aggregates.items():
+        labels = render_labels({"name": name})
+        count_lines.append(
+            f"repro_span_count{labels} {_format_value(float(entry.count))}"
+        )
+        seconds_lines.append(
+            f"repro_span_seconds_total{labels} "
+            f"{_format_value(entry.total_seconds)}"
+        )
+    return "\n".join(count_lines) + "\n" + "\n".join(seconds_lines) + "\n"
+
+
+def render_prometheus(
+    registry: "MetricsRegistry", tracer: "Tracer | None" = None
+) -> str:
+    """The whole registry in Prometheus text-exposition format.
+
+    With a ``tracer``, its cumulative span aggregates are appended as
+    ``repro_span_count`` / ``repro_span_seconds_total`` families.
+    """
     from repro.node.metrics import Counter, Gauge, Histogram
 
     blocks: list[str] = []
+    if tracer is not None:
+        rendered = render_tracer_aggregates(tracer)
+        if rendered:
+            blocks.append(rendered.rstrip("\n"))
     for name, kind, samples in registry.families():
         metric_name = sanitize_metric_name(name)
         if kind is Counter:
@@ -108,9 +144,11 @@ def render_prometheus(registry: "MetricsRegistry") -> str:
     return "\n".join(blocks) + ("\n" if blocks else "")
 
 
-def write_prometheus(path: str, registry: "MetricsRegistry") -> int:
+def write_prometheus(
+    path: str, registry: "MetricsRegistry", tracer: "Tracer | None" = None
+) -> int:
     """Write the exposition to ``path``; returns the number of lines."""
-    text = render_prometheus(registry)
+    text = render_prometheus(registry, tracer)
     from pathlib import Path
 
     Path(path).write_text(text)

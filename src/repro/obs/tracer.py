@@ -77,13 +77,33 @@ NULL_SPAN = _NullSpan()
 SpanLike = Union[Span, _NullSpan]
 
 
+@dataclass
+class SpanAggregate:
+    """Cumulative per-name accounting over a tracer's whole lifetime.
+
+    The finished-span ring is bounded, so a long run silently evicts its
+    oldest spans — but the aggregates keep counting: they are updated
+    when a span finishes (or arrives via :meth:`Tracer.extend`), never
+    recomputed from the ring.
+    """
+
+    count: int = 0
+    total_seconds: float = 0.0
+
+    @property
+    def mean_seconds(self) -> float:
+        """Average span duration in seconds."""
+        return self.total_seconds / self.count if self.count else 0.0
+
+
 class Tracer:
     """Records nested spans into a bounded in-memory ring.
 
     Thread-safe: every thread keeps its own nesting stack (so spans
     opened by pool workers nest correctly and land on their own track)
     while the finished ring is shared.  ``deque.append`` is atomic under
-    the GIL, so no lock guards the hot path.
+    the GIL, so no lock guards the ring; only the per-name aggregate
+    update takes a lock (a read-modify-write of two fields).
     """
 
     def __init__(
@@ -99,6 +119,8 @@ class Tracer:
         self._finished: deque[Span] = deque(maxlen=max_spans)
         self._ids = itertools.count(1)
         self._local = threading.local()
+        self._aggregates: dict[str, SpanAggregate] = {}
+        self._aggregate_lock = threading.Lock()
 
     # ------------------------------------------------------------- recording
 
@@ -134,11 +156,21 @@ class Tracer:
             opened.end = self._clock()
             stack.pop()
             self._finished.append(opened)
+            self._aggregate(opened)
 
     def extend(self, spans: Iterable[Span]) -> None:
         """Merge externally-recorded spans (e.g. from worker processes)."""
         for span in spans:
             self._finished.append(span)
+            self._aggregate(span)
+
+    def _aggregate(self, span: Span) -> None:
+        with self._aggregate_lock:
+            entry = self._aggregates.get(span.name)
+            if entry is None:
+                entry = self._aggregates[span.name] = SpanAggregate()
+            entry.count += 1
+            entry.total_seconds += span.duration
 
     # ------------------------------------------------------------ inspection
 
@@ -152,8 +184,20 @@ class Tracer:
         self._finished.clear()
         return out
 
+    def aggregates(self) -> dict[str, SpanAggregate]:
+        """Per-name cumulative (count, total duration), sorted by name.
+
+        Lifetime totals: unlike :meth:`spans`, these are unaffected by
+        ring eviction, :meth:`drain`, and :meth:`clear`.
+        """
+        with self._aggregate_lock:
+            return {
+                name: SpanAggregate(entry.count, entry.total_seconds)
+                for name, entry in sorted(self._aggregates.items())
+            }
+
     def clear(self) -> None:
-        """Drop every finished span."""
+        """Drop every finished span (cumulative aggregates survive)."""
         self._finished.clear()
 
     def __len__(self) -> int:

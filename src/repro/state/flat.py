@@ -123,6 +123,25 @@ class FlatStateDB(StateDB):
         self.flat_reads += 1
         return self._flat.get(address, 0)
 
+    def peek(self, address: Address) -> int:
+        """Race-tolerant read for cross-epoch speculation.
+
+        The streaming engine speculates epoch ``e+1`` on the main thread
+        while epoch ``e``'s commit mutates this state on a background
+        stage.  Each dict operation here is atomic under the GIL, and
+        the only addresses mutated during a commit are the epoch's write
+        delta — so a ``peek`` of any *other* address is exact, and a
+        peek of a written address returns either its old or new value
+        (the engine re-executes every transaction that read one of
+        those, so a torn value can never reach a committed result).  No
+        stats counters are bumped: ``flat_reads`` is reset by the
+        concurrent commit and a racing increment would corrupt it.
+        """
+        try:
+            return self._dirty[address]
+        except KeyError:
+            return self._flat.get(address, 0)
+
     def commit(self) -> bytes:
         """Fold staged writes into flat state, journal the old values,
         and seal the epoch's authenticated root in one trie batch."""

@@ -1,0 +1,169 @@
+"""Incremental ACG construction: bit-identity with the one-shot builder.
+
+The streaming engine accumulates the conflict graph block by block and
+seals it at epoch close; the barrier pipeline builds it in one shot.
+Nezha's CC is deterministic over the dense graph, so the seal must be
+*bit*-identical to ``build_dense_acg(intern_batch(...))`` over the same
+final transaction set — including after reconciliation swapped or
+retracted transactions mid-flight.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    IncrementalACG,
+    NezhaScheduler,
+    build_dense_acg,
+    dense_acg_equal,
+    intern_batch,
+)
+from repro.errors import SchedulingError
+from repro.txn import make_transaction
+
+
+def random_batch(rng, max_txns=60, max_addrs=12, with_deltas=False):
+    txns = []
+    addr_count = rng.randint(1, max_addrs)
+    per_txn = min(3, addr_count)
+    for txid in range(1, rng.randint(1, max_txns) + 1):
+        reads = rng.sample(range(addr_count), k=rng.randint(0, per_txn))
+        writes = rng.sample(range(addr_count), k=rng.randint(0, per_txn))
+        deltas = None
+        if with_deltas and rng.random() < 0.4:
+            taken = set(reads) | set(writes)
+            deltas = {
+                f"a{i}": rng.randint(-5, 5)
+                for i in rng.sample(range(addr_count), k=rng.randint(1, per_txn))
+                if i not in taken
+            }
+        txns.append(
+            make_transaction(
+                txid,
+                reads=[f"a{i}" for i in reads],
+                writes=[f"a{i}" for i in writes],
+                deltas=deltas,
+            )
+        )
+    return txns
+
+
+def chunked(txns, rng):
+    """Split a batch into random contiguous 'blocks'."""
+    blocks, i = [], 0
+    while i < len(txns):
+        size = rng.randint(1, max(1, len(txns) // 3))
+        blocks.append(txns[i : i + size])
+        i += size
+    return blocks
+
+
+class TestSealBitIdentity:
+    def test_empty_graph_seals(self):
+        dense = IncrementalACG().seal()
+        assert dense.batch.txids == []
+        assert dense.edge_mult == {}
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_blockwise_seal_equals_one_shot(self, seed):
+        rng = random.Random(seed)
+        txns = random_batch(rng, with_deltas=seed % 2 == 0)
+        reference = build_dense_acg(intern_batch(txns))
+        acg = IncrementalACG()
+        for block in chunked(txns, rng):
+            acg.add_block(block)
+        assert dense_acg_equal(acg.seal(), reference)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_arrival_order_does_not_matter(self, seed):
+        """Blocks arrive in chain order, not txid order; the seal sorts."""
+        rng = random.Random(seed)
+        txns = random_batch(rng)
+        reference = build_dense_acg(intern_batch(txns))
+        shuffled = list(txns)
+        rng.shuffle(shuffled)
+        acg = IncrementalACG()
+        for block in chunked(shuffled, rng):
+            acg.add_block(block)
+        assert dense_acg_equal(acg.seal(), reference)
+
+    def test_duplicate_txid_rejected(self):
+        acg = IncrementalACG()
+        acg.add_block([make_transaction(1, reads=["a"])])
+        with pytest.raises(SchedulingError):
+            acg.add_block([make_transaction(1, writes=["b"])])
+
+
+class TestReplace:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_replace_equals_building_with_final_set(self, seed):
+        """Reconciliation swaps rwsets in place; the sealed graph must
+        equal one built directly from the post-swap transaction set."""
+        rng = random.Random(seed)
+        txns = random_batch(rng, with_deltas=True)
+        acg = IncrementalACG()
+        for block in chunked(txns, rng):
+            acg.add_block(block)
+        final = {t.txid: t for t in txns}
+        swapped = rng.sample(txns, k=rng.randint(1, max(1, len(txns) // 4)))
+        for old in swapped:
+            if rng.random() < 0.25:
+                acg.replace(old.txid, None)  # re-execution failed: retract
+                del final[old.txid]
+                continue
+            new = make_transaction(
+                old.txid,
+                reads=[f"a{rng.randint(0, 11)}"],
+                writes=[f"a{rng.randint(0, 11)}"],
+            )
+            acg.replace(old.txid, new)
+            final[old.txid] = new
+        reference = build_dense_acg(intern_batch(list(final.values())))
+        assert dense_acg_equal(acg.seal(), reference)
+
+    def test_replace_then_reseal_reflects_change(self):
+        acg = IncrementalACG()
+        acg.add_block(
+            [
+                make_transaction(1, reads=["a"], writes=["b"]),
+                make_transaction(2, reads=["b"], writes=["c"]),
+            ]
+        )
+        first = acg.seal()
+        assert len(first.batch.txids) == 2
+        acg.replace(2, None)
+        second = acg.seal()
+        reference = build_dense_acg(
+            intern_batch([make_transaction(1, reads=["a"], writes=["b"])])
+        )
+        assert dense_acg_equal(second, reference)
+
+    def test_replace_unknown_txid_adds(self):
+        """Replacing a txid never seen just inserts the transaction."""
+        acg = IncrementalACG()
+        acg.replace(7, make_transaction(7, reads=["a"], writes=["b"]))
+        reference = build_dense_acg(
+            intern_batch([make_transaction(7, reads=["a"], writes=["b"])])
+        )
+        assert dense_acg_equal(acg.seal(), reference)
+
+
+class TestSchedulerEquivalence:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_schedule_dense_matches_schedule(self, seed):
+        """End to end: a sealed incremental graph scheduled via
+        ``schedule_dense`` equals scheduling the transactions directly."""
+        rng = random.Random(seed)
+        txns = random_batch(rng, with_deltas=True)
+        acg = IncrementalACG()
+        for block in chunked(txns, rng):
+            acg.add_block(block)
+        via_dense = NezhaScheduler().schedule_dense(acg.seal(), 0.0)
+        direct = NezhaScheduler().schedule(txns)
+        assert via_dense.schedule.aborted == direct.schedule.aborted
+        assert list(via_dense.schedule.sequences()) == list(
+            direct.schedule.sequences()
+        )

@@ -1,0 +1,70 @@
+"""End-to-end cluster run over an LSM-backed trie-node store.
+
+The measuring node's flat state journals account values but still seals
+epochs into the Merkle trie, whose nodes live in a pluggable ``KVStore``.
+Swapping the default in-memory store for the LSM store (WAL + memtable +
+SSTables) must not change a single committed root — storage is below the
+state commitment, never part of it.
+"""
+
+from __future__ import annotations
+
+from repro.core import NezhaScheduler
+from repro.net import Cluster, ClusterConfig
+from repro.storage.lsm import LSMStore
+
+SMALL = dict(
+    block_concurrency=2,
+    block_size=20,
+    account_count=500,
+    seed=5,
+)
+EPOCHS = 3
+
+
+def _roots(cluster: Cluster) -> list[str]:
+    with cluster:
+        run = cluster.run_epochs(EPOCHS)
+    return [outcome.report.state_root.hex() for outcome in run.outcomes]
+
+
+class TestClusterOverLSM:
+    def test_lsm_roots_match_memstore(self, tmp_path):
+        """FlatStateDB over LSM vs. the default MemStore: same roots."""
+        store = LSMStore(tmp_path / "lsm", flush_bytes=16 * 1024)
+        lsm_roots = _roots(
+            Cluster(NezhaScheduler(), ClusterConfig(**SMALL, store=store))
+        )
+        mem_roots = _roots(Cluster(NezhaScheduler(), ClusterConfig(**SMALL)))
+        assert lsm_roots == mem_roots
+        assert len(lsm_roots) == EPOCHS
+
+    def test_lsm_streaming_roots_match_memstore_barrier(self, tmp_path):
+        """Streaming node over LSM == barrier node over MemStore."""
+        store = LSMStore(tmp_path / "lsm", flush_bytes=16 * 1024)
+        streaming_roots = _roots(
+            Cluster(
+                NezhaScheduler(),
+                ClusterConfig(**SMALL, store=store, streaming=True, workers=2),
+            )
+        )
+        barrier_roots = _roots(
+            Cluster(NezhaScheduler(), ClusterConfig(**SMALL))
+        )
+        assert streaming_roots == barrier_roots
+
+    def test_trie_nodes_persist_in_the_lsm(self, tmp_path):
+        """The sealed trie's nodes actually land in the LSM directory."""
+        directory = tmp_path / "lsm"
+        store = LSMStore(directory, flush_bytes=4 * 1024)
+        cluster = Cluster(
+            NezhaScheduler(), ClusterConfig(**SMALL, store=store)
+        )
+        with cluster:
+            run = cluster.run_epochs(EPOCHS)
+        assert run.committed > 0
+        # Node keys carry the KVNodeMapping "n:" prefix; the sealed
+        # root's node must be retrievable from the LSM by its hash.
+        root = cluster.node.state_root
+        assert store.get(b"n:" + root) is not None
+        assert directory.exists()

@@ -147,6 +147,23 @@ class TestThreadChunking:
         assert pool.submissions == 20
         assert [r.txid for r in batch.results] == sorted(t.txid for t in txns)
 
+    def test_charged_batches_chunk_once_per_worker(self, monkeypatch):
+        """With a modelled charge each chunk sleeps once, so finer
+        chunking than one-run-per-worker only multiplies GIL wake-ups."""
+        executor = ConcurrentExecutor(
+            registry=default_registry(), workers=4, txn_cost_seconds=1e-9
+        )
+        pool = _CountingPool()
+        monkeypatch.setattr(executor, "_ensure_pool", lambda: pool)
+        txns = [
+            smallbank_txn(i, "updateBalance", (i % 5, 1), sender=f"user:{i:06d}")
+            for i in range(1, 40)
+        ]
+        batch = executor.execute_batch(txns, read_fn)
+        assert len(batch.results) == len(txns)
+        # 39 txns / chunksize ceil(39 / 4) = 10 -> 4 chunks, one per worker.
+        assert pool.submissions == 4
+
     def test_small_batches_still_execute(self, monkeypatch):
         executor = ConcurrentExecutor(registry=default_registry(), workers=8)
         pool = _CountingPool()

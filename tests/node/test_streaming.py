@@ -1,0 +1,255 @@
+"""Streaming epoch engine: bit-identity with the barrier pipeline.
+
+DESIGN.md invariant 11: a streaming node replaying the same block
+sequence as a barrier node produces bit-identical epoch reports —
+state roots, commit/abort counts, abort taxonomy, commit groups — for
+every backend and CC mode.  Speculation and reconciliation are pure
+optimisations of *when* work happens, never of *what* is computed.
+
+Blocks are pre-mined per CC mode with a config-matched probe node:
+delta-CC changes the conflict structure, hence abort sets, hence the
+committed roots the miners chain on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core import NezhaScheduler
+from repro.dag import EpochCoordinator, Mempool, ParallelChains, PoWParams
+from repro.errors import BlockValidationError
+from repro.node import FullNode, PipelineConfig
+from repro.state.flat import make_statedb
+from repro.vm.contracts import default_registry
+from repro.workload import SmallBankConfig, SmallBankWorkload, initial_state
+
+EPOCHS = 4
+CHAINS = 3
+BLOCK_SIZE = 30
+POW = PoWParams(6)
+
+_MINED_CACHE: dict[tuple, list] = {}
+
+
+def _workload_config(skew: float = 0.6) -> SmallBankConfig:
+    return SmallBankConfig(account_count=250, skew=skew, seed=23)
+
+
+def _fresh_state(skew: float = 0.6, flat: bool = True):
+    state = make_statedb(flat=flat)
+    state.seed(initial_state(_workload_config(skew)))
+    return state
+
+
+def _make_node(
+    streaming: bool,
+    backend: str = "thread",
+    workers: int = 2,
+    delta_cc: bool = False,
+    skew: float = 0.6,
+    flat: bool = True,
+) -> FullNode:
+    return FullNode(
+        chains=ParallelChains(chain_count=CHAINS, pow_params=POW),
+        state=_fresh_state(skew, flat),
+        scheduler=NezhaScheduler(),
+        registry=default_registry(include_bytecode=delta_cc),
+        config=PipelineConfig(
+            workers=workers,
+            backend=backend,
+            streaming=streaming,
+            delta_cc=delta_cc,
+        ),
+    )
+
+
+def _mine(delta_cc: bool, skew: float = 0.6) -> list:
+    """Pre-mine EPOCHS epochs with a probe matching the CC config."""
+    key = (delta_cc, skew)
+    if key in _MINED_CACHE:
+        return _MINED_CACHE[key]
+    coordinator = EpochCoordinator(
+        chains=ParallelChains(chain_count=CHAINS, pow_params=POW),
+        miners=["m0"],
+        block_size=BLOCK_SIZE,
+    )
+    mempool = Mempool()
+    mempool.submit_many(
+        SmallBankWorkload(_workload_config(skew)).generate(
+            EPOCHS * CHAINS * BLOCK_SIZE + 60
+        )
+    )
+    probe = _make_node(False, "serial", 0, delta_cc, skew)
+    epochs = []
+    root = probe.state_root
+    with probe:
+        for _ in range(EPOCHS):
+            blocks = coordinator.mine_epoch(mempool, state_root=root)
+            epochs.append(blocks)
+            root = probe.receive_epoch(blocks).state_root
+    _MINED_CACHE[key] = epochs
+    return epochs
+
+
+def _fingerprint(reports):
+    """Everything deterministic in a report — no timing floats."""
+    return [
+        (
+            r.state_root.hex(),
+            r.committed,
+            r.aborted,
+            r.failed_simulation,
+            r.input_transactions,
+            r.commit_group_count,
+            tuple(sorted(r.abort_reasons.items())),
+        )
+        for r in reports
+    ]
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize(
+        "backend,workers,delta_cc",
+        [
+            ("serial", 0, False),
+            ("thread", 2, False),
+            ("thread", 2, True),
+            ("process", 2, False),
+            ("process", 2, True),
+        ],
+    )
+    def test_streaming_matches_barrier(self, backend, workers, delta_cc):
+        epochs = _mine(delta_cc)
+        with _make_node(False, backend, workers, delta_cc) as barrier:
+            expected = _fingerprint(
+                [barrier.receive_epoch(b) for b in epochs]
+            )
+        # Live mode: submit + drain per call, report contract unchanged.
+        with _make_node(True, backend, workers, delta_cc) as live:
+            live_fp = _fingerprint([live.receive_epoch(b) for b in epochs])
+            assert live.engine is not None
+            assert live.engine.stats.epochs_fallback == 0
+        # Replay mode: back-to-back submits realise the actual overlap.
+        with _make_node(True, backend, workers, delta_cc) as replay:
+            reports = []
+            for blocks in epochs:
+                previous = replay.submit_epoch(blocks)
+                if previous is not None:
+                    reports.append(previous)
+            reports.extend(replay.drain())
+            stats = replay.engine.stats
+        assert live_fp == expected
+        assert _fingerprint(reports) == expected
+        assert stats.epochs_streamed == EPOCHS
+        assert stats.epochs_fallback == 0
+        assert stats.speculated == stats.kept + stats.reexecuted
+
+    @pytest.mark.parametrize("skew", [0.0, 0.9])
+    def test_streaming_matches_barrier_across_skew(self, skew):
+        epochs = _mine(False, skew)
+        with _make_node(False, skew=skew) as barrier:
+            expected = _fingerprint(
+                [barrier.receive_epoch(b) for b in epochs]
+            )
+        with _make_node(True, skew=skew) as replay:
+            reports = []
+            for blocks in epochs:
+                previous = replay.submit_epoch(blocks)
+                if previous is not None:
+                    reports.append(previous)
+            reports.extend(replay.drain())
+        assert _fingerprint(reports) == expected
+
+    def test_trie_backed_state_uses_frozen_snapshot(self):
+        """Without a flat state, speculation reads the frozen copy
+        captured at launch; results must still be bit-identical."""
+        epochs = _mine(False)
+        with _make_node(False, flat=False) as barrier:
+            expected = _fingerprint(
+                [barrier.receive_epoch(b) for b in epochs]
+            )
+        with _make_node(True, flat=False) as replay:
+            reports = []
+            for blocks in epochs:
+                previous = replay.submit_epoch(blocks)
+                if previous is not None:
+                    reports.append(previous)
+            reports.extend(replay.drain())
+            assert replay.engine.stats.epochs_streamed == EPOCHS
+        assert _fingerprint(reports) == expected
+
+
+class TestQueueDiscipline:
+    def test_flood_keeps_one_epoch_in_flight(self):
+        """A flood of submits degrades to barrier pacing: one in-flight
+        slot, every epoch reported exactly once, in order."""
+        epochs = _mine(False)
+        with _make_node(True) as node:
+            engine = node.engine
+            assert engine is not None
+            reports = []
+            for i, blocks in enumerate(epochs):
+                previous = node.submit_epoch(blocks)
+                # The slot holds exactly the epoch just admitted.
+                assert engine._inflight is not None
+                assert engine._inflight.epoch.index == i
+                if previous is not None:
+                    reports.append(previous)
+            reports.extend(node.drain())
+            assert engine._inflight is None
+        assert [r.epoch_index for r in reports] == list(range(EPOCHS))
+        assert len(node.reports) == EPOCHS
+
+    def test_drain_is_idempotent(self):
+        epochs = _mine(False)
+        with _make_node(True) as node:
+            node.submit_epoch(epochs[0])
+            assert len(node.drain()) == 1
+            assert node.drain() == []
+
+    def test_submit_requires_streaming_mode(self):
+        with _make_node(False) as node:
+            assert node.engine is None
+            with pytest.raises(RuntimeError):
+                node.submit_epoch(_mine(False)[0])
+            assert node.drain() == []
+
+
+class TestFallback:
+    def test_stale_block_falls_back_to_barrier(self):
+        """A block carrying a stale root is discarded at admission; the
+        speculated guess no longer matches, so the epoch takes the
+        synchronous barrier path — and still matches a barrier node
+        offered the same blocks."""
+        epochs = _mine(False)
+        stale = epochs[0][0]
+        offered = [list(b) for b in epochs]
+        offered[1] = offered[1] + [dataclasses.replace(stale)]
+        with _make_node(False) as barrier:
+            expected = _fingerprint(
+                [barrier.receive_epoch(b) for b in offered]
+            )
+        with _make_node(True) as replay:
+            reports = []
+            for blocks in offered:
+                previous = replay.submit_epoch(blocks)
+                if previous is not None:
+                    reports.append(previous)
+            reports.extend(replay.drain())
+            stats = replay.engine.stats
+        assert _fingerprint(reports) == expected
+        assert stats.epochs_fallback == 1
+        assert stats.epochs_streamed == EPOCHS - 1
+
+    def test_all_blocks_discarded_still_raises(self):
+        epochs = _mine(False)
+        with _make_node(True) as node:
+            node.submit_epoch(epochs[0])
+            with pytest.raises(BlockValidationError):
+                node.submit_epoch(epochs[0])  # same roots: all stale now
+            # The engine already joined epoch 0; drain returns nothing
+            # new but the node still holds its report.
+            node.drain()
+            assert len(node.reports) == 1

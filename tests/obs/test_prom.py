@@ -127,3 +127,37 @@ class TestHistogramFix:
         assert summary["count"] == 4.0
         assert summary["mean"] == 2.5
         assert summary["max"] == 4.0
+
+
+class TestTracerAggregateExport:
+    def test_span_totals_render_as_counter_families(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        with tracer.span("engine.speculate"):
+            pass
+        with tracer.span("engine.speculate"):
+            pass
+        registry = MetricsRegistry()
+        registry.gauge("plain").set(1.0)
+        text = render_prometheus(registry, tracer)
+        assert "# TYPE repro_span_count counter" in text
+        assert 'repro_span_count{name="engine.speculate"} 2' in text
+        assert "# TYPE repro_span_seconds_total counter" in text
+        assert 'repro_span_seconds_total{name="engine.speculate"}' in text
+        assert "plain 1" in text
+
+    def test_totals_outlive_ring_eviction(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer(max_spans=2)
+        for _ in range(25):
+            with tracer.span("evicted.name"):
+                pass
+        text = render_prometheus(MetricsRegistry(), tracer)
+        assert 'repro_span_count{name="evicted.name"} 25' in text
+
+    def test_no_tracer_keeps_output_unchanged(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        assert render_prometheus(registry) == render_prometheus(registry, None)

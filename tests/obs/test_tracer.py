@@ -163,3 +163,55 @@ class TestMaybeSpan:
             pass
         assert span.attrs == {"epoch": 1}
         assert [s.name for s in tracer.spans()] == ["recorded"]
+
+
+class TestAggregates:
+    def test_counts_and_durations_accumulate_per_name(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        for _ in range(3):
+            with tracer.span("hot"):
+                pass
+        with tracer.span("cold"):
+            pass
+        aggregates = tracer.aggregates()
+        assert sorted(aggregates) == ["cold", "hot"]
+        assert aggregates["hot"].count == 3
+        # FakeClock ticks once per read: every span lasts exactly 1.0 s.
+        assert aggregates["hot"].total_seconds == 3.0
+        assert aggregates["hot"].mean_seconds == 1.0
+        assert aggregates["cold"].count == 1
+
+    def test_aggregates_survive_ring_eviction(self):
+        tracer = Tracer(max_spans=2)
+        for _ in range(10):
+            with tracer.span("evicted"):
+                pass
+        assert len(tracer) == 2
+        assert tracer.aggregates()["evicted"].count == 10
+
+    def test_aggregates_survive_drain_and_clear(self):
+        tracer = Tracer()
+        with tracer.span("kept"):
+            pass
+        tracer.drain()
+        tracer.clear()
+        assert tracer.aggregates()["kept"].count == 1
+
+    def test_extend_feeds_aggregates(self):
+        worker = Tracer(track="worker-1", clock=FakeClock())
+        with worker.span("shipped"):
+            pass
+        parent = Tracer()
+        parent.extend(
+            span_from_wire(span_to_wire(span)) for span in worker.drain()
+        )
+        assert parent.aggregates()["shipped"].count == 1
+        assert parent.aggregates()["shipped"].total_seconds == 1.0
+
+    def test_accessor_returns_a_copy(self):
+        tracer = Tracer()
+        with tracer.span("immutable"):
+            pass
+        tracer.aggregates()["immutable"].count = 99
+        assert tracer.aggregates()["immutable"].count == 1
