@@ -32,6 +32,10 @@ milliseconds:
   epochs/sec over the barrier pipeline on the charged synthetic replay
   (skew 0.6, ω=12, 4 thread workers), with every epoch report
   bit-identical between the arms (``BENCH_streaming.json``).
+* **Certifier overhead** — the proof-carrying schedule certifier
+  (``PipelineConfig(certify=True)``) must add < 5% to the p50
+  epoch-processing latency.  Same interleaved-replay design as the
+  flight-recorder gate: absolute ceiling, no baseline drift.
 
 On success (or with ``--update``) the JSON artifacts are rewritten with
 the fresh numbers.
@@ -86,6 +90,12 @@ from bench_streaming import (  # noqa: E402
     measure_streaming,
     write_results as write_streaming_results,
 )
+from bench_certify_overhead import (  # noqa: E402
+    OVERHEAD_CEILING as CERTIFY_OVERHEAD_CEILING,
+    RESULTS_PATH as CERTIFY_RESULTS_PATH,
+    measure_certify_overhead,
+    write_results as write_certify_results,
+)
 from bench_state_scale import (  # noqa: E402
     FLATNESS_CEILING as STATE_FLATNESS_CEILING,
     GATED_SIZE as STATE_GATED_SIZE,
@@ -103,6 +113,7 @@ EXEC_SMOKE_ROUNDS = 3
 # CC ratio — the absolute 2x floor still backstops it.
 EXEC_REGRESSION_TOLERANCE = 0.35
 OBS_SMOKE_ROUNDS = 4
+CERTIFY_SMOKE_ROUNDS = 4
 DELTA_SMOKE_EPOCHS = 1
 STATE_SMOKE_ROUNDS = 3
 STREAM_SMOKE_ROUNDS = 3
@@ -203,6 +214,19 @@ def main(argv: list[str]) -> int:
         )
         failed = True
 
+    certify_payload = measure_certify_overhead(rounds=CERTIFY_SMOKE_ROUNDS)
+    certify_overhead = certify_payload["overhead_frac_p50"]
+    print(
+        f"schedule-certifier overhead (p50): {100 * certify_overhead:.2f}% "
+        f"(ceiling {100 * CERTIFY_OVERHEAD_CEILING:.0f}%)"
+    )
+    if certify_overhead >= CERTIFY_OVERHEAD_CEILING:
+        print(
+            f"FAIL [certify_overhead]: certification adds >= "
+            f"{CERTIFY_OVERHEAD_CEILING:.0%} to p50 epoch latency"
+        )
+        failed = True
+
     delta_payload = measure_delta_cc(epochs=DELTA_SMOKE_EPOCHS)
     delta_drop = delta_payload["unserializable_drop_at_gated_skew"]
     print(
@@ -272,12 +296,14 @@ def main(argv: list[str]) -> int:
         write_cc_results(cc_payload)
         write_exec_results(exec_payload)
         write_obs_results(obs_payload)
+        write_certify_results(certify_payload)
         write_delta_results(delta_payload)
         write_state_results(state_payload)
         write_streaming_results(stream_payload)
         print(f"wrote {CC_RESULTS_PATH}")
         print(f"wrote {EXEC_RESULTS_PATH}")
         print(f"wrote {OBS_RESULTS_PATH}")
+        print(f"wrote {CERTIFY_RESULTS_PATH}")
         print(f"wrote {DELTA_RESULTS_PATH}")
         print(f"wrote {STATE_RESULTS_PATH}")
         print(f"wrote {STREAM_RESULTS_PATH}")

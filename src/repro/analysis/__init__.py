@@ -1,35 +1,48 @@
-"""Analytical models and measurement helpers for the evaluation."""
+"""Analytical models and measurement helpers for the evaluation.
 
-from repro.analysis.contention import (
-    AddressHeat,
-    ContentionReport,
-    analyze_contention,
-    gini_coefficient,
-)
-from repro.analysis.conflicts import (
-    ConflictMeasurement,
-    conflicts_per_address,
-    expected_distinct_addresses,
-    measure_conflicts,
-    pairwise_conflict_count,
-)
-from repro.analysis.metrics import Summary, geometric_mean, percentile, speedup
-from repro.analysis.serializability import CertificationReport, certify_schedule
+Re-exports are **lazy** (PEP 562): low-level modules (``obs.tracer``,
+``state.flat``, ``storage.lsm``) import ``repro.analysis.race`` for their
+sanitizer hooks, and an eager ``__init__`` would drag the whole analysis
+stack — and through ``serializability`` the ``repro.core`` package — into
+every such import, creating a cycle.
+"""
 
-__all__ = [
-    "AddressHeat",
-    "CertificationReport",
-    "ContentionReport",
-    "ConflictMeasurement",
-    "Summary",
-    "analyze_contention",
-    "certify_schedule",
-    "conflicts_per_address",
-    "expected_distinct_addresses",
-    "geometric_mean",
-    "gini_coefficient",
-    "measure_conflicts",
-    "pairwise_conflict_count",
-    "percentile",
-    "speedup",
-]
+from typing import Any
+
+_EXPORTS: dict[str, str] = {
+    "AddressHeat": "repro.analysis.contention",
+    "ContentionReport": "repro.analysis.contention",
+    "analyze_contention": "repro.analysis.contention",
+    "gini_coefficient": "repro.analysis.contention",
+    "ConflictMeasurement": "repro.analysis.conflicts",
+    "conflicts_per_address": "repro.analysis.conflicts",
+    "expected_distinct_addresses": "repro.analysis.conflicts",
+    "measure_conflicts": "repro.analysis.conflicts",
+    "pairwise_conflict_count": "repro.analysis.conflicts",
+    "Summary": "repro.analysis.metrics",
+    "geometric_mean": "repro.analysis.metrics",
+    "percentile": "repro.analysis.metrics",
+    "speedup": "repro.analysis.metrics",
+    "CertificationReport": "repro.analysis.serializability",
+    "certify_schedule": "repro.analysis.serializability",
+    "CertFinding": "repro.analysis.certify",
+    "EpochCertificate": "repro.analysis.certify",
+    "certify_epoch": "repro.analysis.certify",
+    "RaceDetector": "repro.analysis.race",
+    "RaceFinding": "repro.analysis.race",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

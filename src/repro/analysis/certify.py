@@ -1,0 +1,466 @@
+"""Proof-carrying schedule certifier.
+
+An *independent* checker for the concurrency-control output: it takes an
+epoch's admitted transactions (their read/write/delta unit sets), the
+emitted commit schedule, and the abort bookkeeping, rebuilds the conflict
+graph from scratch, and certifies that
+
+(a) the committed set is conflict-serializable — the rebuilt conflict
+    digraph, oriented by commit position, is acyclic with the commit
+    order itself as the topological witness (the witness is embedded in
+    the certificate, so a third party can re-check it without re-running
+    the certifier);
+(b) the delta-unit invariants of DESIGN invariant 9 hold — readers
+    sequence strictly below an address's deltas (R<D), a plain write
+    never shares a delta's commit group (W≠D), co-grouped deltas commute
+    (D=D, discharged by folding the amounts in two orders); and
+(c) abort-reason accounting is conserved against the PR-5 taxonomy —
+    every abort is classified, no committed transaction carries a
+    reason, and committed ∪ aborted ∪ failed partitions the admitted
+    set.
+
+Independence is a design invariant (DESIGN invariant 12): this module
+shares **no code** with the CC paths.  It must not import
+``repro.core.rank``, ``repro.core.sorting``, ``repro.core.validate``,
+``repro.core.acg``, or ``repro.core.scheduler`` — not even for type
+annotations — which is pinned by ``tests/analysis/test_certify.py``.
+Inputs are duck-typed so the certifier can consume either live pipeline
+objects or epoch artifacts parsed back from JSON (``repro.core.export``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.obs.taxonomy import ABORT_REASONS, DELTA_OVERFLOW
+
+# Cap on stored findings per certificate; totals are always exact.
+MAX_FINDINGS = 50
+
+#: Finding codes, keyed by code with a one-line description.  ``CERT1xx``
+#: are structural, ``CERT11x`` serializability, ``CERT12x`` conservation.
+CERT_RULES: dict[str, str] = {
+    "CERT101": "scheduled transaction has no admitted read/write set",
+    "CERT102": "transaction appears more than once in the schedule",
+    "CERT103": "transaction is both committed and aborted",
+    "CERT104": "commit group sequences are not strictly increasing",
+    "CERT111": "committed reader sequenced at/after a committed writer",
+    "CERT112": "two committed writes to one address share a commit group",
+    "CERT113": "committed reader sequenced at/after a committed delta (R<D)",
+    "CERT114": "plain write shares a commit group with a delta (W≠D)",
+    "CERT115": "delta address overlaps the transaction's own reads/writes",
+    "CERT116": "group-local delta fold is not commutative",
+    "CERT120": "abort reason missing from or outside the taxonomy",
+    "CERT121": "abort accounting not conserved across committed/aborted/failed",
+}
+
+
+@dataclass(frozen=True)
+class CertFinding:
+    """One certification failure."""
+
+    code: str
+    message: str
+    txids: tuple[int, ...] = ()
+    address: str | None = None
+    severity: str = "error"
+
+    def render(self) -> str:
+        where = f" @{self.address}" if self.address else ""
+        return f"{self.code}{where}: {self.message}"
+
+    def to_json(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "txids": list(self.txids),
+        }
+        if self.address is not None:
+            payload["address"] = self.address
+        return payload
+
+
+@dataclass
+class EpochCertificate:
+    """Machine-checkable verdict for one epoch's commit schedule."""
+
+    epoch_index: int
+    scheme: str
+    committed: int
+    aborted: int
+    failed: int
+    conflict_edges: int
+    delta_folds: int
+    witness: tuple[int, ...]
+    findings: list[CertFinding] = field(default_factory=list)
+    finding_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when the epoch is certified."""
+        return not self.finding_counts
+
+    @property
+    def witness_digest(self) -> str:
+        blob = ",".join(str(txid) for txid in self.witness)
+        return hashlib.sha256(blob.encode("ascii")).hexdigest()
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"epoch {self.epoch_index} CERTIFIED: {self.committed} committed, "
+                f"{self.aborted} aborted, {self.conflict_edges} conflict edges, "
+                f"witness {self.witness_digest[:12]}"
+            )
+        worst = ", ".join(
+            f"{code}×{count}" for code, count in sorted(self.finding_counts.items())
+        )
+        return f"epoch {self.epoch_index} REJECTED: {worst}"
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "report": "schedule-certificate",
+            "epoch": self.epoch_index,
+            "scheme": self.scheme,
+            "ok": self.ok,
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "failed": self.failed,
+            "conflict_edges": self.conflict_edges,
+            "delta_folds": self.delta_folds,
+            "witness": list(self.witness),
+            "witness_digest": self.witness_digest,
+            "finding_counts": dict(sorted(self.finding_counts.items())),
+            "findings": [finding.to_json() for finding in self.findings],
+        }
+
+
+@dataclass(frozen=True)
+class _Units:
+    """Normalized unit sets for one transaction."""
+
+    reads: frozenset[str]
+    writes: frozenset[str]
+    deltas: tuple[tuple[str, Any], ...]
+
+
+def _normalize_units(rwset: Any) -> _Units:
+    """Accept an ``RWSet``-like object or a plain mapping."""
+    if isinstance(rwset, Mapping):
+        reads = rwset.get("reads", ())
+        writes = rwset.get("writes", ())
+        deltas = rwset.get("deltas", {})
+    else:
+        reads = rwset.reads
+        writes = rwset.writes
+        deltas = rwset.deltas
+    delta_items: Iterable[tuple[str, Any]]
+    if isinstance(deltas, Mapping):
+        delta_items = deltas.items()
+    else:
+        delta_items = deltas
+    return _Units(
+        reads=frozenset(reads),
+        writes=frozenset(writes),
+        deltas=tuple(sorted(delta_items)),
+    )
+
+
+def _normalize_groups(schedule: Any) -> tuple[list[tuple[int, tuple[int, ...]]], set[int]]:
+    """Accept a ``Schedule``-like object or ``[(sequence, txids), ...]``."""
+    groups = getattr(schedule, "groups", schedule)
+    aborted = set(getattr(schedule, "aborted", ()))
+    normalized: list[tuple[int, tuple[int, ...]]] = []
+    for group in groups:
+        if hasattr(group, "sequence"):
+            normalized.append((int(group.sequence), tuple(group.txids)))
+        else:
+            sequence, txids = group
+            normalized.append((int(sequence), tuple(txids)))
+    return normalized, aborted
+
+
+class _Collector:
+    """Accumulates findings with a storage cap but exact per-code counts."""
+
+    def __init__(self) -> None:
+        self.findings: list[CertFinding] = []
+        self.counts: dict[str, int] = {}
+
+    def add(
+        self,
+        code: str,
+        message: str,
+        txids: tuple[int, ...] = (),
+        address: str | None = None,
+    ) -> None:
+        self.counts[code] = self.counts.get(code, 0) + 1
+        if len(self.findings) < MAX_FINDINGS:
+            self.findings.append(
+                CertFinding(code=code, message=message, txids=txids, address=address)
+            )
+
+
+def certify_epoch(
+    rwsets: Mapping[int, Any],
+    schedule: Any,
+    *,
+    abort_reasons: Mapping[int, str] | None = None,
+    guard_aborted: Iterable[int] = (),
+    failed: Iterable[int] = (),
+    admitted: Iterable[int] | None = None,
+    reason_counts: Mapping[str, int] | None = None,
+    epoch_index: int = 0,
+    scheme: str = "nezha",
+) -> EpochCertificate:
+    """Certify one epoch's commit schedule from first principles.
+
+    Parameters
+    ----------
+    rwsets:
+        ``txid -> RWSet``-like mapping for every transaction that reached
+        concurrency control (simulation succeeded).  Values may be
+        :class:`repro.txn.rwset.RWSet` instances or plain mappings with
+        ``reads``/``writes``/``deltas`` keys (the artifact wire form).
+    schedule:
+        The emitted schedule: an object with ``groups`` (each carrying
+        ``sequence`` and ``txids``) and ``aborted``, or a plain list of
+        ``(sequence, txids)`` pairs.
+    abort_reasons:
+        Per-txid taxonomy labels as emitted by the scheduler.
+    guard_aborted:
+        Transactions scheduled to commit but aborted by the commit-time
+        delta overflow guard; the certifier reclassifies them as aborted
+        with reason ``delta_overflow``.
+    failed:
+        Admitted transactions whose simulation failed (never scheduled).
+    admitted:
+        The full admitted txid set; defaults to ``rwsets ∪ failed``.
+    reason_counts:
+        The report-level taxonomy counts, checked for conservation.
+    """
+    reasons = dict(abort_reasons or {})
+    guard_set = set(guard_aborted)
+    failed_set = set(failed)
+    out = _Collector()
+
+    groups, scheduled_aborted = _normalize_groups(schedule)
+    aborted_set = scheduled_aborted | guard_set
+
+    units: dict[int, _Units] = {}
+    for txid, rwset in rwsets.items():
+        units[int(txid)] = _normalize_units(rwset)
+
+    admitted_set = set(admitted) if admitted is not None else set(units) | failed_set
+
+    # -- structural checks -------------------------------------------------
+    position: dict[int, int] = {}
+    group_of: dict[int, int] = {}
+    witness: list[int] = []
+    last_sequence: int | None = None
+    for group_index, (sequence, txids) in enumerate(groups):
+        if last_sequence is not None and sequence <= last_sequence:
+            out.add(
+                "CERT104",
+                f"group sequence {sequence} follows {last_sequence}",
+            )
+        last_sequence = sequence
+        for txid in txids:
+            if txid in guard_set:
+                continue  # guard-aborted: writes never applied
+            if txid in position:
+                out.add("CERT102", f"T{txid} committed twice", (txid,))
+                continue
+            if txid not in units:
+                out.add("CERT101", f"T{txid} scheduled without an RWSet", (txid,))
+                continue
+            if txid in aborted_set:
+                out.add("CERT103", f"T{txid} is committed and aborted", (txid,))
+                continue
+            position[txid] = len(witness)
+            group_of[txid] = group_index
+            witness.append(txid)
+    committed_set = set(position)
+
+    # -- per-transaction delta structure (CERT115) -------------------------
+    for txid in sorted(committed_set):
+        txn_units = units[txid]
+        overlap = {addr for addr, _ in txn_units.deltas} & (
+            txn_units.reads | txn_units.writes
+        )
+        for address in sorted(overlap):
+            out.add(
+                "CERT115",
+                f"T{txid} carries a delta on {address} it also reads/writes",
+                (txid,),
+                address,
+            )
+
+    # -- rebuild the conflict graph and check the witness ------------------
+    readers: dict[str, list[int]] = {}
+    writers: dict[str, list[int]] = {}
+    delta_writers: dict[str, list[int]] = {}
+    for txid in witness:
+        txn_units = units[txid]
+        for address in txn_units.reads:
+            readers.setdefault(address, []).append(txid)
+        for address in txn_units.writes:
+            writers.setdefault(address, []).append(txid)
+        for address, _amount in txn_units.deltas:
+            delta_writers.setdefault(address, []).append(txid)
+
+    conflict_edges = 0
+    for address in sorted(set(readers) | set(writers) | set(delta_writers)):
+        read_list = readers.get(address, [])
+        write_list = writers.get(address, [])
+        delta_list = delta_writers.get(address, [])
+
+        # W-W: every pair conflicts; distinct groups required (commit
+        # order orients the edge, so sorted-adjacent equality suffices).
+        conflict_edges += len(write_list) * (len(write_list) - 1) // 2
+        by_position = sorted(write_list, key=position.__getitem__)
+        for first, second in zip(by_position, by_position[1:]):
+            if group_of[first] == group_of[second]:
+                out.add(
+                    "CERT112",
+                    f"T{first} and T{second} both write {address} in one group",
+                    (first, second),
+                    address,
+                )
+
+        # R-W and R-D: every committed reader must sit in a strictly
+        # earlier commit group than every *other* writer/delta of the
+        # address (snapshot reads); sharing a group is equally invalid.
+        for kind, write_like in (("writes", write_list), ("delta", delta_list)):
+            if not write_like or not read_list:
+                continue
+            ranked = sorted(write_like, key=group_of.__getitem__)
+            for reader in read_list:
+                conflict_edges += len(write_like) - (reader in write_like)
+                blocker = ranked[0] if ranked[0] != reader else (
+                    ranked[1] if len(ranked) > 1 else None
+                )
+                if blocker is None or group_of[reader] < group_of[blocker]:
+                    continue
+                code = "CERT111" if kind == "writes" else "CERT113"
+                verb = "writes" if kind == "writes" else "applies a delta to"
+                out.add(
+                    code,
+                    f"T{reader} reads {address} but commits at/after "
+                    f"T{blocker}, which {verb} it",
+                    (reader, blocker),
+                    address,
+                )
+
+        # W-D: conflict, distinct groups required in either order.
+        if write_list and delta_list:
+            conflict_edges += len(write_list) * len(delta_list)
+            delta_groups: dict[int, int] = {}
+            for txid in delta_list:
+                delta_groups.setdefault(group_of[txid], txid)
+            for writer in write_list:
+                partner = delta_groups.get(group_of[writer])
+                if partner is not None and partner != writer:
+                    out.add(
+                        "CERT114",
+                        f"T{writer} writes {address} in the same group as "
+                        f"delta T{partner}",
+                        (writer, partner),
+                        address,
+                    )
+        # D-D pairs commute (D=D) and are deliberately *not* conflict edges.
+
+    # -- delta-fold commutativity (CERT116) --------------------------------
+    delta_folds = 0
+    for address in sorted(delta_writers):
+        amounts: list[tuple[int, Any]] = []
+        for txid in delta_writers[address]:
+            for addr, amount in units[txid].deltas:
+                if addr == address:
+                    amounts.append((txid, amount))
+        if len(amounts) < 2:
+            continue
+        delta_folds += 1
+        txids = tuple(txid for txid, _ in amounts)
+        if not all(isinstance(amount, int) for _, amount in amounts):
+            out.add(
+                "CERT116",
+                f"non-integer delta amount on {address}",
+                txids,
+                address,
+            )
+            continue
+        forward = sum(amount for _, amount in amounts)
+        backward = sum(amount for _, amount in reversed(amounts))
+        if forward != backward:
+            out.add(
+                "CERT116",
+                f"delta fold on {address} is order-dependent",
+                txids,
+                address,
+            )
+
+    # -- abort-reason conservation (CERT120/CERT121) -----------------------
+    for txid, reason in sorted(reasons.items()):
+        if reason not in ABORT_REASONS:
+            out.add(
+                "CERT120",
+                f"T{txid} aborted with unknown reason {reason!r}",
+                (txid,),
+            )
+        elif txid in committed_set:
+            out.add(
+                "CERT120",
+                f"committed T{txid} carries abort reason {reason!r}",
+                (txid,),
+            )
+    for txid in sorted(guard_set):
+        reason = reasons.get(txid, DELTA_OVERFLOW)
+        if reason != DELTA_OVERFLOW:
+            out.add(
+                "CERT120",
+                f"guard-aborted T{txid} labelled {reason!r}, "
+                f"expected {DELTA_OVERFLOW!r}",
+                (txid,),
+            )
+
+    accounted = committed_set | aborted_set | failed_set
+    if admitted_set != accounted:
+        missing = sorted(admitted_set - accounted)
+        extra = sorted(accounted - admitted_set)
+        out.add(
+            "CERT121",
+            "committed ∪ aborted ∪ failed does not partition admitted "
+            f"(missing={missing[:5]}, extra={extra[:5]})",
+            tuple((missing + extra)[:5]),
+        )
+    if reason_counts is not None:
+        total = sum(reason_counts.values())
+        if total != len(aborted_set):
+            out.add(
+                "CERT121",
+                f"taxonomy counts sum to {total} but {len(aborted_set)} "
+                f"transactions aborted",
+            )
+        for reason in sorted(reason_counts):
+            if reason not in ABORT_REASONS:
+                out.add(
+                    "CERT121",
+                    f"taxonomy counts carry unknown reason {reason!r}",
+                )
+
+    return EpochCertificate(
+        epoch_index=epoch_index,
+        scheme=scheme,
+        committed=len(committed_set),
+        aborted=len(aborted_set),
+        failed=len(failed_set),
+        conflict_edges=conflict_edges,
+        delta_folds=delta_folds,
+        witness=tuple(witness),
+        findings=out.findings,
+        finding_counts=out.counts,
+    )

@@ -14,9 +14,18 @@ iff:
 2. transactions inside one commit group are pairwise conflict-free, so
    any parallel interleaving of the group is equivalent.
 
+Under operation-level CC the checker also enforces the delta-unit
+invariants of DESIGN invariant 9: committed readers sequence strictly
+before an address's delta writers (R<D), and a plain write never shares
+a commit group with a delta on the same address (W≠D) — co-grouped
+deltas are allowed because they commute.
+
 The certifier also reports the dependency graph it built, which doubles
 as an analysis artifact (edge counts correlate with the CG scheme's
-workload).
+workload).  The deeper, scheme-independent checker — rebuilt conflict
+graph, embedded topological witness, abort-reason conservation — lives
+in :mod:`repro.analysis.certify`; this module stays the lightweight
+transaction-object variant used by the equivalence suites.
 """
 
 from __future__ import annotations
@@ -77,6 +86,7 @@ def certify_schedule(
 
     readers: dict[str, list[int]] = {}
     writers: dict[str, list[int]] = {}
+    delta_writers: dict[str, list[int]] = {}
     for txid in position:
         txn = transactions.get(txid)
         if txn is None:
@@ -85,26 +95,32 @@ def certify_schedule(
             readers.setdefault(address, []).append(txid)
         for address in txn.write_set:
             writers.setdefault(address, []).append(txid)
+        for address in txn.delta_set:
+            delta_writers.setdefault(address, []).append(txid)
 
     order_violations: list[str] = []
     group_conflicts: list[str] = []
     edges = 0
-    for address in sorted(set(readers) | set(writers)):
+    for address in sorted(set(readers) | set(writers) | set(delta_writers)):
         write_list = writers.get(address, [])
+        delta_list = delta_writers.get(address, [])
         for reader in readers.get(address, []):
-            for writer in write_list:
+            for kind, writer in [("write", w) for w in write_list] + [
+                ("delta", d) for d in delta_list
+            ]:
                 if reader == writer:
                     continue
                 edges += 1
+                verb = "writes" if kind == "write" else "applies a delta to"
                 if group_of[reader] == group_of[writer]:
                     group_conflicts.append(
-                        f"T{reader} reads and T{writer} writes {address} "
+                        f"T{reader} reads and T{writer} {verb} {address} "
                         f"in the same commit group"
                     )
                 elif position[reader] > position[writer]:
                     order_violations.append(
                         f"T{reader} reads {address} but commits after "
-                        f"writer T{writer}"
+                        f"T{writer}, which {verb} it"
                     )
         for index, first in enumerate(write_list):
             for second in write_list[index + 1 :]:
@@ -113,6 +129,19 @@ def certify_schedule(
                     group_conflicts.append(
                         f"T{first} and T{second} both write {address} "
                         f"in the same commit group"
+                    )
+        # W≠D: a plain write must not share a group with any delta on
+        # the same address (fold order against the write would matter);
+        # D=D pairs commute and are deliberately conflict-free.
+        for writer in write_list:
+            for delta in delta_list:
+                if writer == delta:
+                    continue
+                edges += 1
+                if group_of[writer] == group_of[delta]:
+                    group_conflicts.append(
+                        f"T{writer} writes and T{delta} applies a delta to "
+                        f"{address} in the same commit group"
                     )
 
     return CertificationReport(

@@ -21,6 +21,25 @@ actually bitten DAG-ledger reproductions:
   they cannot pickle, so the process execution backend would crash at
   dispatch time (thread pools are exempt — nothing pickles).
 
+The ``ND2xx`` family covers *thread safety*.  Starting from every
+thread-spawn/pool-dispatch site in a module (``Thread(target=...)``,
+``pool.submit(fn, ...)``, ``pool.map(fn, ...)``), the linter walks the
+intra-module call graph (``self.method()`` within a class, bare calls at
+module level, one level of lambda bodies) and inside the reachable
+functions flags writes to shared mutable attributes that are not proven
+lock-protected (lexically inside ``with <...lock>:``):
+
+* ``ND201`` — augmented assignment (``self.x += 1``) to an attribute:
+  a read-modify-write is never GIL-atomic, so concurrent increments
+  lose updates.
+* ``ND202`` — plain assignment to a ``self`` attribute that other
+  (non-thread-reachable) methods of the same class also touch: the
+  write is published to threads that never synchronize with it.
+* ``ND203`` — mutating container call (``self.buf.append(...)``,
+  ``self.cache[k] = v``) on a shared ``self`` attribute (warning
+  severity: single container ops *are* GIL-atomic, but check-then-act
+  sequences around them are not, so each site needs a human verdict).
+
 Suppression: append ``# nd: ignore`` to silence every rule on a line,
 or ``# nd: ignore[ND102]`` (comma-separated codes) to silence specific
 rules; a ``# nd: ignore-file`` comment in the first five lines skips the
@@ -33,7 +52,7 @@ import ast
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 RULES: dict[str, str] = {
     "ND101": "unordered set iteration feeds ordered output",
@@ -41,10 +60,27 @@ RULES: dict[str, str] = {
     "ND103": "process-global or unseeded random number generator",
     "ND104": "mutable default argument",
     "ND105": "unpicklable callable shipped to a process pool",
+    "ND201": "unsynchronized read-modify-write in thread-reachable code",
+    "ND202": "shared attribute written in thread-reachable code without a lock",
+    "ND203": "shared container mutated in thread-reachable code without a lock",
 }
 
-DEFAULT_LINT_PACKAGES: tuple[str, ...] = ("core", "dag", "state", "node")
-"""``repro`` sub-packages whose determinism is consensus-critical."""
+RULE_SEVERITIES: dict[str, str] = {"ND203": "warning"}
+"""Rules that do not gate CI; everything absent defaults to ``error``."""
+
+DEFAULT_LINT_PACKAGES: tuple[str, ...] = (
+    "core",
+    "dag",
+    "state",
+    "node",
+    "storage",
+    "obs",
+)
+"""``repro`` sub-packages whose determinism/thread-safety is critical.
+
+``storage`` and ``obs`` joined the default set with the ND2xx rules:
+background LSM compaction and the tracer are exactly the shared-state
+surfaces the thread-safety family exists to police."""
 
 _IGNORE_LINE = re.compile(r"#\s*nd:\s*ignore(?:\[(?P<codes>[A-Z0-9,\s]+)\])?")
 _IGNORE_FILE = re.compile(r"#\s*nd:\s*ignore-file")
@@ -97,6 +133,10 @@ class LintFinding:
     col: int
     message: str
 
+    @property
+    def severity(self) -> str:
+        return RULE_SEVERITIES.get(self.rule, "error")
+
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
 
@@ -106,6 +146,7 @@ class LintFinding:
             "path": self.path,
             "line": self.line,
             "col": self.col,
+            "severity": self.severity,
             "message": self.message,
         }
 
@@ -342,6 +383,305 @@ class _Linter(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+_THREAD_DISPATCH = frozenset({"submit", "map"})
+_MUTATING_METHODS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "setdefault",
+        "update",
+    }
+)
+
+_FuncKey = tuple[str | None, str]  # (class name or None, function name)
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``x`` for ``self.x``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _is_lock_guard(node: ast.expr) -> bool:
+    """True for ``with`` context expressions that name a lock."""
+    target = node
+    if isinstance(target, ast.Call):  # e.g. contextlib wrappers around a lock
+        target = target.func
+    dotted = _dotted_name(target)
+    if dotted is None:
+        return False
+    return "lock" in dotted.rsplit(".", 1)[-1].lower()
+
+
+class _ThreadAnalysis:
+    """ND2xx: shared-attribute writes reachable from thread-spawn sites.
+
+    Scope is one module: entry points are the callables handed to
+    ``Thread(target=...)`` / ``pool.submit`` / ``pool.map`` (including
+    callables named inside a dispatched lambda), closed over the
+    intra-class ``self.method()`` / module-level call graph.  A write is
+    "proven safe" only when lexically nested in a ``with`` block whose
+    context expression names a lock; everything else in reachable code is
+    flagged for a human verdict (suppress with ``# nd: ignore[ND2xx]``
+    plus a justification).
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.module_funcs: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+        self.classes: dict[str, dict[str, ast.FunctionDef | ast.AsyncFunctionDef]] = {}
+        self.attr_touchers: dict[str, dict[str, set[str]]] = {}
+        self.entries: list[_FuncKey] = []
+        self.entry_lambdas: list[tuple[str | None, ast.Lambda]] = []
+        self._index(tree)
+        self._collect_entries(tree)
+        self.reachable = self._close_over_calls()
+
+    # -- indexing ----------------------------------------------------------
+
+    def _index(self, tree: ast.Module) -> None:
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.module_funcs[node.name] = node
+            elif isinstance(node, ast.ClassDef):
+                methods: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+                touchers: dict[str, set[str]] = {}
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        methods[item.name] = item
+                        for sub in ast.walk(item):
+                            attr = _self_attr(sub)
+                            if attr is not None:
+                                touchers.setdefault(attr, set()).add(item.name)
+                self.classes[node.name] = methods
+                self.attr_touchers[node.name] = touchers
+
+    def _resolve_callable(
+        self, node: ast.expr, owner: str | None
+    ) -> list[_FuncKey]:
+        attr = _self_attr(node)
+        if attr is not None and owner is not None and attr in self.classes.get(owner, {}):
+            return [(owner, attr)]
+        if isinstance(node, ast.Name) and node.id in self.module_funcs:
+            return [(None, node.id)]
+        if isinstance(node, ast.Lambda):
+            resolved: list[_FuncKey] = []
+            for sub in ast.walk(node.body):
+                if isinstance(sub, ast.Call):
+                    resolved.extend(self._resolve_callable(sub.func, owner))
+            return resolved
+        return []
+
+    def _collect_entries(self, tree: ast.Module) -> None:
+        def scan(body: Iterable[ast.AST], owner: str | None) -> None:
+            for node in body:
+                if isinstance(node, ast.ClassDef):
+                    scan(node.body, node.name)
+                    continue
+                for sub in ast.walk(node):  # type: ignore[arg-type]
+                    if not isinstance(sub, ast.Call):
+                        continue
+                    dispatched: ast.expr | None = None
+                    if (
+                        isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr in _THREAD_DISPATCH
+                        and sub.args
+                    ):
+                        dispatched = sub.args[0]
+                    else:
+                        callee = _dotted_name(sub.func)
+                        if callee is not None and callee.rsplit(".", 1)[-1] == "Thread":
+                            for keyword in sub.keywords:
+                                if keyword.arg == "target":
+                                    dispatched = keyword.value
+                    if dispatched is None:
+                        continue
+                    self.entries.extend(self._resolve_callable(dispatched, owner))
+                    if isinstance(dispatched, ast.Lambda):
+                        self.entry_lambdas.append((owner, dispatched))
+
+        scan(tree.body, None)
+
+    def _function(self, key: _FuncKey) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        owner, name = key
+        if owner is None:
+            return self.module_funcs.get(name)
+        return self.classes.get(owner, {}).get(name)
+
+    def _close_over_calls(self) -> set[_FuncKey]:
+        seen: set[_FuncKey] = set()
+        work = list(self.entries)
+        while work:
+            key = work.pop()
+            if key in seen:
+                continue
+            node = self._function(key)
+            if node is None:
+                continue
+            seen.add(key)
+            owner = key[0]
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Call):
+                    work.extend(self._resolve_callable(sub.func, owner))
+        return seen
+
+    # -- flagging ----------------------------------------------------------
+
+    def findings(self, path: str, select: frozenset[str]) -> list[LintFinding]:
+        out: list[LintFinding] = []
+
+        def flag(rule: str, node: ast.AST, message: str) -> None:
+            if rule in select:
+                out.append(
+                    LintFinding(
+                        rule=rule,
+                        path=path,
+                        line=getattr(node, "lineno", 1),
+                        col=getattr(node, "col_offset", 0),
+                        message=message,
+                    )
+                )
+
+        for key in sorted(self.reachable, key=lambda k: (k[0] or "", k[1])):
+            node = self._function(key)
+            if node is not None:
+                self._scan_function(key, node, flag)
+        for owner, lam in self.entry_lambdas:
+            self._scan_mutating_calls(
+                (owner, "<lambda>"), owner, ast.walk(lam.body), False, flag
+            )
+        return out
+
+    def _shared(self, owner: str | None, attr: str, func: str) -> bool:
+        """True when other non-thread-reachable methods touch the attribute."""
+        if owner is None:
+            return False
+        touchers = self.attr_touchers.get(owner, {}).get(attr, set())
+        reachable_names = {name for cls, name in self.reachable if cls == owner}
+        return bool(touchers - reachable_names - {"__init__"})
+
+    def _scan_function(
+        self,
+        key: _FuncKey,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        flag: "Callable[[str, ast.AST, str], None]",
+    ) -> None:
+        owner, name = key
+        label = f"{owner}.{name}" if owner else name
+
+        def scan(stmts: Iterable[ast.stmt], locked: bool) -> None:
+            for stmt in stmts:
+                if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    inner = locked or any(
+                        _is_lock_guard(item.context_expr) for item in stmt.items
+                    )
+                    scan(stmt.body, inner)
+                    continue
+                if not locked:
+                    self._flag_stmt(stmt, owner, name, label, flag)
+                for field_name in ("body", "orelse", "finalbody"):
+                    nested = getattr(stmt, field_name, None)
+                    if isinstance(nested, list):
+                        scan([s for s in nested if isinstance(s, ast.stmt)], locked)
+                for handler in getattr(stmt, "handlers", []):
+                    scan(handler.body, locked)
+
+        scan(func.body, False)
+
+    def _flag_stmt(
+        self,
+        stmt: ast.stmt,
+        owner: str | None,
+        func_name: str,
+        label: str,
+        flag: "Callable[[str, ast.AST, str], None]",
+    ) -> None:
+        if isinstance(stmt, ast.AugAssign) and isinstance(stmt.target, ast.Attribute):
+            target = _dotted_name(stmt.target) or stmt.target.attr
+            flag(
+                "ND201",
+                stmt,
+                f"read-modify-write of {target} in thread-reachable "
+                f"{label}(); += is not atomic, hold a lock or use a "
+                "dedicated synchronized counter",
+            )
+            return
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            for target in targets:
+                attr = _self_attr(target)
+                if attr is not None and self._shared(owner, attr, func_name):
+                    flag(
+                        "ND202",
+                        stmt,
+                        f"self.{attr} is written in thread-reachable {label}() "
+                        "and touched by other methods; publish under a lock",
+                    )
+                elif isinstance(target, ast.Subscript):
+                    base = _self_attr(target.value)
+                    if base is not None and self._shared(owner, base, func_name):
+                        flag(
+                            "ND203",
+                            stmt,
+                            f"self.{base}[...] is mutated in thread-reachable "
+                            f"{label}(); verify the surrounding check-then-act "
+                            "is safe or hold a lock",
+                        )
+        # Mutating container calls: scan simple statements whole, compound
+        # statements only through their header expressions (their nested
+        # bodies are scanned by the caller with their own lock state).
+        scopes: list[ast.AST] = []
+        if isinstance(stmt, (ast.If, ast.While)):
+            scopes.append(stmt.test)
+        elif isinstance(stmt, ast.For):
+            scopes.append(stmt.iter)
+        elif not hasattr(stmt, "body"):
+            scopes.append(stmt)
+        for scope in scopes:
+            self._scan_mutating_calls(
+                (owner, func_name), owner, ast.walk(scope), True, flag, label
+            )
+
+    def _scan_mutating_calls(
+        self,
+        key: _FuncKey,
+        owner: str | None,
+        nodes: Iterable[ast.AST],
+        stmt_scope: bool,
+        flag: "Callable[[str, ast.AST, str], None]",
+        label: str | None = None,
+    ) -> None:
+        label = label or (f"{owner}.{key[1]}" if owner else key[1])
+        for sub in nodes:
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in _MUTATING_METHODS
+            ):
+                base = _self_attr(sub.func.value)
+                if base is not None and self._shared(owner, base, key[1]):
+                    flag(
+                        "ND203",
+                        sub,
+                        f"self.{base}.{sub.func.attr}(...) in thread-reachable "
+                        f"{label}(); verify the surrounding check-then-act is "
+                        "safe or hold a lock",
+                    )
+
+
 def _suppressed_rules(line_text: str) -> frozenset[str] | None:
     """Rules suppressed on a line: empty set = all, None = none."""
     match = _IGNORE_LINE.search(line_text)
@@ -379,6 +719,7 @@ def lint_source(
         ]
     linter = _Linter(path, selected)
     linter.visit(tree)
+    linter.findings.extend(_ThreadAnalysis(tree).findings(path, selected))
     kept: list[LintFinding] = []
     for finding in sorted(linter.findings, key=lambda f: (f.line, f.col, f.rule)):
         line_text = lines[finding.line - 1] if finding.line - 1 < len(lines) else ""

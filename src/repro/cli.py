@@ -103,6 +103,26 @@ def build_parser() -> argparse.ArgumentParser:
         "(Nezha scheduler only; results stay bit-identical to the barrier "
         "pipeline)",
     )
+    simulate.add_argument(
+        "--certify",
+        action="store_true",
+        help="run the independent proof-carrying schedule certifier over "
+        "every committed epoch (the run fails on the first rejected "
+        "certificate)",
+    )
+    simulate.add_argument(
+        "--certify-out",
+        default=None,
+        metavar="DIR",
+        help="with --certify: write per-epoch artifact and certificate "
+        "JSON files into DIR (re-checkable via 'analyze certify')",
+    )
+    simulate.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="enable the vector-clock concurrency sanitizer for the run "
+        "and report data races (nonzero exit when any are found)",
+    )
     _add_obs_args(simulate)
 
     multinode = sub.add_parser(
@@ -126,7 +146,9 @@ def build_parser() -> argparse.ArgumentParser:
     hotspots.add_argument("--top", type=int, default=10, help="hot addresses to list")
 
     analyze = sub.add_parser(
-        "analyze", help="static analysis: bytecode verifier and determinism lint"
+        "analyze",
+        help="static analysis: bytecode verifier, determinism/concurrency "
+        "lint, and the offline schedule certifier",
     )
     analyze_sub = analyze.add_subparsers(dest="analyze_command", required=True)
     bytecode = analyze_sub.add_parser(
@@ -164,6 +186,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--select", default=None, help="comma-separated rule codes (default: all)"
     )
     lint.add_argument(
+        "--json", action="store_true", help="emit the machine-readable report"
+    )
+    certify = analyze_sub.add_parser(
+        "certify",
+        help="re-check exported epoch schedule artifacts with the "
+        "independent proof-carrying certifier",
+    )
+    certify.add_argument(
+        "paths",
+        nargs="+",
+        help="epoch artifact JSON files, or directories containing them "
+        "(as written by 'simulate --certify --certify-out DIR')",
+    )
+    certify.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="also write one certificate JSON per artifact into DIR",
+    )
+    certify.add_argument(
         "--json", action="store_true", help="emit the machine-readable report"
     )
 
@@ -328,6 +370,7 @@ def _write_obs_outputs(args: argparse.Namespace, tracer, metrics) -> None:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.analysis import race
     from repro.net import Cluster, ClusterConfig
     from repro.vm.costmodel import ExecutionCostModel, ZERO_COST
 
@@ -335,6 +378,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         print("simulate currently drives the SmallBank cluster only", file=sys.stderr)
         return 2
     tracer, metrics = _make_obs(args)
+    detector = race.enable() if args.sanitize else None
     cluster = Cluster(
         make_scheme(args.scheme),
         ClusterConfig(
@@ -349,13 +393,18 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             flat_state=not args.trie_state,
             state_cache=args.state_cache,
             streaming=args.streaming,
+            certify=args.certify,
             cost_model=ExecutionCostModel() if args.paper_costs else ZERO_COST,
         ),
         metrics=metrics,
         tracer=tracer,
     )
-    with cluster:
-        run = cluster.run_epochs(args.epochs)
+    try:
+        with cluster:
+            run = cluster.run_epochs(args.epochs)
+    finally:
+        if detector is not None:
+            race.disable()
     rows = [
         ["epochs", len(run.outcomes)],
         ["committed", run.committed],
@@ -363,6 +412,24 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         ["effective throughput", f"{run.effective_throughput:.1f} tps"],
         ["mean abort rate", f"{100 * run.mean_abort_rate:.2f}%"],
     ]
+    if args.certify:
+        certificates = [
+            outcome.report.certificate
+            for outcome in run.outcomes
+            if outcome.report.certificate is not None
+        ]
+        rows.append(["certified epochs", f"{len(certificates)}/{len(run.outcomes)}"])
+        rows.append(
+            [
+                "conflict edges checked",
+                sum(cert.conflict_edges for cert in certificates),
+            ]
+        )
+        if args.certify_out:
+            written = _write_certificates(
+                args.certify_out, cluster.node.pipeline.artifacts, certificates
+            )
+            rows.append(["certificate files", f"{written} -> {args.certify_out}"])
     print(
         render_table(
             f"cluster: {args.scheme}, omega={args.omega}, skew={args.skew}",
@@ -371,7 +438,38 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         )
     )
     _write_obs_outputs(args, tracer, metrics)
+    if detector is not None:
+        summary = detector.summary()
+        print(
+            f"sanitizer: {summary['accesses']} accesses across "
+            f"{summary['locations']} locations, {len(summary['races'])} races"
+        )
+        for finding in detector.report():
+            print(f"  {finding.render()}", file=sys.stderr)
+        if summary["races"]:
+            return 1
     return 0
+
+
+def _write_certificates(out_dir: str, artifacts, certificates) -> int:
+    """Write per-epoch artifact + certificate JSON files; return the count."""
+    import json
+    from pathlib import Path
+
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = 0
+    for payload in artifacts:
+        path = directory / f"epoch-{payload['epoch']:04d}.artifact.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        written += 1
+    for certificate in certificates:
+        path = directory / f"epoch-{certificate.epoch_index:04d}.certificate.json"
+        path.write_text(
+            json.dumps(certificate.to_json(), indent=2, sort_keys=True) + "\n"
+        )
+        written += 1
+    return written
 
 
 def cmd_multinode(args: argparse.Namespace) -> int:
@@ -475,6 +573,8 @@ def cmd_hotspots(args: argparse.Namespace) -> int:
 def cmd_analyze(args: argparse.Namespace) -> int:
     if args.analyze_command == "bytecode":
         return _analyze_bytecode(args)
+    if args.analyze_command == "certify":
+        return _analyze_certify(args)
     return _analyze_lint(args)
 
 
@@ -525,7 +625,78 @@ def _analyze_lint(args: argparse.Namespace) -> int:
         print(lint_report_json(findings, paths=rendered_paths))
     else:
         print(lint_report_text(findings, paths=rendered_paths))
-    return 0 if not findings else 1
+    # Warning-severity findings (e.g. ND203) are advisory: they print
+    # but do not gate the exit code.
+    errors = [finding for finding in findings if finding.severity == "error"]
+    return 0 if not errors else 1
+
+
+def _analyze_certify(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.analysis.certify import certify_epoch
+    from repro.core.export import parse_epoch_artifact
+
+    files: list[Path] = []
+    for raw in args.paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.glob("*.artifact.json")))
+        else:
+            files.append(path)
+    if not files:
+        print("no artifact files found", file=sys.stderr)
+        return 2
+    certificates = []
+    for path in files:
+        try:
+            artifact = parse_epoch_artifact(json.loads(path.read_text()))
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"invalid artifact {path}: {exc}", file=sys.stderr)
+            return 2
+        certificate = certify_epoch(
+            artifact.rwsets,
+            artifact,
+            abort_reasons=artifact.abort_reasons,
+            guard_aborted=artifact.guard_aborted,
+            failed=artifact.failed,
+            reason_counts=artifact.reason_counts,
+            epoch_index=artifact.epoch_index,
+            scheme=artifact.scheme,
+        )
+        certificates.append((path, certificate))
+    if args.out:
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for path, certificate in certificates:
+            target = out_dir / f"epoch-{certificate.epoch_index:04d}.certificate.json"
+            target.write_text(
+                json.dumps(certificate.to_json(), indent=2, sort_keys=True) + "\n"
+            )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "report": "schedule-certification",
+                    "ok": all(cert.ok for _, cert in certificates),
+                    "certificates": [cert.to_json() for _, cert in certificates],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for path, certificate in certificates:
+            print(f"{path}: {certificate.summary()}")
+            for finding in certificate.findings:
+                print(f"  {finding.render()}", file=sys.stderr)
+    rejected = [
+        certificate
+        for _, certificate in certificates
+        if any(finding.severity == "error" for finding in certificate.findings)
+    ]
+    return 0 if not rejected else 1
 
 
 def cmd_trace(args: argparse.Namespace) -> int:

@@ -33,6 +33,16 @@ class CycleBudgetExceeded(SchedulingError):
         super().__init__(message or f"cycle enumeration exceeded budget of {budget}")
 
 
+class CertificationError(SchedulingError):
+    """The independent schedule certifier rejected an emitted schedule.
+
+    Raised only when ``PipelineConfig.certify`` is on: the proof-carrying
+    checker (:mod:`repro.analysis.certify`) rebuilt the conflict graph
+    from the admitted read/write sets and found the commit schedule —
+    or its abort accounting — inconsistent.
+    """
+
+
 class ExecutionError(ReproError):
     """The virtual machine failed to execute a transaction."""
 

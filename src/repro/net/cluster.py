@@ -57,6 +57,7 @@ class ClusterConfig:
     flat_state: bool = True
     state_cache: int = 0
     streaming: bool = False
+    certify: bool = False
     cost_model: ExecutionCostModel = ZERO_COST
     store: "KVStore | None" = None
 
@@ -172,6 +173,7 @@ class Cluster:
                 flat_state=self.config.flat_state,
                 state_cache=self.config.state_cache,
                 streaming=self.config.streaming,
+                certify=self.config.certify,
             ),
             metrics=metrics,
             tracer=tracer,

@@ -56,6 +56,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
+from repro.analysis import race
 from repro.core.incremental import IncrementalACG
 from repro.dag.block import Block
 from repro.dag.epochs import Epoch, extract_epoch
@@ -426,6 +427,9 @@ class StreamingEpochEngine:
             # the live trie cannot be read while the background commit
             # rewrites it.
             self._spec_base = dict(self.node.state.items())
+        # Fork edge: everything the main thread wrote before the submit
+        # happens-before the back stage's first access.
+        race.hb_release(("engine-stage", id(self)))
         future = self._stage.submit(
             self._run_back_stage, epoch, transactions, batch, acg, phases
         )
@@ -449,6 +453,7 @@ class StreamingEpochEngine:
         on the main thread) — its only shared mutation is the state
         commit, which the front stage reads through ``peek`` only.
         """
+        race.hb_acquire(("engine-stage", id(self)))
         start = time.perf_counter()
         with maybe_span(
             self.tracer, "pipeline.concurrency_control", epoch=epoch.index
@@ -459,7 +464,7 @@ class StreamingEpochEngine:
             )
             span.set(aborted=result.schedule.aborted_count)
         phases.concurrency_control = time.perf_counter() - start
-        return self.pipeline._commit_and_report(
+        outcome = self.pipeline._commit_and_report(
             epoch,
             transactions,
             batch,
@@ -468,6 +473,10 @@ class StreamingEpochEngine:
             phases,
             sync_replicas=False,
         )
+        # Join edge: pairs with the ``hb_acquire`` after
+        # ``future.result()`` in :meth:`_join`.
+        race.hb_release(("engine-join", id(self)))
+        return outcome
 
     def _join(self) -> EpochReport | None:
         """Wait out the in-flight epoch; sync replicas; finish its report."""
@@ -481,6 +490,7 @@ class StreamingEpochEngine:
             self.tracer, "engine.queue_wait", epoch=inflight.epoch.index
         ):
             report, commit_report = inflight.future.result()
+        race.hb_acquire(("engine-join", id(self)))
         self._last_delta = (
             commit_report.write_delta if commit_report is not None else None
         )

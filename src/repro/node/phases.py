@@ -9,7 +9,10 @@ per-sub-phase breakdown of Figure 10.  Every pipeline run produces an
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:
+    from repro.analysis.certify import EpochCertificate
 
 
 @dataclass
@@ -52,7 +55,10 @@ class EpochReport:
     schedule (they are *not* part of ``aborted``).  ``delta_commuted``
     counts committed commutative delta units that shared an address with
     at least one other committed delta — each would have been a
-    write-write conflict without operation-level CC.
+    write-write conflict without operation-level CC.  ``certificate`` is
+    the independent schedule certificate when the pipeline ran with
+    ``certify`` on (``None`` otherwise — and for scheduler-failure
+    epochs, which commit nothing).
     """
 
     epoch_index: int
@@ -70,6 +76,7 @@ class EpochReport:
     abort_reasons: Mapping[str, int] = field(default_factory=dict)
     revived: int = 0
     delta_commuted: int = 0
+    certificate: "EpochCertificate | None" = None
 
     @property
     def abort_rate(self) -> float:

@@ -24,10 +24,12 @@ import time
 from dataclasses import dataclass
 from typing import Protocol, Sequence
 
+from repro.analysis.certify import EpochCertificate, certify_epoch
+from repro.core.export import epoch_artifact
 from repro.core.schedule import Schedule
 from repro.dag.block import Block
 from repro.dag.epochs import Epoch
-from repro.errors import BlockValidationError
+from repro.errors import BlockValidationError, CertificationError
 from repro.node.committer import CommitReport, Committer, SerialExecutorCommitter
 from repro.node.executor import ConcurrentExecutor
 from repro.node.phases import EpochReport, PhaseLatencies
@@ -75,7 +77,14 @@ class PipelineConfig:
     bit-identical to this barrier pipeline (default off).
     ``txn_cost_seconds`` charges each speculative execution a fixed
     modelled latency inside whichever backend runs it (the calibration
-    hook the scaling benchmarks use).
+    hook the scaling benchmarks use).  ``certify`` runs the independent
+    proof-carrying schedule certifier (:mod:`repro.analysis.certify`)
+    over every committed epoch — barrier and streaming alike — attaching
+    an :class:`~repro.analysis.certify.EpochCertificate` to the epoch
+    report and raising :class:`~repro.errors.CertificationError` on
+    rejection; the matching epoch artifact (the certifier's exact
+    inputs, JSON-safe) accumulates on ``TransactionPipeline.artifacts``
+    for offline re-checking via ``repro analyze certify``.
     """
 
     workers: int = 0
@@ -87,6 +96,7 @@ class PipelineConfig:
     state_cache: int = 0
     streaming: bool = False
     txn_cost_seconds: float = 0.0
+    certify: bool = False
 
 
 class TransactionPipeline:
@@ -141,6 +151,12 @@ class TransactionPipeline:
         self._serial = SerialExecutorCommitter(
             registry=registry, use_vm=self.config.use_vm
         )
+        # One JSON-safe certifier-input record per certified epoch (only
+        # populated when ``config.certify`` is on).  Appended by the
+        # commit path — possibly the streaming engine's background
+        # thread; ``list.append`` is atomic and callers read the list
+        # only after joining the epoch.
+        self.artifacts: list[dict] = []
 
     def close(self) -> None:
         """Release every worker pool the pipeline owns (idempotent)."""
@@ -286,6 +302,11 @@ class TransactionPipeline:
             abort_reasons[DELTA_OVERFLOW] = (
                 abort_reasons.get(DELTA_OVERFLOW, 0) + len(guard_aborted)
             )
+        certificate: EpochCertificate | None = None
+        if self.config.certify and not failed and batch is not None:
+            certificate = self._certify_epoch(
+                epoch, batch, result, schedule, guard_aborted, abort_reasons
+            )
         timings = getattr(result, "timings", None)
         scheme_phases = timings.as_dict() if timings is not None else {}
         report = EpochReport(
@@ -304,8 +325,54 @@ class TransactionPipeline:
             abort_reasons=abort_reasons,
             revived=int(getattr(result, "revived", 0)),
             delta_commuted=delta_commuted,
+            certificate=certificate,
         )
+        if certificate is not None and not certificate.ok:
+            raise CertificationError(certificate.summary())
         return report, commit_report
+
+    def _certify_epoch(
+        self,
+        epoch: Epoch,
+        batch,
+        result,
+        schedule: Schedule,
+        guard_aborted: tuple[int, ...],
+        abort_reasons: dict[str, int],
+    ) -> EpochCertificate:
+        """Run the independent certifier over one committed epoch.
+
+        Retains the certifier's exact inputs on :attr:`artifacts` so the
+        run can be re-audited offline (``repro analyze certify``).
+        """
+        rwsets = {r.txid: r.rwset for r in batch.results if r.ok}
+        failed_ids = sorted(r.txid for r in batch.results if not r.ok)
+        reasons = getattr(result, "abort_reasons", None)
+        self.artifacts.append(
+            epoch_artifact(
+                epoch_index=epoch.index,
+                scheme=self.scheduler.name,
+                rwsets=rwsets,
+                schedule=schedule,
+                abort_reasons=reasons,
+                guard_aborted=guard_aborted,
+                failed=failed_ids,
+                reason_counts=abort_reasons,
+            )
+        )
+        with maybe_span(self.tracer, "pipeline.certify", epoch=epoch.index) as span:
+            certificate = certify_epoch(
+                rwsets,
+                schedule,
+                abort_reasons=reasons,
+                guard_aborted=guard_aborted,
+                failed=failed_ids,
+                reason_counts=abort_reasons,
+                epoch_index=epoch.index,
+                scheme=self.scheduler.name,
+            )
+            span.set(ok=certificate.ok, edges=certificate.conflict_edges)
+        return certificate
 
     @staticmethod
     def _taxonomy(schedule: Schedule, result: object) -> dict[str, int]:

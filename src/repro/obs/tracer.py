@@ -15,8 +15,10 @@ to the parent as primitive wire tuples (see :mod:`repro.txn.codec`);
 ``CLOCK_MONOTONIC``, which is system-wide on Linux, so parent and worker
 timestamps share one time base and the merged timeline lines up.
 
-This module is dependency-free and must stay importable from every layer
-(core, node, net) without cycles: it imports nothing from ``repro``.
+This module must stay importable from every layer (core, node, net)
+without cycles: it imports nothing from ``repro`` except
+:mod:`repro.analysis.race` — the concurrency sanitizer's hook module,
+which itself imports only the standard library.
 """
 
 from __future__ import annotations
@@ -28,6 +30,8 @@ from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Union
+
+from repro.analysis import race
 
 AttrValue = Union[str, int, float, bool, None]
 """JSON-safe span attribute values."""
@@ -101,9 +105,14 @@ class Tracer:
 
     Thread-safe: every thread keeps its own nesting stack (so spans
     opened by pool workers nest correctly and land on their own track)
-    while the finished ring is shared.  ``deque.append`` is atomic under
-    the GIL, so no lock guards the ring; only the per-name aggregate
-    update takes a lock (a read-modify-write of two fields).
+    while the finished ring is shared.  The ring is guarded by
+    ``_ring_lock``: ``deque.append`` alone *is* atomic under the GIL,
+    but the compound operations around it are not — ``drain()`` used to
+    snapshot and then clear in two steps, silently dropping any span a
+    worker thread finished in between (found by the concurrency
+    sanitizer, pinned by ``tests/obs/test_tracer_threads.py``).  Spans
+    are coarse (one per phase or executor chunk), so the per-finish lock
+    acquisition stays invisible to the <5% tracing-overhead gate.
     """
 
     def __init__(
@@ -121,6 +130,16 @@ class Tracer:
         self._local = threading.local()
         self._aggregates: dict[str, SpanAggregate] = {}
         self._aggregate_lock = threading.Lock()
+        self._ring_lock = threading.Lock()
+
+    def _record_finished(self, span: Span) -> None:
+        # Sanitizer hooks sit *inside* the real lock so the modelled
+        # acquire/release edges bracket the access exactly.
+        with self._ring_lock:
+            race.lock_acquired(("tracer-ring", id(self)))
+            race.trace_write(("tracer", id(self), "ring"))
+            self._finished.append(span)
+            race.lock_released(("tracer-ring", id(self)))
 
     # ------------------------------------------------------------- recording
 
@@ -155,34 +174,51 @@ class Tracer:
         finally:
             opened.end = self._clock()
             stack.pop()
-            self._finished.append(opened)
+            self._record_finished(opened)
             self._aggregate(opened)
 
     def extend(self, spans: Iterable[Span]) -> None:
         """Merge externally-recorded spans (e.g. from worker processes)."""
         for span in spans:
-            self._finished.append(span)
+            self._record_finished(span)
             self._aggregate(span)
 
     def _aggregate(self, span: Span) -> None:
         with self._aggregate_lock:
+            race.lock_acquired(("tracer-agg", id(self)))
+            race.trace_write(("tracer", id(self), "aggregates"))
             entry = self._aggregates.get(span.name)
             if entry is None:
                 entry = self._aggregates[span.name] = SpanAggregate()
             entry.count += 1
             entry.total_seconds += span.duration
+            race.lock_released(("tracer-agg", id(self)))
 
     # ------------------------------------------------------------ inspection
 
     def spans(self) -> list[Span]:
         """Finished spans in merged timeline order (start time, then id)."""
-        return sorted(self._finished, key=lambda s: (s.start, s.span_id))
+        with self._ring_lock:
+            race.lock_acquired(("tracer-ring", id(self)))
+            race.trace_read(("tracer", id(self), "ring"))
+            snapshot = list(self._finished)
+            race.lock_released(("tracer-ring", id(self)))
+        return sorted(snapshot, key=lambda s: (s.start, s.span_id))
 
     def drain(self) -> list[Span]:
-        """Return :meth:`spans` and clear the ring (used by workers)."""
-        out = self.spans()
-        self._finished.clear()
-        return out
+        """Atomically snapshot and clear the ring (used by workers).
+
+        Snapshot and clear happen under one lock acquisition: a span
+        finishing concurrently lands either in the returned list or in
+        the ring for the next drain — never in neither.
+        """
+        with self._ring_lock:
+            race.lock_acquired(("tracer-ring", id(self)))
+            race.trace_write(("tracer", id(self), "ring"))
+            snapshot = list(self._finished)
+            self._finished.clear()
+            race.lock_released(("tracer-ring", id(self)))
+        return sorted(snapshot, key=lambda s: (s.start, s.span_id))
 
     def aggregates(self) -> dict[str, SpanAggregate]:
         """Per-name cumulative (count, total duration), sorted by name.
@@ -191,17 +227,30 @@ class Tracer:
         ring eviction, :meth:`drain`, and :meth:`clear`.
         """
         with self._aggregate_lock:
-            return {
+            race.lock_acquired(("tracer-agg", id(self)))
+            race.trace_read(("tracer", id(self), "aggregates"))
+            snapshot = {
                 name: SpanAggregate(entry.count, entry.total_seconds)
                 for name, entry in sorted(self._aggregates.items())
             }
+            race.lock_released(("tracer-agg", id(self)))
+        return snapshot
 
     def clear(self) -> None:
         """Drop every finished span (cumulative aggregates survive)."""
-        self._finished.clear()
+        with self._ring_lock:
+            race.lock_acquired(("tracer-ring", id(self)))
+            race.trace_write(("tracer", id(self), "ring"))
+            self._finished.clear()
+            race.lock_released(("tracer-ring", id(self)))
 
     def __len__(self) -> int:
-        return len(self._finished)
+        with self._ring_lock:
+            race.lock_acquired(("tracer-ring", id(self)))
+            race.trace_read(("tracer", id(self), "ring"))
+            count = len(self._finished)
+            race.lock_released(("tracer-ring", id(self)))
+        return count
 
 
 @contextmanager

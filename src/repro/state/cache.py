@@ -10,20 +10,52 @@ depends on the cache.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator, MutableMapping
 
+from repro.analysis import race
 from repro.errors import StateError
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters (observability and tests)."""
+    """Hit/miss counters (observability and tests).
+
+    Increments go through the ``record_*`` methods, which hold a private
+    lock: caches sit under the trie node store, which the streaming
+    engine's background commit thread reads concurrently with main-thread
+    fallback lookups, and a bare ``hits += 1`` is a read-modify-write
+    that loses updates under that interleaving (surfaced by the ND201
+    rule / concurrency sanitizer, pinned by
+    ``tests/state/test_cache_threads.py``).  Reading the fields without
+    the lock stays fine — torn reads of a single int cannot happen under
+    the GIL and observability tolerates staleness.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def _bump(self, counter: str) -> None:
+        with self._lock:
+            race.lock_acquired(("cache-stats", id(self)))
+            race.trace_write(("cache-stats", id(self), counter))
+            setattr(self, counter, getattr(self, counter) + 1)
+            race.lock_released(("cache-stats", id(self)))
+
+    def record_hit(self) -> None:
+        self._bump("hits")
+
+    def record_miss(self) -> None:
+        self._bump("misses")
+
+    def record_eviction(self) -> None:
+        self._bump("evictions")
 
     @property
     def hit_rate(self) -> float:
@@ -47,9 +79,9 @@ class LRUCacheMapping(MutableMapping[bytes, bytes]):
         cached = self._cache.get(key)
         if cached is not None:
             self._cache.move_to_end(key)
-            self.stats.hits += 1
+            self.stats.record_hit()
             return cached
-        self.stats.misses += 1
+        self.stats.record_miss()
         value = self._backing[key]  # KeyError propagates
         self._insert(key, value)
         return value
@@ -78,7 +110,7 @@ class LRUCacheMapping(MutableMapping[bytes, bytes]):
         self._cache.move_to_end(key)
         while len(self._cache) > self._capacity:
             self._cache.popitem(last=False)
-            self.stats.evictions += 1
+            self.stats.record_eviction()
 
     @property
     def cached_count(self) -> int:

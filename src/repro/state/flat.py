@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.analysis import race
 from repro.errors import StateError
 from repro.obs.tracer import Tracer, maybe_span
 from repro.state.account import decode_int, encode_int
@@ -136,7 +137,14 @@ class FlatStateDB(StateDB):
         those, so a torn value can never reach a committed result).  No
         stats counters are bumped: ``flat_reads`` is reset by the
         concurrent commit and a racing increment would corrupt it.
+
+        The sanitizer hook is *relaxed* — this read races with the
+        committing thread's relaxed per-address writes by design (the
+        C11-atomics analogue), so the detector waives the pair while
+        still flagging any plain access that slips into the window.
         """
+        if race.active():
+            race.trace_read(("flat", id(self), address), relaxed=True)
         try:
             return self._dirty[address]
         except KeyError:
@@ -164,6 +172,13 @@ class FlatStateDB(StateDB):
             # Summary span: reads served flat since the previous seal.
             span.set(reads=reads, fallback=self.fallback_reads)
         self.flat_reads = 0
+        if race.active():
+            # Relaxed per-address writes: cross-epoch speculation may
+            # peek these concurrently (see :meth:`peek`); both sides are
+            # GIL-atomic dict operations and the engine re-executes any
+            # transaction that observed a mutated address.
+            for address in self._dirty:
+                race.trace_write(("flat", id(self), address), relaxed=True)
         self._flat.update(self._dirty)
         self._dirty.clear()
         self._journal.append(

@@ -33,6 +33,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from pathlib import Path
 from typing import Iterator
 
+from repro.analysis import race
 from repro.errors import CorruptionError, StorageError
 from repro.obs.tracer import Tracer, maybe_span
 from repro.state.cache import CacheStats
@@ -123,18 +124,23 @@ class LSMStore(KVStore):
         if cache is not None and self.cache_stats is not None:
             if key in cache:
                 cache.move_to_end(key)
-                self.cache_stats.hits += 1
+                self.cache_stats.record_hit()
                 return cache[key]
-            self.cache_stats.misses += 1
+            self.cache_stats.record_miss()
         value = self._table_lookup(key)
         if cache is not None and self.cache_stats is not None:
             cache[key] = value
             while len(cache) > self._block_cache_size:
                 cache.popitem(last=False)
-                self.cache_stats.evictions += 1
+                self.cache_stats.record_eviction()
         return value
 
     def _table_lookup(self, key: bytes) -> bytes | None:
+        # Single attribute load: compaction publishes a *new* list under
+        # the GIL and never mutates an installed one, so a lock-free read
+        # observes either the old or the new stack (relaxed by design —
+        # waived for the sanitizer, see _compact_install).
+        race.trace_read(("lsm", id(self), "tables"), relaxed=True)
         tables = self._tables  # local ref: compaction swaps, never mutates
         for table in reversed(tables):
             present, value = table.get(key)
@@ -225,8 +231,11 @@ class LSMStore(KVStore):
         path = self._table_path(table_id)
         write_sstable(path, list(self._memtable.items()))
         with self._lock:
+            race.lock_acquired(("lsm-tables", id(self)))
+            race.trace_write(("lsm", id(self), "tables"), relaxed=True)
             self._tables.append(SSTable(path))
             self._write_manifest()
+            race.lock_released(("lsm-tables", id(self)))
         self._memtable.clear()
         self._wal.truncate()
         if self.cache_stats is not None and self._block_cache is not None:
@@ -260,6 +269,7 @@ class LSMStore(KVStore):
         future = self._compaction_future
         if future is not None:
             future.result()
+            race.hb_acquire(("lsm-compact-done", id(self)))
 
     @property
     def table_count(self) -> int:
@@ -287,6 +297,7 @@ class LSMStore(KVStore):
             return  # one merge in flight at a time
         if future is not None:
             future.result()  # surface failures from the previous job
+            race.hb_acquire(("lsm-compact-done", id(self)))
         with self._lock:
             inputs = list(self._tables)
         if len(inputs) <= 1:
@@ -295,15 +306,18 @@ class LSMStore(KVStore):
             self._compaction_pool = ThreadPoolExecutor(
                 max_workers=1, thread_name_prefix="repro-lsm-compact"
             )
+        race.hb_release(("lsm-compact-start", id(self)))
         self._compaction_future = self._compaction_pool.submit(
             self._compact_job, inputs
         )
 
     def _compact_job(self, inputs: list[SSTable]) -> None:
+        race.hb_acquire(("lsm-compact-start", id(self)))
         with maybe_span(self.tracer, "lsm.compact_bg") as span:
             merged = self._compact_build(inputs)
             self._compact_install(inputs, merged)
             span.set(inputs=len(inputs), entries=merged.entry_count)
+        race.hb_release(("lsm-compact-done", id(self)))
 
     def _compact_build(self, inputs: list[SSTable]) -> SSTable:
         """Write (and fsync) the merged table; reads are untouched.
@@ -333,8 +347,14 @@ class LSMStore(KVStore):
         unlinking the input files cannot tear an in-flight read.
         """
         with self._lock:
+            race.lock_acquired(("lsm-tables", id(self)))
+            # Relaxed publication: one attribute store of a fresh list;
+            # lock-free readers (_table_lookup) see old or new, never a
+            # torn stack.  The lock orders it against flush()'s append.
+            race.trace_write(("lsm", id(self), "tables"), relaxed=True)
             self._tables = [merged] + self._tables[len(inputs):]
             self._write_manifest()
+            race.lock_released(("lsm-tables", id(self)))
         for table in inputs:
             table.path.unlink(missing_ok=True)
 

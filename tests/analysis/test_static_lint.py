@@ -139,6 +139,124 @@ class TestND105ProcessPoolClosures:
         assert rules_of(source) == []
 
 
+THREADED_CLASS = '''
+from concurrent.futures import ThreadPoolExecutor
+
+class Engine:
+    def __init__(self):
+        self.count = 0
+        self.items = []
+        self.slots = {}
+
+    def run(self):
+        with ThreadPoolExecutor() as pool:
+            pool.submit(self._work)
+
+    def read_count(self):
+        return self.count
+
+    def read_items(self):
+        return self.items
+
+    def read_slots(self):
+        return self.slots
+
+    def _work(self):
+BODY
+'''
+
+
+def threaded(body):
+    indented = "\n".join(f"        {line}" for line in body.splitlines())
+    return THREADED_CLASS.replace("        BODY", indented).replace("BODY", indented)
+
+
+class TestND2xxThreadSharedState:
+    def test_nd201_augassign_in_thread_target(self):
+        assert rules_of(threaded("self.count += 1")) == ["ND201"]
+
+    def test_nd202_plain_shared_write(self):
+        assert rules_of(threaded("self.count = 5")) == ["ND202"]
+
+    def test_nd203_container_mutation_is_warning(self):
+        findings = lint_source(threaded("self.items.append(1)"))
+        assert [f.rule for f in findings] == ["ND203"]
+        assert findings[0].severity == "warning"
+
+    def test_nd203_subscript_store(self):
+        assert rules_of(threaded("self.slots['k'] = 1")) == ["ND203"]
+
+    def test_lock_guard_suppresses_all(self):
+        body = "with self._lock:\n    self.count += 1\n    self.items.append(1)"
+        assert rules_of(threaded(body)) == []
+
+    def test_transitive_reachability_via_helper(self):
+        source = threaded("self._helper()") + (
+            "    def _helper(self):\n"
+            "        self.count += 1\n"
+        )
+        assert rules_of(source) == ["ND201"]
+
+    def test_unreachable_method_is_clean(self):
+        # The same mutation outside any thread-reachable call chain.
+        source = threaded("pass") + (
+            "    def main_thread_only(self):\n"
+            "        self.count += 1\n"
+        )
+        assert rules_of(source) == []
+
+    def test_non_shared_attribute_is_clean(self):
+        # An attribute only ever touched by the thread-reachable closure
+        # (plus __init__) is thread-private by construction.
+        source = (
+            "from concurrent.futures import ThreadPoolExecutor\n"
+            "class Worker:\n"
+            "    def __init__(self):\n"
+            "        self.scratch = 0\n"
+            "    def run(self):\n"
+            "        with ThreadPoolExecutor() as pool:\n"
+            "            pool.submit(self._work)\n"
+            "    def _work(self):\n"
+            "        self.scratch = 1\n"
+        )
+        assert rules_of(source) == []
+
+    def test_thread_constructor_target(self):
+        source = (
+            "import threading\n"
+            "class Worker:\n"
+            "    def __init__(self):\n"
+            "        self.count = 0\n"
+            "    def start(self):\n"
+            "        threading.Thread(target=self._work).start()\n"
+            "    def read(self):\n"
+            "        return self.count\n"
+            "    def _work(self):\n"
+            "        self.count += 1\n"
+        )
+        assert rules_of(source) == ["ND201"]
+
+    def test_lambda_dispatch_resolves_calls(self):
+        source = (
+            "from concurrent.futures import ThreadPoolExecutor\n"
+            "class Worker:\n"
+            "    def __init__(self):\n"
+            "        self.count = 0\n"
+            "    def start(self):\n"
+            "        with ThreadPoolExecutor() as pool:\n"
+            "            pool.map(lambda item: self._work(item), [1])\n"
+            "    def read(self):\n"
+            "        return self.count\n"
+            "    def _work(self, item):\n"
+            "        self.count += item\n"
+        )
+        assert rules_of(source) == ["ND201"]
+
+    def test_nd2xx_suppressible(self):
+        body = "self.count += 1  # nd: ignore[ND201]"
+        assert rules_of(threaded(body)) == []
+
+
 class TestSuppression:
     def test_line_suppression_all_rules(self):
         assert rules_of("import time\nt = time.time()  # nd: ignore\n") == []
@@ -172,7 +290,16 @@ class TestHarness:
         assert "wall-clock" in finding.message
 
     def test_rule_catalog_documented(self):
-        assert set(RULES) == {"ND101", "ND102", "ND103", "ND104", "ND105"}
+        assert set(RULES) == {
+            "ND101",
+            "ND102",
+            "ND103",
+            "ND104",
+            "ND105",
+            "ND201",
+            "ND202",
+            "ND203",
+        }
 
     def test_render_and_json(self):
         (finding,) = lint_source("import time\nt = time.time()\n", path="m.py")

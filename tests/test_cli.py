@@ -198,6 +198,120 @@ class TestAnalyze:
         )
         assert code == 0
 
+    def test_lint_warning_severity_does_not_gate_exit(self, tmp_path, capsys):
+        # ND203 (shared container mutation) is warning-severity: it
+        # prints but leaves the exit code at 0.
+        warn = tmp_path / "warn.py"
+        warn.write_text(
+            "from concurrent.futures import ThreadPoolExecutor\n"
+            "class W:\n"
+            "    def __init__(self):\n"
+            "        self.items = []\n"
+            "    def run(self):\n"
+            "        with ThreadPoolExecutor() as pool:\n"
+            "            pool.submit(self._work)\n"
+            "    def read(self):\n"
+            "        return self.items\n"
+            "    def _work(self):\n"
+            "        self.items.append(1)\n"
+        )
+        code, out = self.run(["analyze", "lint", str(warn)], capsys)
+        assert code == 0
+        assert "ND203" in out
+
+    def test_lint_nd201_error_gates_exit(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "from concurrent.futures import ThreadPoolExecutor\n"
+            "class W:\n"
+            "    def __init__(self):\n"
+            "        self.count = 0\n"
+            "    def run(self):\n"
+            "        with ThreadPoolExecutor() as pool:\n"
+            "            pool.submit(self._work)\n"
+            "    def read(self):\n"
+            "        return self.count\n"
+            "    def _work(self):\n"
+            "        self.count += 1\n"
+        )
+        code, out = self.run(["analyze", "lint", str(bad)], capsys)
+        assert code == 1
+        assert "ND201" in out
+
+
+class TestCertifyCLI:
+    """The certifier surface: simulate --certify/--sanitize, analyze certify."""
+
+    def run(self, argv, capsys):
+        code = main(argv)
+        return code, capsys.readouterr().out
+
+    def simulate_certified(self, tmp_path, capsys, *extra):
+        code, out = self.run(
+            [
+                "simulate", "--scheme", "nezha", "--epochs", "2", "--omega", "2",
+                "--block-size", "15", "--accounts", "120", "--skew", "0.8",
+                "--certify", "--certify-out", str(tmp_path / "certs"), *extra,
+            ],
+            capsys,
+        )
+        return code, out
+
+    def test_simulate_certify_writes_artifacts(self, tmp_path, capsys):
+        code, out = self.simulate_certified(tmp_path, capsys)
+        assert code == 0
+        assert "certified epochs" in out
+        certs = tmp_path / "certs"
+        assert len(list(certs.glob("*.artifact.json"))) == 2
+        assert len(list(certs.glob("*.certificate.json"))) == 2
+
+    def test_simulate_sanitize_reports_clean(self, tmp_path, capsys):
+        code, out = self.simulate_certified(tmp_path, capsys, "--sanitize")
+        assert code == 0
+        assert "0 races" in out
+
+    def test_analyze_certify_accepts_written_artifacts(self, tmp_path, capsys):
+        self.simulate_certified(tmp_path, capsys)
+        code, out = self.run(["analyze", "certify", str(tmp_path / "certs")], capsys)
+        assert code == 0
+        assert "CERTIFIED" in out
+
+    def test_analyze_certify_json_and_out(self, tmp_path, capsys):
+        import json
+
+        self.simulate_certified(tmp_path, capsys)
+        out_dir = tmp_path / "rechecked"
+        code, out = self.run(
+            [
+                "analyze", "certify", str(tmp_path / "certs"),
+                "--json", "--out", str(out_dir),
+            ],
+            capsys,
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["ok"] is True
+        assert len(payload["certificates"]) == 2
+        assert len(list(out_dir.glob("*.certificate.json"))) == 2
+
+    def test_analyze_certify_rejects_corrupted_artifact(self, tmp_path, capsys):
+        import json
+
+        self.simulate_certified(tmp_path, capsys)
+        path = sorted((tmp_path / "certs").glob("*.artifact.json"))[0]
+        payload = json.loads(path.read_text())
+        payload["reason_counts"] = {"scheme_conflict": 10_000}
+        path.write_text(json.dumps(payload))
+        code, out = self.run(["analyze", "certify", str(path)], capsys)
+        assert code == 1
+        assert "REJECTED" in out
+
+    def test_analyze_certify_invalid_file(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("{}")
+        code, _out = self.run(["analyze", "certify", str(bogus)], capsys)
+        assert code == 2
+
 
 class TestFlightRecorder:
     """The observability CLI surface: --trace-out/--metrics-out, multinode, top."""
