@@ -1,12 +1,13 @@
 """Extension — flight-recorder overhead on the epoch hot path.
 
 Not a paper figure: proves the observability subsystem is cheap enough
-to leave on.  The same pre-mined epochs are replayed through two
-identically-seeded full nodes — one untraced, one with a live
-``Tracer`` plus a ``MetricsRegistry`` — interleaved round by round so
-machine drift hits both alike.  The headline is the relative gap
-between the traced and untraced p50 epoch-processing latencies, which
-must stay under ``OVERHEAD_CEILING`` (5%).
+to leave on.  The same pre-mined epochs are replayed through
+identically-seeded full nodes — one bare, one with a live ``Tracer``
+plus a ``MetricsRegistry``, one with a ``FlightLedger`` — interleaved
+round by round so machine drift hits every arm alike.  The headline is
+the relative gap between each instrumented arm's p50 epoch-processing
+latency and the bare one's, which must stay under
+``OVERHEAD_CEILING`` (5%) per arm.
 
 Run directly (``PYTHONPATH=src python benchmarks/bench_obs_overhead.py``)
 to refresh ``benchmarks/results/BENCH_obs_overhead.json``, or via pytest
@@ -27,7 +28,7 @@ from repro.core import NezhaScheduler
 from repro.dag import EpochCoordinator, Mempool, ParallelChains, PoWParams
 from repro.node import FullNode, PipelineConfig
 from repro.node.metrics import MetricsRegistry
-from repro.obs import Tracer
+from repro.obs import FlightLedger, Tracer
 from repro.state import StateDB
 from repro.vm.contracts import default_registry
 from repro.workload import SmallBankConfig, SmallBankWorkload, initial_state
@@ -48,9 +49,11 @@ OVERHEAD_CEILING = 0.05
 WORKLOAD_CONFIG = SmallBankConfig(account_count=ACCOUNTS, skew=SKEW, seed=SEED)
 
 
-def _fresh_node(traced: bool) -> FullNode:
+def _fresh_node(mode: str) -> FullNode:
+    """One replay node: ``bare``, ``traced``, or ``ledger``."""
     state = StateDB()
     state.seed(initial_state(WORKLOAD_CONFIG))
+    traced = mode == "traced"
     return FullNode(
         chains=ParallelChains(chain_count=OMEGA, pow_params=PoWParams(POW_BITS)),
         state=state,
@@ -59,6 +62,7 @@ def _fresh_node(traced: bool) -> FullNode:
         config=PipelineConfig(),
         metrics=MetricsRegistry() if traced else None,
         tracer=Tracer() if traced else None,
+        ledger=FlightLedger() if mode == "ledger" else None,
     )
 
 
@@ -69,7 +73,7 @@ def _premine(epochs: int) -> list[list]:
     forward; every replay node is seeded identically and reproduces the
     same roots, making the pre-mined blocks valid for all of them.
     """
-    driver = _fresh_node(traced=False)
+    driver = _fresh_node("bare")
     chains = ParallelChains(
         chain_count=OMEGA, pow_params=driver.chains.pow_params
     )
@@ -91,9 +95,9 @@ def _premine(epochs: int) -> list[list]:
     return mined
 
 
-def _replay(epoch_blocks: list[list], traced: bool) -> list[float]:
+def _replay(epoch_blocks: list[list], mode: str) -> list[float]:
     """Per-epoch processing seconds through one fresh node."""
-    node = _fresh_node(traced)
+    node = _fresh_node(mode)
     samples = []
     with node:
         for blocks in epoch_blocks:
@@ -102,6 +106,8 @@ def _replay(epoch_blocks: list[list], traced: bool) -> list[float]:
             samples.append(time.perf_counter() - start)
         if node.tracer is not None and len(node.tracer) == 0:
             raise RuntimeError("traced replay recorded no spans")
+        if node.ledger is not None and node.ledger.recorded == 0:
+            raise RuntimeError("ledger replay recorded no events")
     return samples
 
 
@@ -115,19 +121,17 @@ def _percentiles(samples: list[float]) -> dict[str, float]:
 
 
 def measure_obs_overhead(epochs: int = EPOCHS, rounds: int = ROUNDS) -> dict:
-    """Replay traced and untraced nodes interleaved; return the payload."""
+    """Replay bare/traced/ledger nodes interleaved; return the payload."""
     mined = _premine(epochs)
-    untraced: list[float] = []
-    traced: list[float] = []
-    _replay(mined, traced=True)  # warm-up: JIT-free but primes caches/pools
+    samples: dict[str, list[float]] = {"bare": [], "traced": [], "ledger": []}
+    _replay(mined, "traced")  # warm-up: JIT-free but primes caches/pools
     for _ in range(rounds):
-        untraced.extend(_replay(mined, traced=False))
-        traced.extend(_replay(mined, traced=True))
-    untraced_stats = _percentiles(untraced)
-    traced_stats = _percentiles(traced)
-    overhead = (
-        traced_stats["p50_ms"] - untraced_stats["p50_ms"]
-    ) / untraced_stats["p50_ms"]
+        for mode in samples:
+            samples[mode].extend(_replay(mined, mode))
+    stats = {mode: _percentiles(arm) for mode, arm in samples.items()}
+    bare_p50 = stats["bare"]["p50_ms"]
+    traced_overhead = (stats["traced"]["p50_ms"] - bare_p50) / bare_p50
+    ledger_overhead = (stats["ledger"]["p50_ms"] - bare_p50) / bare_p50
     return {
         "benchmark": "obs_overhead",
         "workload": {
@@ -140,9 +144,11 @@ def measure_obs_overhead(epochs: int = EPOCHS, rounds: int = ROUNDS) -> dict:
             "epochs": epochs,
         },
         "rounds": rounds,
-        "untraced": untraced_stats,
-        "traced": traced_stats,
-        "overhead_frac_p50": round(overhead, 4),
+        "untraced": stats["bare"],
+        "traced": stats["traced"],
+        "ledger": stats["ledger"],
+        "overhead_frac_p50": round(traced_overhead, 4),
+        "ledger_overhead_frac_p50": round(ledger_overhead, 4),
         "ceiling_frac": OVERHEAD_CEILING,
     }
 
@@ -155,7 +161,7 @@ def write_results(payload: dict, path: Path = RESULTS_PATH) -> None:
 
 @pytest.mark.perf_smoke
 def test_obs_overhead_under_ceiling(report_table):
-    """Tracing-on must add < 5% to p50 epoch-processing latency."""
+    """Tracing-on and ledger-on must each add < 5% to p50 epoch latency."""
     payload = measure_obs_overhead()
     write_results(payload)
     report_table(
@@ -167,12 +173,18 @@ def test_obs_overhead_under_ceiling(report_table):
                 f"{payload['untraced']['p95_ms']:.2f}",
                 f"traced | {payload['traced']['p50_ms']:.2f} | "
                 f"{payload['traced']['p95_ms']:.2f}",
-                f"overhead (p50): {100 * payload['overhead_frac_p50']:.2f}% "
-                f"(ceiling {100 * OVERHEAD_CEILING:.0f}%)",
+                f"ledger | {payload['ledger']['p50_ms']:.2f} | "
+                f"{payload['ledger']['p95_ms']:.2f}",
+                f"tracing overhead (p50): "
+                f"{100 * payload['overhead_frac_p50']:.2f}%, "
+                f"ledger overhead (p50): "
+                f"{100 * payload['ledger_overhead_frac_p50']:.2f}% "
+                f"(ceiling {100 * OVERHEAD_CEILING:.0f}% each)",
             ]
         ),
     )
     assert payload["overhead_frac_p50"] < OVERHEAD_CEILING
+    assert payload["ledger_overhead_frac_p50"] < OVERHEAD_CEILING
 
 
 def main() -> int:
@@ -180,11 +192,14 @@ def main() -> int:
     write_results(payload)
     print(json.dumps(payload, indent=2, sort_keys=True))
     overhead = payload["overhead_frac_p50"]
+    ledger_overhead = payload["ledger_overhead_frac_p50"]
     print(
-        f"\ntracing overhead: {100 * overhead:.2f}% "
-        f"(ceiling {100 * OVERHEAD_CEILING:.0f}%)"
+        f"\ntracing overhead: {100 * overhead:.2f}%, "
+        f"ledger overhead: {100 * ledger_overhead:.2f}% "
+        f"(ceiling {100 * OVERHEAD_CEILING:.0f}% each)"
     )
-    return 0 if overhead < OVERHEAD_CEILING else 1
+    ok = overhead < OVERHEAD_CEILING and ledger_overhead < OVERHEAD_CEILING
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -14,10 +14,11 @@ milliseconds:
   the 2x floor and stay within tolerance of
   ``benchmarks/results/BENCH_exec_parallel.json``, with state roots
   bit-identical across the serial, thread, and process backends.
-* **Flight-recorder overhead** — tracing-on must add < 5% to the p50
-  epoch-processing latency.  This one is an absolute ceiling, no
-  baseline drift: a relative gap between two interleaved replays on the
-  same machine is already machine-independent.
+* **Flight-recorder overhead** — tracing-on and flight-ledger-on must
+  each add < 5% to the p50 epoch-processing latency.  These are
+  absolute ceilings, no baseline drift: a relative gap between
+  interleaved replays on the same machine is already
+  machine-independent.
 * **Delta-CC abort drop** — operation-level CC must dissolve >= 40% of
   the baseline's ``unserializable_write`` aborts on SmallBank at skew
   0.9.  An abort-count ratio on a fixed seed is deterministic, so this
@@ -210,6 +211,17 @@ def main(argv: list[str]) -> int:
     if obs_overhead >= OBS_OVERHEAD_CEILING:
         print(
             f"FAIL [obs_overhead]: tracing adds >= "
+            f"{OBS_OVERHEAD_CEILING:.0%} to p50 epoch latency"
+        )
+        failed = True
+    ledger_overhead = obs_payload["ledger_overhead_frac_p50"]
+    print(
+        f"flight-ledger overhead (p50): {100 * ledger_overhead:.2f}% "
+        f"(ceiling {100 * OBS_OVERHEAD_CEILING:.0f}%)"
+    )
+    if ledger_overhead >= OBS_OVERHEAD_CEILING:
+        print(
+            f"FAIL [ledger_overhead]: the flight ledger adds >= "
             f"{OBS_OVERHEAD_CEILING:.0%} to p50 epoch latency"
         )
         failed = True

@@ -124,6 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
         "and report data races (nonzero exit when any are found)",
     )
     _add_obs_args(simulate)
+    _add_ledger_args(simulate)
 
     multinode = sub.add_parser(
         "multinode", help="replica network: N full nodes, agreement per epoch"
@@ -137,11 +138,17 @@ def build_parser() -> argparse.ArgumentParser:
     multinode.add_argument("--accounts", type=int, default=1_000, help="population")
     multinode.add_argument("--seed", type=int, default=0, help="PRNG seed")
     _add_obs_args(multinode)
+    _add_ledger_args(multinode)
 
     conflicts = sub.add_parser("conflicts", help="conflict analysis (Table I)")
     _add_workload_args(conflicts)
 
-    hotspots = sub.add_parser("hotspots", help="contention analysis of a workload")
+    hotspots = sub.add_parser(
+        "hotspots",
+        help="contention analysis of a workload (static access counts; "
+        "see 'analyze contention' for observed abort attribution from a "
+        "recorded flight ledger)",
+    )
     _add_workload_args(hotspots)
     hotspots.add_argument("--top", type=int, default=10, help="hot addresses to list")
 
@@ -208,6 +215,40 @@ def build_parser() -> argparse.ArgumentParser:
     certify.add_argument(
         "--json", action="store_true", help="emit the machine-readable report"
     )
+    txn = analyze_sub.add_parser(
+        "txn",
+        help="replay one transaction's causal timeline from a recorded "
+        "flight ledger (ingest -> execute -> schedule -> commit/abort, "
+        "with the abort's attributed conflict chain)",
+    )
+    txn.add_argument("txid", type=int, help="transaction id to replay")
+    txn.add_argument(
+        "--ledger", required=True, metavar="FILE",
+        help="flight-ledger JSONL written via --ledger-out",
+    )
+    txn.add_argument(
+        "--json", action="store_true", help="emit the machine-readable report"
+    )
+    contention = analyze_sub.add_parser(
+        "contention",
+        help="per-address hot-key report from a recorded flight ledger: "
+        "abort mass, edge-kind breakdown, delta-promotion candidates, "
+        "and a Zipf skew estimate",
+    )
+    contention.add_argument(
+        "--ledger", required=True, metavar="FILE",
+        help="flight-ledger JSONL written via --ledger-out",
+    )
+    contention.add_argument(
+        "--top", type=int, default=10, help="contended addresses to list"
+    )
+    contention.add_argument(
+        "--json", action="store_true", help="emit the machine-readable report"
+    )
+    ledger_check = analyze_sub.add_parser(
+        "ledger", help="schema-check an exported flight-ledger JSONL file"
+    )
+    ledger_check.add_argument("file", help="flight-ledger JSONL to validate")
 
     trace = sub.add_parser("trace", help="record, inspect, and replay workload traces")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
@@ -250,6 +291,24 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="FILE",
         help="write a Prometheus text-exposition metrics snapshot",
+    )
+
+
+def _add_ledger_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--ledger-out",
+        default=None,
+        metavar="FILE",
+        help="record the transaction flight ledger and write it as JSONL "
+        "(replayable via 'analyze txn' / 'analyze contention')",
+    )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve /metrics (Prometheus) and /healthz live on "
+        "127.0.0.1:PORT for the duration of the run (0 = ephemeral port)",
     )
 
 
@@ -348,16 +407,48 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _make_obs(args: argparse.Namespace):
-    """(tracer, metrics) per the ``--trace-out``/``--metrics-out`` flags."""
+    """(tracer, metrics, ledger) per the observability flags.
+
+    A live ``--metrics-port`` endpoint needs a registry (and records the
+    ledger's volume counters), so either flag materialises the registry;
+    the flight ledger exists when anything will read it.
+    """
     from repro.node.metrics import MetricsRegistry
-    from repro.obs import Tracer
+    from repro.obs import FlightLedger, Tracer
 
+    metrics_port = getattr(args, "metrics_port", None)
     tracer = Tracer() if args.trace_out else None
-    metrics = MetricsRegistry() if args.metrics_out else None
-    return tracer, metrics
+    metrics = (
+        MetricsRegistry()
+        if args.metrics_out or metrics_port is not None
+        else None
+    )
+    ledger = (
+        FlightLedger()
+        if getattr(args, "ledger_out", None) or metrics_port is not None
+        else None
+    )
+    return tracer, metrics, ledger
 
 
-def _write_obs_outputs(args: argparse.Namespace, tracer, metrics) -> None:
+def _start_endpoint(args: argparse.Namespace, metrics, tracer, ledger, health):
+    """Bind the live /metrics endpoint when ``--metrics-port`` is given."""
+    if getattr(args, "metrics_port", None) is None:
+        return None
+    from repro.obs import MetricsEndpoint
+
+    endpoint = MetricsEndpoint(
+        metrics,
+        tracer=tracer,
+        ledger=ledger,
+        port=args.metrics_port,
+        health=health,
+    ).start()
+    print(f"metrics endpoint: {endpoint.url}/metrics (and /healthz)")
+    return endpoint
+
+
+def _write_obs_outputs(args: argparse.Namespace, tracer, metrics, ledger=None) -> None:
     """Flush the flight recorder to the requested artifact files."""
     from repro.obs import write_chrome_trace, write_prometheus
 
@@ -365,8 +456,11 @@ def _write_obs_outputs(args: argparse.Namespace, tracer, metrics) -> None:
         count = write_chrome_trace(args.trace_out, tracer.spans())
         print(f"trace: {count} spans -> {args.trace_out}")
     if metrics is not None and args.metrics_out:
-        lines = write_prometheus(args.metrics_out, metrics, tracer)
+        lines = write_prometheus(args.metrics_out, metrics, tracer, ledger)
         print(f"metrics: {lines} lines -> {args.metrics_out}")
+    if ledger is not None and getattr(args, "ledger_out", None):
+        lines = ledger.write_jsonl(args.ledger_out)
+        print(f"ledger: {lines} lines -> {args.ledger_out}")
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -377,7 +471,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     if args.workload != "smallbank":
         print("simulate currently drives the SmallBank cluster only", file=sys.stderr)
         return 2
-    tracer, metrics = _make_obs(args)
+    tracer, metrics, ledger = _make_obs(args)
     detector = race.enable() if args.sanitize else None
     cluster = Cluster(
         make_scheme(args.scheme),
@@ -398,11 +492,25 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         ),
         metrics=metrics,
         tracer=tracer,
+        ledger=ledger,
+    )
+    endpoint = _start_endpoint(
+        args,
+        metrics,
+        tracer,
+        ledger,
+        health=lambda: {
+            "scheme": args.scheme,
+            "epochs_processed": len(cluster.node.reports),
+            "epochs_target": args.epochs,
+        },
     )
     try:
         with cluster:
             run = cluster.run_epochs(args.epochs)
     finally:
+        if endpoint is not None:
+            endpoint.stop()
         if detector is not None:
             race.disable()
     rows = [
@@ -437,7 +545,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             rows,
         )
     )
-    _write_obs_outputs(args, tracer, metrics)
+    _write_obs_outputs(args, tracer, metrics, ledger)
     if detector is not None:
         summary = detector.summary()
         print(
@@ -477,6 +585,7 @@ def cmd_multinode(args: argparse.Namespace) -> int:
     from repro.obs import Tracer
 
     tracer = Tracer() if args.trace_out else None
+    with_ledgers = bool(args.ledger_out) or args.metrics_port is not None
     network = ReplicaNetwork(
         scheduler_factory=lambda: make_scheme(args.scheme),
         config=ReplicaNetworkConfig(
@@ -488,8 +597,27 @@ def cmd_multinode(args: argparse.Namespace) -> int:
             seed=args.seed,
         ),
         tracer=tracer,
+        with_ledgers=with_ledgers,
     )
-    agreements = network.run_epochs(args.epochs)
+    # The network keeps one registry/ledger per replica; the endpoint and
+    # artifact files export replica 0's (agreement makes them equivalent).
+    endpoint = _start_endpoint(
+        args,
+        network.metrics[0],
+        tracer,
+        network.ledgers[0],
+        health=lambda: {
+            "scheme": args.scheme,
+            "replicas": args.replicas,
+            "epochs_processed": len(network.agreements),
+            "agreed": network.all_agreed,
+        },
+    )
+    try:
+        agreements = network.run_epochs(args.epochs)
+    finally:
+        if endpoint is not None:
+            endpoint.stop()
     rows = [
         [
             agreement.epoch_index,
@@ -506,9 +634,7 @@ def cmd_multinode(args: argparse.Namespace) -> int:
             rows,
         )
     )
-    # The network keeps one registry per replica; export replica 0's (the
-    # replicas agree, so any registry carries the same epoch series).
-    _write_obs_outputs(args, tracer, network.metrics[0])
+    _write_obs_outputs(args, tracer, network.metrics[0], network.ledgers[0])
     return 0 if network.all_agreed else 1
 
 
@@ -575,7 +701,193 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         return _analyze_bytecode(args)
     if args.analyze_command == "certify":
         return _analyze_certify(args)
+    if args.analyze_command == "txn":
+        return _analyze_txn(args)
+    if args.analyze_command == "contention":
+        return _analyze_contention(args)
+    if args.analyze_command == "ledger":
+        return _analyze_ledger(args)
     return _analyze_lint(args)
+
+
+def _load_ledger_events(path: str):
+    """Read a ledger export for analysis; exits with code 2 on bad files."""
+    from repro.obs import read_jsonl
+
+    try:
+        return read_jsonl(path)
+    except (OSError, ValueError) as exc:
+        print(f"invalid ledger {path}: {exc}", file=sys.stderr)
+        return None
+
+
+def _analyze_txn(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import iter_timeline, timeline_digest
+
+    loaded = _load_ledger_events(args.ledger)
+    if loaded is None:
+        return 2
+    meta, events = loaded
+    timeline = list(iter_timeline(events, args.txid))
+    if not timeline:
+        print(f"T{args.txid}: no events in {args.ledger}", file=sys.stderr)
+        return 1
+    digest = timeline_digest(events, txid=args.txid)
+    # Follow the attributed edges outward: who killed this transaction,
+    # and (when the killer also died) who killed the killer.
+    chain: list[dict] = []
+    seen = {args.txid}
+    frontier = [args.txid]
+    by_txid: dict[int, list[dict]] = {}
+    for event in events:
+        if event["kind"] == "abort":
+            by_txid.setdefault(event["txid"], []).append(event)
+    while frontier:
+        txid = frontier.pop(0)
+        for event in by_txid.get(txid, ()):
+            for peer, address, kind in event.get("edges", ()):
+                chain.append(
+                    {
+                        "victim": txid,
+                        "peer": peer,
+                        "address": address,
+                        "edge": kind,
+                        "reason": event.get("reason"),
+                    }
+                )
+                if peer >= 0 and peer not in seen:
+                    seen.add(peer)
+                    frontier.append(peer)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "report": "txn-timeline",
+                    "txid": args.txid,
+                    "meta": meta,
+                    "digest": digest,
+                    "timeline": timeline,
+                    "abort_chain": chain,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    rows = []
+    for event in timeline:
+        extra = {
+            key: value
+            for key, value in event.items()
+            if key not in ("epoch", "txid", "kind")
+        }
+        detail = ", ".join(f"{key}={value}" for key, value in sorted(extra.items()))
+        rows.append([event["epoch"], event["kind"], detail])
+    print(
+        render_table(
+            f"T{args.txid} timeline (digest {digest[:12]})",
+            ["epoch", "stage", "detail"],
+            rows,
+        )
+    )
+    if chain:
+        print("abort chain:")
+        for link in chain:
+            peer = f"T{link['peer']}" if link["peer"] >= 0 else "(unknown)"
+            print(
+                f"  T{link['victim']} <-[{link['edge']} @ {link['address']}]- "
+                f"{peer} ({link['reason']})"
+            )
+    return 0
+
+
+def _analyze_contention(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import (
+        aggregate_contention,
+        delta_promotion_candidates,
+        estimate_skew,
+    )
+
+    loaded = _load_ledger_events(args.ledger)
+    if loaded is None:
+        return 2
+    _meta, events = loaded
+    table = aggregate_contention(events)
+    if not table:
+        print("no attributed aborts in the ledger")
+        return 0
+    ranked = sorted(table.items(), key=lambda item: (-item[1]["aborts"], item[0]))
+    candidates = delta_promotion_candidates(table)
+    skew = estimate_skew(entry["aborts"] for entry in table.values())
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "report": "contention",
+                    "addresses": {
+                        address: {
+                            "aborts": entry["aborts"],
+                            "kinds": entry["kinds"],
+                            "victims": sorted(entry["victims"]),
+                            "peers": sorted(entry["peers"]),
+                        }
+                        for address, entry in ranked[: args.top]
+                    },
+                    "delta_promotion_candidates": candidates,
+                    "skew_estimate": skew,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    rows = []
+    for address, entry in ranked[: args.top]:
+        kinds = ", ".join(
+            f"{kind}:{count}" for kind, count in sorted(entry["kinds"].items())
+        )
+        rows.append(
+            [
+                address,
+                entry["aborts"],
+                kinds,
+                len(entry["victims"]),
+                len(entry["peers"]),
+                "yes" if address in candidates else "",
+            ]
+        )
+    skew_label = f"{skew:.2f}" if skew is not None else "n/a"
+    print(
+        render_table(
+            f"contention: {len(table)} contended addresses, "
+            f"skew estimate {skew_label}",
+            ["address", "abort mass", "edge kinds", "victims", "peers", "promote?"],
+            rows,
+        )
+    )
+    if candidates:
+        print(
+            "delta-promotion candidates (W!=W-dominated): "
+            + ", ".join(candidates[: args.top])
+        )
+    return 0
+
+
+def _analyze_ledger(args: argparse.Namespace) -> int:
+    from repro.obs import validate_ledger
+
+    problems = validate_ledger(args.file)
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print(f"{args.file}: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"{args.file}: ok")
+    return 0
 
 
 def _analyze_bytecode(args: argparse.Namespace) -> int:
@@ -715,7 +1027,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         return 0
     # run
     transactions = load_trace(args.file)
-    tracer, metrics = _make_obs(args)
+    tracer, metrics, _ = _make_obs(args)
     scheme = make_scheme(args.scheme)
     if tracer is not None and hasattr(scheme, "tracer"):
         scheme.tracer = tracer

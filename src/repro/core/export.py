@@ -92,6 +92,7 @@ class EpochArtifact:
     guard_aborted: tuple[int, ...]
     failed: tuple[int, ...]
     reason_counts: dict[str, int]
+    abort_edges: dict[int, list[tuple[int, str, str]]]
 
 
 def epoch_artifact(
@@ -103,13 +104,16 @@ def epoch_artifact(
     guard_aborted: Sequence[int] = (),
     failed: Sequence[int] = (),
     reason_counts: Mapping[str, int] | None = None,
+    abort_edges: Mapping[int, Sequence[tuple[int, str, str]]] | None = None,
 ) -> dict[str, Any]:
     """Flatten one epoch's certifier inputs to a JSON-safe payload.
 
     Write *values* are dropped deliberately — the certifier reasons about
     conflict structure only, and the artifact stays small enough to ship
     per epoch.  Delta amounts are kept: the commutativity check refolds
-    them.
+    them.  ``abort_edges`` carries the flight ledger's conflict
+    attribution (txid -> ``[peer, address, kind]`` triples) so offline
+    audits can cross-check each conviction against the rebuilt graph.
     """
     return {
         "artifact": ARTIFACT_KIND,
@@ -137,6 +141,13 @@ def epoch_artifact(
         "guard_aborted": sorted(int(txid) for txid in guard_aborted),
         "failed": sorted(int(txid) for txid in failed),
         "reason_counts": dict(sorted((reason_counts or {}).items())),
+        "abort_edges": {
+            int(txid): [
+                [int(peer), str(address), str(kind)]
+                for peer, address, kind in edges
+            ]
+            for txid, edges in sorted((abort_edges or {}).items())
+        },
     }
 
 
@@ -183,6 +194,13 @@ def parse_epoch_artifact(payload: Mapping[str, Any]) -> EpochArtifact:
         reason_counts={
             str(reason): int(count)
             for reason, count in dict(payload.get("reason_counts", {})).items()
+        },
+        abort_edges={
+            int(txid): [
+                (int(peer), str(address), str(kind))
+                for peer, address, kind in edges
+            ]
+            for txid, edges in dict(payload.get("abort_edges", {})).items()
         },
     )
 

@@ -105,6 +105,8 @@ class NezhaResult:
         abort_reasons: dict[int, str] | None = None,
         revived: int = 0,
         delta_commuted: int = 0,
+        abort_edges: dict[int, list[tuple[int, str, str]]] | None = None,
+        revived_txids: tuple[int, ...] = (),
     ) -> None:
         self.schedule = schedule
         self.timings = timings
@@ -113,6 +115,12 @@ class NezhaResult:
         self.abort_reasons = abort_reasons if abort_reasons is not None else {}
         self.revived = revived
         self.delta_commuted = delta_commuted
+        # Ids rescued by the validator's resurrection pass — the flight
+        # ledger flags their schedule events with ``revived=True``.
+        self.revived_txids = revived_txids
+        # txid -> attributed conflict edges (peer txid, address, kind);
+        # covers every abort the sorter/validator convicted with a peer.
+        self.abort_edges = abort_edges if abort_edges is not None else {}
         self._acg = acg
 
     @property
@@ -261,6 +269,13 @@ class NezhaScheduler:
             },
             revived=len(state.revived),
             delta_commuted=delta_commuted,
+            abort_edges={
+                txids[i]: [
+                    (txids[peer] if peer >= 0 else peer, addresses[addr], kind)
+                ]
+                for i, (peer, addr, kind) in sorted(state.edges.items())
+            },
+            revived_txids=tuple(sorted(txids[i] for i in state.revived)),
         )
 
     def _schedule_reference(
@@ -328,4 +343,8 @@ class NezhaScheduler:
             abort_reasons=dict(sorted(state.reasons.items())),
             revived=len(state.revived),
             delta_commuted=delta_commuted,
+            abort_edges={
+                txid: [edge] for txid, edge in sorted(state.edges.items())
+            },
+            revived_txids=tuple(sorted(state.revived)),
         )

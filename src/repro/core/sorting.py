@@ -41,9 +41,23 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from repro.core.acg import ACG, DenseACG
-from repro.obs.taxonomy import UNSERIALIZABLE_WRITE
+from repro.obs.taxonomy import (
+    EDGE_RD,
+    EDGE_RW,
+    EDGE_WD,
+    EDGE_WW,
+    UNKNOWN_PEER,
+    UNSERIALIZABLE_WRITE,
+)
 from repro.txn.rwset import Address
 from repro.txn.transaction import Transaction
+
+Edge = tuple[int, str, str]
+"""Attributed conflict edge ``(peer txid, address, kind)`` — see
+:data:`repro.obs.taxonomy.EDGE_KINDS`."""
+
+DenseEdge = tuple[int, int, str]
+"""Dense-path edge ``(peer dense index, dense address id, kind)``."""
 
 UNASSIGNED = -1
 """Dense-path sentinel for "no sequence number yet" (valid numbers are >= 0)."""
@@ -57,15 +71,18 @@ class SortState:
     """Mutable state threaded through the per-address sorting passes.
 
     ``reasons`` attributes every abort to a taxonomy label (see
-    :mod:`repro.obs.taxonomy`); ``revived`` records transactions the
-    validator's second-chance pass brought back (their reason entries are
-    removed, so ``reasons`` always covers exactly ``aborted``).
+    :mod:`repro.obs.taxonomy`); ``edges`` attributes it to the conflict
+    that triggered it — the peer transaction, the contended address and
+    the violated invariant; ``revived`` records transactions the
+    validator's second-chance pass brought back (their reason and edge
+    entries are removed, so both maps always cover exactly ``aborted``).
     """
 
     sequences: dict[int, int] = field(default_factory=dict)
     aborted: set[int] = field(default_factory=set)
     reordered: set[int] = field(default_factory=set)
     reasons: dict[int, str] = field(default_factory=dict)
+    edges: dict[int, Edge] = field(default_factory=dict)
     revived: set[int] = field(default_factory=set)
 
     def sequence_of(self, txid: int) -> int | None:
@@ -76,11 +93,18 @@ class SortState:
         """True while the transaction has not been aborted."""
         return txid not in self.aborted
 
-    def abort(self, txid: int, reason: str = UNSERIALIZABLE_WRITE) -> None:
+    def abort(
+        self,
+        txid: int,
+        reason: str = UNSERIALIZABLE_WRITE,
+        edge: Edge | None = None,
+    ) -> None:
         """Abort the transaction; its units are ignored from now on."""
         self.aborted.add(txid)
         self.sequences.pop(txid, None)
         self.reasons[txid] = reason
+        if edge is not None:
+            self.edges[txid] = edge
 
 
 def sort_transactions(
@@ -174,7 +198,9 @@ def _sort_address(
     # A plain write landing on a previously-assigned delta number is the
     # same anomaly as a write-write duplicate (W≠D).
     delta_seqs_assigned = {
-        state.sequences[t] for t in deltas if state.sequence_of(t) is not None
+        state.sequences[t]: t
+        for t in reversed(deltas)
+        if state.sequence_of(t) is not None
     }
     seen_write_seqs: dict[int, int] = {}
     for txid in sorted_writes:
@@ -185,8 +211,14 @@ def _sort_address(
             # Below a read unit, two writes assigned on different earlier
             # addresses collided with equal numbers, or a write collided
             # with a delta number.
+            if too_small:
+                edge = (_top_live_reader(reads, state, txid), address, EDGE_RW)
+            elif duplicate:
+                edge = (seen_write_seqs[sequence], address, EDGE_WW)
+            else:
+                edge = (delta_seqs_assigned[sequence], address, EDGE_WD)
             _resolve_unserializable(
-                acg, address, txid, state, transactions, enable_reorder
+                acg, address, txid, state, transactions, enable_reorder, edge
             )
         if state.is_live(txid):
             seen_write_seqs[state.sequences[txid]] = txid
@@ -233,8 +265,8 @@ def _sort_deltas(
     """
     rw = acg.rw(address)
     writer_seqs = {
-        state.sequences[t]
-        for t in rw.writes
+        state.sequences[t]: t
+        for t in reversed(rw.writes)
         if state.is_live(t) and state.sequence_of(t) is not None
     }
     # Previously-assigned deltas: R<D and W≠D violations pay here.
@@ -243,8 +275,12 @@ def _sort_deltas(
         if sequence is None:
             continue
         if sequence <= max_read or sequence in writer_seqs:
+            if sequence <= max_read:
+                edge = (_top_live_reader(rw.reads, state, txid), address, EDGE_RD)
+            else:
+                edge = (writer_seqs[sequence], address, EDGE_WD)
             _resolve_unserializable(
-                acg, address, txid, state, transactions, enable_reorder
+                acg, address, txid, state, transactions, enable_reorder, edge
             )
     # Surviving assigned deltas all hold valid numbers now (a rescue bumps
     # past every assigned number on every touched address).
@@ -264,6 +300,28 @@ def _sort_deltas(
             state.sequences[txid] = fill
 
 
+def _top_live_reader(
+    reads: Sequence[int], state: SortState, exclude: int
+) -> int:
+    """Live reader holding the highest assigned number (first in list order).
+
+    The attribution peer for an R<W / R<D violation: the reader whose
+    number the violating write failed to clear.  ``UNKNOWN_PEER`` when no
+    live assigned reader remains (the blocking reader itself aborted later
+    in the same pass).
+    """
+    peer = UNKNOWN_PEER
+    best = 0
+    for reader in reads:
+        if reader == exclude or not state.is_live(reader):
+            continue
+        sequence = state.sequence_of(reader)
+        if sequence is not None and sequence > best:
+            best = sequence
+            peer = reader
+    return peer
+
+
 def _resolve_unserializable(
     acg: ACG,
     address: Address,
@@ -271,6 +329,7 @@ def _resolve_unserializable(
     state: SortState,
     transactions: Mapping[int, Transaction],
     enable_reorder: bool,
+    edge: Edge | None = None,
 ) -> None:
     """Abort an unserializable transaction, or reorder it when possible.
 
@@ -300,7 +359,7 @@ def _resolve_unserializable(
         state.sequences[txid] = new_seq
         state.reordered.add(txid)
     else:
-        state.abort(txid)
+        state.abort(txid, edge=edge)
 
 
 def reads_are_writer_free(acg: ACG, txn: Transaction, state: SortState) -> bool:
@@ -356,13 +415,21 @@ class DenseSortState:
     alive: bytearray
     reordered: set[int] = field(default_factory=set)
     reasons: dict[int, str] = field(default_factory=dict)
+    edges: dict[int, DenseEdge] = field(default_factory=dict)
     revived: set[int] = field(default_factory=set)
 
-    def abort(self, txn_idx: int, reason: str = UNSERIALIZABLE_WRITE) -> None:
+    def abort(
+        self,
+        txn_idx: int,
+        reason: str = UNSERIALIZABLE_WRITE,
+        edge: DenseEdge | None = None,
+    ) -> None:
         """Abort the transaction; mirrors :meth:`SortState.abort`."""
         self.alive[txn_idx] = 0
         self.seq[txn_idx] = UNASSIGNED
         self.reasons[txn_idx] = reason
+        if edge is not None:
+            self.edges[txn_idx] = edge
 
     def aborted_indices(self) -> list[int]:
         """Dense indices of aborted transactions, ascending."""
@@ -420,7 +487,8 @@ def sort_transactions_dense(
             # shortcuts below model the plain read/write shapes only.
             deltas = [t for t in delta_txns[delta_lo:delta_hi] if alive[t]]
             _sort_address_dense(
-                dense, reads, writes, deltas, state, enable_reorder, initial_seq
+                dense, addr_id, reads, writes, deltas, state,
+                enable_reorder, initial_seq,
             )
             continue
         if not writes:
@@ -449,7 +517,7 @@ def sort_transactions_dense(
                 seq[owner] = initial_seq
             continue
         _sort_address_dense(
-            dense, reads, writes, [], state, enable_reorder, initial_seq
+            dense, addr_id, reads, writes, [], state, enable_reorder, initial_seq
         )
     for txn_idx in range(txn_count):
         if alive[txn_idx] and seq[txn_idx] == UNASSIGNED:
@@ -457,8 +525,27 @@ def sort_transactions_dense(
     return state
 
 
+def _top_live_reader_dense(
+    reads: Sequence[int], state: DenseSortState, exclude: int
+) -> int:
+    """Dense twin of :func:`_top_live_reader` (same peer, dense index)."""
+    peer = UNKNOWN_PEER
+    best = 0
+    seq = state.seq
+    alive = state.alive
+    for reader in reads:
+        if reader == exclude or not alive[reader]:
+            continue
+        sequence = seq[reader]
+        if sequence != UNASSIGNED and sequence > best:
+            best = sequence
+            peer = reader
+    return peer
+
+
 def _sort_address_dense(
     dense: DenseACG,
+    addr_id: int,
     reads: list[int],
     writes: list[int],
     deltas: list[int],
@@ -507,7 +594,9 @@ def _sort_address_dense(
             seq[txn_idx] = max(max_read, other_max) + 1
         max_read = max(max_read, seq[txn_idx])
 
-    delta_seqs_assigned = {seq[t] for t in deltas if seq[t] != UNASSIGNED}
+    delta_seqs_assigned = {
+        seq[t]: t for t in reversed(deltas) if seq[t] != UNASSIGNED
+    }
     seen_write_seqs: dict[int, int] = {}
     for txn_idx in sorted_writes:
         sequence = seq[txn_idx]
@@ -516,7 +605,16 @@ def _sort_address_dense(
         )
         too_small = sequence <= max_read and txn_idx not in read_ids
         if too_small or duplicate or sequence in delta_seqs_assigned:
-            _resolve_unserializable_dense(dense, txn_idx, state, enable_reorder)
+            if too_small:
+                peer = _top_live_reader_dense(reads, state, txn_idx)
+                edge = (peer, addr_id, EDGE_RW)
+            elif duplicate:
+                edge = (seen_write_seqs[sequence], addr_id, EDGE_WW)
+            else:
+                edge = (delta_seqs_assigned[sequence], addr_id, EDGE_WD)
+            _resolve_unserializable_dense(
+                dense, txn_idx, state, enable_reorder, edge
+            )
         if alive[txn_idx]:
             seen_write_seqs[seq[txn_idx]] = txn_idx
 
@@ -537,13 +635,24 @@ def _sort_address_dense(
 
     # --- Delta units ------------------------------------------------------
     if deltas:
-        writer_seqs = {seq[t] for t in writes if alive[t] and seq[t] != UNASSIGNED}
+        writer_seqs = {
+            seq[t]: t
+            for t in reversed(writes)
+            if alive[t] and seq[t] != UNASSIGNED
+        }
         for txn_idx in deltas:
             sequence = seq[txn_idx]
             if sequence == UNASSIGNED:
                 continue
             if sequence <= max_read or sequence in writer_seqs:
-                _resolve_unserializable_dense(dense, txn_idx, state, enable_reorder)
+                if sequence <= max_read:
+                    peer = _top_live_reader_dense(reads, state, txn_idx)
+                    edge = (peer, addr_id, EDGE_RD)
+                else:
+                    edge = (writer_seqs[sequence], addr_id, EDGE_WD)
+                _resolve_unserializable_dense(
+                    dense, txn_idx, state, enable_reorder, edge
+                )
         valid = [seq[t] for t in deltas if alive[t] and seq[t] != UNASSIGNED]
         if valid:
             fill = min(valid)
@@ -557,7 +666,11 @@ def _sort_address_dense(
 
 
 def _resolve_unserializable_dense(
-    dense: DenseACG, txn_idx: int, state: DenseSortState, enable_reorder: bool
+    dense: DenseACG,
+    txn_idx: int,
+    state: DenseSortState,
+    enable_reorder: bool,
+    edge: DenseEdge | None = None,
 ) -> None:
     """Dense twin of :func:`_resolve_unserializable` (same gate, same bump)."""
     rescuable = (
@@ -571,7 +684,7 @@ def _resolve_unserializable_dense(
         )
         state.reordered.add(txn_idx)
     else:
-        state.abort(txn_idx)
+        state.abort(txn_idx, edge=edge)
 
 
 def reads_are_writer_free_dense(

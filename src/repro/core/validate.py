@@ -41,13 +41,23 @@ from typing import Mapping, Sequence
 from repro.core.acg import ACG, DenseACG
 from repro.core.sorting import (
     UNASSIGNED,
+    DenseEdge,
     DenseSortState,
+    Edge,
     SortState,
     max_sequence_on_addresses_dense,
     reads_are_writer_free,
     reads_are_writer_free_dense,
 )
-from repro.obs.taxonomy import DOOMED_REORDER, UNSERIALIZABLE_WRITE
+from repro.obs.taxonomy import (
+    DOOMED_REORDER,
+    EDGE_RD,
+    EDGE_RW,
+    EDGE_WD,
+    EDGE_WW,
+    UNKNOWN_PEER,
+    UNSERIALIZABLE_WRITE,
+)
 from repro.txn.transaction import Transaction
 
 
@@ -98,7 +108,10 @@ def validate_sort(
                 state.sequences[txid] = new_seq
                 state.reordered.add(txid)
             else:
-                state.abort(txid, _abort_reason(txid, state.reordered))
+                state.abort(
+                    txid, _abort_reason(txid, state.reordered),
+                    edge=violators[txid],
+                )
                 newly_aborted.add(txid)
     if enable_reorder and transactions is not None:
         newly_aborted -= _resurrect(acg, state, transactions)
@@ -129,6 +142,7 @@ def _resurrect(
             continue
         state.aborted.discard(txid)
         state.reasons.pop(txid, None)
+        state.edges.pop(txid, None)
         state.revived.add(txid)
         state.sequences[txid] = 1 + _max_sequence_on_addresses(acg, txn, state)
         revived.add(txid)
@@ -153,9 +167,15 @@ def _max_sequence_on_addresses(acg: ACG, txn: Transaction, state: SortState) -> 
 
 def _find_violations(
     acg: ACG, state: SortState, addresses: Sequence[str]
-) -> set[int]:
-    """One sweep: collect every transaction to abort."""
-    violators: set[int] = set()
+) -> dict[int, Edge]:
+    """One sweep: every transaction to abort, with its attributed edge.
+
+    The edge names the conflict that convicted the violator — peer txid,
+    contended address, violated invariant — and the first conviction in
+    sweep order wins (deterministic: addresses in graph order, units in
+    list order), so attribution is identical on every replica.
+    """
+    violators: dict[int, Edge] = {}
     for address in addresses:
         rw = acg.rw_lists[address]
         # Split readers into normally-sorted and reordered; track the two
@@ -164,6 +184,7 @@ def _find_violations(
         top_seq = 0
         top_reader = -1
         second_seq = 0
+        second_reader = -1
         reordered_readers: list[tuple[int, int]] = []
         for txid in rw.reads:
             if not state.is_live(txid):
@@ -176,10 +197,12 @@ def _find_violations(
                 continue
             if sequence > top_seq:
                 second_seq = top_seq
+                second_reader = top_reader
                 top_seq = sequence
                 top_reader = txid
             elif sequence > second_seq:
                 second_seq = sequence
+                second_reader = txid
         seen: dict[int, int] = {}
         for txid in rw.writes:
             if not state.is_live(txid):
@@ -188,20 +211,23 @@ def _find_violations(
             if sequence is None:
                 # Unassigned live writer: sorting never reached it, which
                 # cannot happen for a completed run; treat as violation.
-                violators.add(txid)
+                violators.setdefault(txid, (UNKNOWN_PEER, address, EDGE_WW))
                 continue
             limit = second_seq if txid == top_reader else top_seq
             if sequence <= limit:
-                violators.add(txid)
+                peer = second_reader if txid == top_reader else top_reader
+                violators.setdefault(txid, (peer, address, EDGE_RW))
             else:
                 for reader, read_seq in reordered_readers:
                     if reader != txid and sequence <= read_seq:
                         # A bumped reader stranded an otherwise-valid
                         # writer: the bumped transaction pays.
-                        violators.add(reader)
+                        violators.setdefault(reader, (txid, address, EDGE_RW))
             prior = seen.get(sequence)
             if prior is not None and prior != txid:
-                violators.add(_duplicate_victim(prior, txid, state))
+                victim = _duplicate_victim(prior, txid, state)
+                peer = txid if victim == prior else prior
+                violators.setdefault(victim, (peer, address, EDGE_WW))
             else:
                 seen[sequence] = txid
         # Delta units: pseudo-writers.  R<D against every normal reader
@@ -213,17 +239,19 @@ def _find_violations(
                 continue
             sequence = state.sequence_of(txid)
             if sequence is None:
-                violators.add(txid)
+                violators.setdefault(txid, (UNKNOWN_PEER, address, EDGE_WD))
                 continue
             if sequence <= top_seq:
-                violators.add(txid)
+                violators.setdefault(txid, (top_reader, address, EDGE_RD))
             else:
                 for reader, read_seq in reordered_readers:
                     if reader != txid and sequence <= read_seq:
-                        violators.add(reader)
+                        violators.setdefault(reader, (txid, address, EDGE_RD))
             prior = seen.get(sequence)
             if prior is not None and prior != txid:
-                violators.add(_duplicate_victim(prior, txid, state))
+                victim = _duplicate_victim(prior, txid, state)
+                peer = txid if victim == prior else prior
+                violators.setdefault(victim, (peer, address, EDGE_WD))
     return violators
 
 
@@ -269,7 +297,10 @@ def validate_sort_dense(
                 )
                 state.reordered.add(txn_idx)
             else:
-                state.abort(txn_idx, _abort_reason(txn_idx, state.reordered))
+                state.abort(
+                    txn_idx, _abort_reason(txn_idx, state.reordered),
+                    edge=violators[txn_idx],
+                )
                 newly_aborted.add(txn_idx)
     if enable_reorder:
         newly_aborted -= _resurrect_dense(dense, state)
@@ -284,6 +315,7 @@ def _resurrect_dense(dense: DenseACG, state: DenseSortState) -> set[int]:
             continue
         state.alive[txn_idx] = 1
         state.reasons.pop(txn_idx, None)
+        state.edges.pop(txn_idx, None)
         state.revived.add(txn_idx)
         state.seq[txn_idx] = 1 + max_sequence_on_addresses_dense(
             dense, txn_idx, state
@@ -292,16 +324,23 @@ def _resurrect_dense(dense: DenseACG, state: DenseSortState) -> set[int]:
     return revived
 
 
-def _find_violations_dense(dense: DenseACG, state: DenseSortState) -> set[int]:
-    """One sweep over all dense addresses: every transaction to abort."""
+def _find_violations_dense(
+    dense: DenseACG, state: DenseSortState
+) -> dict[int, DenseEdge]:
+    """One sweep over all dense addresses: every transaction to abort.
+
+    Mirrors :func:`_find_violations` — same victims, same attributed
+    edges (on dense indices/address ids).
+    """
     seq = state.seq
     alive = state.alive
     reordered = state.reordered
-    violators: set[int] = set()
+    violators: dict[int, DenseEdge] = {}
     for addr_id in range(dense.addr_count):
         top_seq = 0
         top_reader = -1
         second_seq = 0
+        second_reader = -1
         reordered_readers: list[tuple[int, int]] = []
         for txn_idx in dense.reads_of(addr_id):
             if not alive[txn_idx]:
@@ -314,28 +353,33 @@ def _find_violations_dense(dense: DenseACG, state: DenseSortState) -> set[int]:
                 continue
             if sequence > top_seq:
                 second_seq = top_seq
+                second_reader = top_reader
                 top_seq = sequence
                 top_reader = txn_idx
             elif sequence > second_seq:
                 second_seq = sequence
+                second_reader = txn_idx
         seen: dict[int, int] = {}
         for txn_idx in dense.writes_of(addr_id):
             if not alive[txn_idx]:
                 continue
             sequence = seq[txn_idx]
             if sequence == UNASSIGNED:
-                violators.add(txn_idx)
+                violators.setdefault(txn_idx, (UNKNOWN_PEER, addr_id, EDGE_WW))
                 continue
             limit = second_seq if txn_idx == top_reader else top_seq
             if sequence <= limit:
-                violators.add(txn_idx)
+                peer = second_reader if txn_idx == top_reader else top_reader
+                violators.setdefault(txn_idx, (peer, addr_id, EDGE_RW))
             else:
                 for reader, read_seq in reordered_readers:
                     if reader != txn_idx and sequence <= read_seq:
-                        violators.add(reader)
+                        violators.setdefault(reader, (txn_idx, addr_id, EDGE_RW))
             prior = seen.get(sequence)
             if prior is not None and prior != txn_idx:
-                violators.add(_duplicate_victim_dense(prior, txn_idx, reordered))
+                victim = _duplicate_victim_dense(prior, txn_idx, reordered)
+                peer = txn_idx if victim == prior else prior
+                violators.setdefault(victim, (peer, addr_id, EDGE_WW))
             else:
                 seen[sequence] = txn_idx
         for txn_idx in dense.deltas_of(addr_id):
@@ -343,17 +387,19 @@ def _find_violations_dense(dense: DenseACG, state: DenseSortState) -> set[int]:
                 continue
             sequence = seq[txn_idx]
             if sequence == UNASSIGNED:
-                violators.add(txn_idx)
+                violators.setdefault(txn_idx, (UNKNOWN_PEER, addr_id, EDGE_WD))
                 continue
             if sequence <= top_seq:
-                violators.add(txn_idx)
+                violators.setdefault(txn_idx, (top_reader, addr_id, EDGE_RD))
             else:
                 for reader, read_seq in reordered_readers:
                     if reader != txn_idx and sequence <= read_seq:
-                        violators.add(reader)
+                        violators.setdefault(reader, (txn_idx, addr_id, EDGE_RD))
             prior = seen.get(sequence)
             if prior is not None and prior != txn_idx:
-                violators.add(_duplicate_victim_dense(prior, txn_idx, reordered))
+                victim = _duplicate_victim_dense(prior, txn_idx, reordered)
+                peer = txn_idx if victim == prior else prior
+                violators.setdefault(victim, (peer, addr_id, EDGE_WD))
     return violators
 
 

@@ -30,6 +30,7 @@ from repro.node.metrics import MetricsRegistry
 from repro.node.node import FullNode
 from repro.node.phases import EpochReport
 from repro.node.pipeline import PipelineConfig, Scheduler
+from repro.obs.ledger import FlightLedger
 from repro.obs.tracer import Tracer, maybe_span
 from repro.state.flat import make_statedb
 from repro.storage.api import KVStore
@@ -122,10 +123,12 @@ class Cluster:
         config: ClusterConfig | None = None,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        ledger: FlightLedger | None = None,
     ) -> None:
         self.config = config or ClusterConfig()
         self.metrics = metrics
         self.tracer = tracer
+        self.ledger = ledger
         workload_config = SmallBankConfig(
             account_count=self.config.account_count,
             skew=self.config.skew,
@@ -177,6 +180,7 @@ class Cluster:
             ),
             metrics=metrics,
             tracer=tracer,
+            ledger=ledger,
         )
 
     def close(self) -> None:

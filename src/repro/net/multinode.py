@@ -26,6 +26,7 @@ from repro.node.metrics import MetricsRegistry
 from repro.node.node import FullNode
 from repro.node.phases import EpochReport
 from repro.node.pipeline import Scheduler
+from repro.obs.ledger import FlightLedger
 from repro.obs.tracer import Tracer, maybe_span
 from repro.state.flat import make_statedb
 from repro.vm.contracts.smallbank import default_registry
@@ -73,6 +74,7 @@ class ReplicaNetwork:
         scheduler_factory: SchedulerFactory,
         config: ReplicaNetworkConfig | None = None,
         tracer: Tracer | None = None,
+        with_ledgers: bool = False,
     ) -> None:
         self.config = config or ReplicaNetworkConfig()
         self.tracer = tracer
@@ -102,6 +104,9 @@ class ReplicaNetwork:
         # separable (agreement checks compare replicas; pooled counters
         # would hide a diverging one).
         self.metrics: list[MetricsRegistry] = []
+        # One flight ledger per replica, same separability argument: a
+        # replica that aborts differently should show its own lifecycle.
+        self.ledgers: list[FlightLedger | None] = []
         for _ in range(self.config.replica_count):
             # Replicas run the flat fast path; the agreement check across
             # replicas (and the flat/trie equivalence sweep) guards roots.
@@ -109,6 +114,8 @@ class ReplicaNetwork:
             state.seed(initial_state(workload_config))
             registry = MetricsRegistry()
             self.metrics.append(registry)
+            ledger = FlightLedger() if with_ledgers else None
+            self.ledgers.append(ledger)
             self.replicas.append(
                 FullNode(
                     chains=ParallelChains(
@@ -119,6 +126,7 @@ class ReplicaNetwork:
                     registry=default_registry(),
                     metrics=registry,
                     tracer=tracer,
+                    ledger=ledger,
                 )
             )
         self.agreements: list[EpochAgreement] = []

@@ -11,12 +11,13 @@ flushed to the backing store, yielding the epoch's new state root.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.core.schedule import Schedule
 from repro.errors import ExecutionError
 from repro.node.executor import ConcurrentExecutor
+from repro.obs.taxonomy import EDGE_DELTA_GUARD, UNKNOWN_PEER
 from repro.obs.tracer import Tracer, maybe_span
 from repro.state.statedb import StateDB
 from repro.txn.rwset import Address
@@ -41,10 +42,14 @@ class CommitReport:
     over/underflow guard rejected: folding their commutative deltas
     would have pushed some address outside ``[0, 2**64)``.  The check is
     a pure function of the schedule and the pre-epoch state, so every
-    correct replica rejects the same set.  ``delta_commuted`` counts the
-    delta units that actually committed on addresses carrying at least
-    two of them — each was a write-write conflict saved by
-    operation-level CC.
+    correct replica rejects the same set.  ``guard_edges`` attributes
+    each of those aborts: txid -> ``(peer txid, address, "delta_guard")``
+    where *address* is the first overflowing address in fold order and
+    *peer* the last transaction whose write or delta moved its running
+    value (``-1`` when the pre-epoch value alone overflowed).
+    ``delta_commuted`` counts the delta units that actually committed on
+    addresses carrying at least two of them — each was a write-write
+    conflict saved by operation-level CC.
     """
 
     state_root: bytes
@@ -53,6 +58,9 @@ class CommitReport:
     write_delta: "Mapping[Address, int] | None" = None
     guard_aborted: tuple[int, ...] = ()
     delta_commuted: int = 0
+    guard_edges: "Mapping[int, tuple[int, Address, str]]" = field(
+        default_factory=dict
+    )
 
 
 class _DeltaPlan:
@@ -76,6 +84,7 @@ class _DeltaPlan:
         self._aborted: frozenset[int] = frozenset()
         self.finals: dict[Address, int] = {}
         self.guard_aborted: tuple[int, ...] = ()
+        self.guard_edges: dict[int, tuple[int, Address, str]] = {}
         self.delta_commuted = 0
 
     @classmethod
@@ -96,26 +105,37 @@ class _DeltaPlan:
         if not addresses:
             return plan
         running = {address: state.get(address) for address in addresses}
+        last_toucher: dict[Address, int] = {}
         touched: set[Address] = set()
         units: dict[Address, int] = {}
         aborted: list[int] = []
         for group in schedule.iter_groups():
             for txid in group.txids:
                 deltas = delta_values.get(txid)
-                if deltas and any(
-                    not 0 <= running[address] + delta <= WORD_MASK
-                    for address, delta in deltas.items()
-                ):
+                overflowed = None
+                if deltas:
+                    for address, delta in deltas.items():
+                        if not 0 <= running[address] + delta <= WORD_MASK:
+                            overflowed = address
+                            break
+                if overflowed is not None:
                     aborted.append(txid)
+                    plan.guard_edges[txid] = (
+                        last_toucher.get(overflowed, UNKNOWN_PEER),
+                        overflowed,
+                        EDGE_DELTA_GUARD,
+                    )
                     continue
                 for address, value in write_values.get(txid, {}).items():
                     if address in addresses:
                         running[address] = int(value)
                         touched.add(address)
+                        last_toucher[address] = txid
                 if deltas:
                     for address, delta in deltas.items():
                         running[address] += delta
                         touched.add(address)
+                        last_toucher[address] = txid
                         units[address] = units.get(address, 0) + 1
         plan._addresses = frozenset(addresses)
         plan._aborted = frozenset(aborted)
@@ -216,6 +236,7 @@ class Committer:
             write_delta=delta,
             guard_aborted=plan.guard_aborted,
             delta_commuted=plan.delta_commuted,
+            guard_edges=plan.guard_edges,
         )
 
     def _apply_group_parallel(

@@ -275,6 +275,19 @@ class StreamingEpochEngine:
         except Exception:
             return None
         self.stats.speculated += len(results)
+        ledger = self.pipeline.ledger
+        if ledger is not None and results:
+            # Streaming-only events: excluded from the stable-kind digest,
+            # so barrier and streaming timelines still hash identically.
+            ledger.record_many(
+                {
+                    "epoch": index,
+                    "txid": r.txid,
+                    "kind": "speculate",
+                    "ok": r.ok,
+                }
+                for r in results
+            )
         return _Speculation(
             guess=guess,
             transactions=transactions,
@@ -344,6 +357,28 @@ class StreamingEpochEngine:
             span.set(kept=len(kept), reexecuted=len(touched))
         self.stats.kept += len(kept)
         self.stats.reexecuted += len(touched)
+        ledger = self.pipeline.ledger
+        if ledger is not None and (kept or touched):
+            index = spec.guess.index
+            events = [
+                {
+                    "epoch": index,
+                    "txid": result.txid,
+                    "kind": "reconcile",
+                    "outcome": "kept",
+                }
+                for result in kept
+            ]
+            events.extend(
+                {
+                    "epoch": index,
+                    "txid": txn.txid,
+                    "kind": "reconcile",
+                    "outcome": "reexecuted",
+                }
+                for txn in touched
+            )
+            ledger.record_many(events)
         batch = SimulationBatch(
             results=tuple(sorted(merged, key=lambda r: r.txid)),
             snapshot_root=state.root,

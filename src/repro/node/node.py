@@ -21,6 +21,7 @@ from repro.errors import BlockValidationError
 from repro.node.metrics import MetricsRegistry, record_epoch, record_state
 from repro.node.phases import EpochReport
 from repro.node.pipeline import PipelineConfig, Scheduler, TransactionPipeline
+from repro.obs.ledger import FlightLedger
 from repro.obs.tracer import Tracer, maybe_span
 from repro.state.statedb import StateDB
 from repro.vm.native import ContractRegistry
@@ -42,6 +43,7 @@ class FullNode:
     blockstore: BlockStore | None = None
     metrics: "MetricsRegistry | None" = None
     tracer: "Tracer | None" = None
+    ledger: "FlightLedger | None" = None
 
     def __post_init__(self) -> None:
         self.pipeline = TransactionPipeline(
@@ -50,6 +52,7 @@ class FullNode:
             registry=self.registry,
             config=self.config,
             tracer=self.tracer,
+            ledger=self.ledger,
         )
         self._next_epoch = min(
             (self.chains.height(c) for c in range(self.chains.chain_count)),
@@ -176,10 +179,34 @@ class FullNode:
         return report
 
     def _register_epoch(self, epoch: Epoch) -> None:
-        """Fold an admitted epoch's txids into duplicate protection."""
+        """Fold an admitted epoch's txids into duplicate protection.
+
+        Both the barrier path and the streaming engine route admitted
+        epochs through here, so it is also where the flight ledger gets
+        its ``ingest`` events — one per delivered transaction, stamped
+        with the carrying block.
+        """
         self._seen_txids.update(
             txn.txid for block in epoch.blocks for txn in block.transactions
         )
+        if self.ledger is not None:
+            events = []
+            for block in epoch.blocks:
+                # Hoisted per block: hashing/hexing per transaction is
+                # measurable on 1000+-txn epochs.
+                block_id = block.hash.hex()[:12]
+                chain = block.chain_id
+                events.extend(
+                    {
+                        "epoch": epoch.index,
+                        "txid": txn.txid,
+                        "kind": "ingest",
+                        "block": block_id,
+                        "chain": chain,
+                    }
+                    for txn in block.transactions
+                )
+            self.ledger.record_many(events)
 
     def _finish_report(self, report: EpochReport) -> None:
         """Record a completed epoch (streaming join path).

@@ -50,7 +50,10 @@ class EpochReport:
 
     ``abort_reasons`` maps each taxonomy reason (see
     :mod:`repro.obs.taxonomy`) to the number of transactions aborted for
-    it; the counts always sum to ``aborted``.  ``revived`` counts
+    it; the counts always sum to ``aborted``.  ``abort_edges`` maps each
+    aborted txid to its attributed conflict edges ``(peer txid, address,
+    kind)`` — the CC-layer attribution for sorter/validator aborts plus a
+    ``delta_guard`` edge for each commit-time guard abort.  ``revived`` counts
     §IV-D-doomed transactions the validation pass rescued back into the
     schedule (they are *not* part of ``aborted``).  ``delta_commuted``
     counts committed commutative delta units that shared an address with
@@ -74,6 +77,9 @@ class EpochReport:
     commit_group_count: int = 0
     scheduler_failed: bool = False
     abort_reasons: Mapping[str, int] = field(default_factory=dict)
+    abort_edges: Mapping[int, list[tuple[int, str, str]]] = field(
+        default_factory=dict
+    )
     revived: int = 0
     delta_commuted: int = 0
     certificate: "EpochCertificate | None" = None

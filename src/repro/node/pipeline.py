@@ -33,7 +33,8 @@ from repro.errors import BlockValidationError, CertificationError
 from repro.node.committer import CommitReport, Committer, SerialExecutorCommitter
 from repro.node.executor import ConcurrentExecutor
 from repro.node.phases import EpochReport, PhaseLatencies
-from repro.obs.taxonomy import DELTA_OVERFLOW, taxonomy_counts
+from repro.obs.ledger import Event, FlightLedger
+from repro.obs.taxonomy import DELTA_OVERFLOW, SCHEME_CONFLICT, taxonomy_counts
 from repro.obs.tracer import Tracer, maybe_span
 from repro.state.statedb import StateDB
 from repro.txn.transaction import Transaction
@@ -115,12 +116,18 @@ class TransactionPipeline:
         registry: ContractRegistry | None = None,
         config: PipelineConfig | None = None,
         tracer: Tracer | None = None,
+        ledger: FlightLedger | None = None,
     ) -> None:
         self.state = state
         self.scheduler = scheduler
         self.registry = registry
         self.config = config or PipelineConfig()
         self.tracer = tracer
+        # Optional flight ledger: the commit path batches every epoch's
+        # execute/schedule/commit/abort lifecycle events into it (the
+        # streaming engine's background stage records from its thread —
+        # the ledger is lock-protected).
+        self.ledger = ledger
         if tracer is not None and hasattr(scheduler, "tracer"):
             # Schedulers that record sub-phase spans (Nezha) nest them
             # under this pipeline's concurrency-control span.
@@ -302,10 +309,21 @@ class TransactionPipeline:
             abort_reasons[DELTA_OVERFLOW] = (
                 abort_reasons.get(DELTA_OVERFLOW, 0) + len(guard_aborted)
             )
+        abort_edges = self._merge_abort_edges(result, schedule, commit_report)
+        if self.ledger is not None:
+            self._record_lifecycle(
+                epoch, batch, result, schedule, failed, abort_edges, commit_report
+            )
         certificate: EpochCertificate | None = None
         if self.config.certify and not failed and batch is not None:
             certificate = self._certify_epoch(
-                epoch, batch, result, schedule, guard_aborted, abort_reasons
+                epoch,
+                batch,
+                result,
+                schedule,
+                guard_aborted,
+                abort_reasons,
+                abort_edges,
             )
         timings = getattr(result, "timings", None)
         scheme_phases = timings.as_dict() if timings is not None else {}
@@ -326,10 +344,113 @@ class TransactionPipeline:
             revived=int(getattr(result, "revived", 0)),
             delta_commuted=delta_commuted,
             certificate=certificate,
+            abort_edges=abort_edges,
         )
         if certificate is not None and not certificate.ok:
             raise CertificationError(certificate.summary())
         return report, commit_report
+
+    @staticmethod
+    def _merge_abort_edges(
+        result, schedule: Schedule, commit_report: CommitReport | None
+    ) -> dict[int, list[tuple[int, str, str]]]:
+        """Fold CC and commit-time attribution into one txid -> edges map.
+
+        Concurrency-control edges come from the scheduler (sorter and
+        validator convictions); the committer contributes the
+        delta-overflow guard's edges.  A txid never appears in both —
+        guard aborts are by definition transactions CC admitted.
+        """
+        cc_edges = getattr(result, "abort_edges", None) or {}
+        merged = {
+            txid: list(cc_edges[txid])
+            for txid in schedule.aborted
+            if txid in cc_edges
+        }
+        if commit_report is not None:
+            for txid, edge in commit_report.guard_edges.items():
+                merged.setdefault(txid, []).append(edge)
+        return merged
+
+    def _record_lifecycle(
+        self,
+        epoch: Epoch,
+        batch,
+        result,
+        schedule: Schedule,
+        failed: bool,
+        abort_edges: dict[int, list[tuple[int, str, str]]],
+        commit_report: CommitReport | None,
+    ) -> None:
+        """Batch one epoch's lifecycle events into the flight ledger.
+
+        Event content is derived only from the batch, schedule, and
+        attribution maps — all bit-identical between the barrier pipeline
+        and the streaming engine — so the ledger's stable-kind digest
+        matches across both modes.
+        """
+        events: list[Event] = []
+        index = epoch.index
+        if batch is not None:
+            events.extend(
+                {"epoch": index, "txid": r.txid, "kind": "execute", "ok": r.ok}
+                for r in batch.results
+            )
+        if failed:
+            # The scheme failed wholesale (OCC validation abort): there
+            # is no schedule to narrate, only the executions.
+            self.ledger.record_many(events)
+            return
+        reordered = set(schedule.reordered)
+        revived = set(getattr(result, "revived_txids", ()))
+        for group in schedule.iter_groups():
+            for txid in group.txids:
+                events.append(
+                    {
+                        "epoch": index,
+                        "txid": txid,
+                        "kind": "schedule",
+                        "seq": group.sequence,
+                        "reordered": txid in reordered,
+                        "revived": txid in revived,
+                    }
+                )
+        guard_aborted = (
+            set(commit_report.guard_aborted) if commit_report is not None else set()
+        )
+        for group in schedule.iter_groups():
+            for txid in group.txids:
+                if txid not in guard_aborted:
+                    events.append(
+                        {
+                            "epoch": index,
+                            "txid": txid,
+                            "kind": "commit",
+                            "group": group.sequence,
+                        }
+                    )
+        reasons = getattr(result, "abort_reasons", None) or {}
+        for txid in schedule.aborted:
+            events.append(
+                {
+                    "epoch": index,
+                    "txid": txid,
+                    "kind": "abort",
+                    "reason": reasons.get(txid, SCHEME_CONFLICT),
+                    "edges": abort_edges.get(txid, []),
+                }
+            )
+        for txid in sorted(guard_aborted):
+            events.append(
+                {
+                    "epoch": index,
+                    "txid": txid,
+                    "kind": "abort",
+                    "reason": DELTA_OVERFLOW,
+                    "edges": abort_edges.get(txid, []),
+                }
+            )
+        self.ledger.record_many(events)
 
     def _certify_epoch(
         self,
@@ -339,6 +460,7 @@ class TransactionPipeline:
         schedule: Schedule,
         guard_aborted: tuple[int, ...],
         abort_reasons: dict[str, int],
+        abort_edges: dict[int, list[tuple[int, str, str]]] | None = None,
     ) -> EpochCertificate:
         """Run the independent certifier over one committed epoch.
 
@@ -358,6 +480,7 @@ class TransactionPipeline:
                 guard_aborted=guard_aborted,
                 failed=failed_ids,
                 reason_counts=abort_reasons,
+                abort_edges=abort_edges,
             )
         )
         with maybe_span(self.tracer, "pipeline.certify", epoch=epoch.index) as span:
@@ -404,6 +527,7 @@ class TransactionPipeline:
         by_id = {t.txid: t for t in transactions}
         start = time.perf_counter()
         committed = 0
+        committed_ids: list[tuple[int, int]] = []
         with maybe_span(self.tracer, "pipeline.commit") as span:
             for group in schedule.iter_groups():
                 for txid in group.txids:
@@ -421,18 +545,55 @@ class TransactionPipeline:
                                 address, self.state.get(address) + amount
                             )
                         committed += 1
+                        committed_ids.append((txid, group.sequence))
                         continue
                     sim = self.executor.execute_one(txn, self.state.get)
                     if sim.ok:
                         for address, value in sim.rwset.writes.items():
                             self.state.set(address, int(value))
                         committed += 1
+                        committed_ids.append((txid, group.sequence))
             commit_root = self.state.commit()
             # No write-delta exists for wave-by-wave commits, so the process
             # backend must resync its replicas from state before executing.
             self.executor.mark_stale()
             span.set(committed=committed, groups=len(schedule.groups))
         phases.commitment = time.perf_counter() - start
+        if self.ledger is not None:
+            # Locking schemes attribute nothing — schedule/commit/abort
+            # events only, with the catch-all abort reason.
+            reasons = getattr(result, "abort_reasons", None) or {}
+            events: list[Event] = [
+                {
+                    "epoch": epoch.index,
+                    "txid": txid,
+                    "kind": "schedule",
+                    "seq": sequence,
+                    "reordered": False,
+                    "revived": False,
+                }
+                for txid, sequence in committed_ids
+            ]
+            events.extend(
+                {
+                    "epoch": epoch.index,
+                    "txid": txid,
+                    "kind": "commit",
+                    "group": sequence,
+                }
+                for txid, sequence in committed_ids
+            )
+            events.extend(
+                {
+                    "epoch": epoch.index,
+                    "txid": txid,
+                    "kind": "abort",
+                    "reason": reasons.get(txid, SCHEME_CONFLICT),
+                    "edges": [],
+                }
+                for txid in schedule.aborted
+            )
+            self.ledger.record_many(events)
         timings = getattr(result, "timings", None)
         scheme_phases = timings.as_dict() if timings is not None else {}
         if not scheme_phases and hasattr(result, "as_dict"):

@@ -6,6 +6,7 @@ scope (``prom`` type-checks against ``repro.node.metrics`` under
 ``TYPE_CHECKING`` only).
 """
 
+from repro.obs.endpoint import MetricsEndpoint
 from repro.obs.export import (
     chrome_trace,
     render_top,
@@ -13,7 +14,20 @@ from repro.obs.export import (
     validate_chrome_trace,
     write_chrome_trace,
 )
+from repro.obs.ledger import (
+    EVENT_KINDS,
+    FlightLedger,
+    aggregate_contention,
+    delta_promotion_candidates,
+    estimate_skew,
+    iter_timeline,
+    read_jsonl,
+    timeline_digest,
+    validate_ledger,
+)
 from repro.obs.prom import (
+    parse_prometheus,
+    render_ledger_counters,
     render_prometheus,
     render_tracer_aggregates,
     write_prometheus,
@@ -22,7 +36,14 @@ from repro.obs.taxonomy import (
     ABORT_REASONS,
     DELTA_OVERFLOW,
     DOOMED_REORDER,
+    EDGE_DELTA_GUARD,
+    EDGE_KINDS,
+    EDGE_RD,
+    EDGE_RW,
+    EDGE_WD,
+    EDGE_WW,
     SCHEME_CONFLICT,
+    UNKNOWN_PEER,
     UNSERIALIZABLE_WRITE,
     taxonomy_counts,
 )
@@ -41,15 +62,32 @@ __all__ = [
     "ABORT_REASONS",
     "DELTA_OVERFLOW",
     "DOOMED_REORDER",
+    "EDGE_DELTA_GUARD",
+    "EDGE_KINDS",
+    "EDGE_RD",
+    "EDGE_RW",
+    "EDGE_WD",
+    "EDGE_WW",
+    "EVENT_KINDS",
+    "FlightLedger",
+    "MetricsEndpoint",
     "NULL_SPAN",
     "SCHEME_CONFLICT",
     "Span",
     "SpanAggregate",
     "SpanLike",
     "Tracer",
+    "UNKNOWN_PEER",
     "UNSERIALIZABLE_WRITE",
+    "aggregate_contention",
     "chrome_trace",
+    "delta_promotion_candidates",
+    "estimate_skew",
+    "iter_timeline",
     "maybe_span",
+    "parse_prometheus",
+    "read_jsonl",
+    "render_ledger_counters",
     "render_prometheus",
     "render_top",
     "render_tracer_aggregates",
@@ -57,7 +95,9 @@ __all__ = [
     "span_to_wire",
     "summarize_events",
     "taxonomy_counts",
+    "timeline_digest",
     "validate_chrome_trace",
+    "validate_ledger",
     "write_chrome_trace",
     "write_prometheus",
 ]

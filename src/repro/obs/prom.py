@@ -2,14 +2,18 @@
 
 The node's registry was write-only — nothing ever exported it.  This
 module renders it in the Prometheus text exposition format (version
-0.0.4): one ``# TYPE`` header per metric family, one sample line per
-label set, with label values escaped per the spec (backslash, double
-quote, and newline).  Histograms export as Prometheus *summaries* —
-quantiles over the retained sample ring plus cumulative ``_sum`` and
-``_count`` over every observation ever made.
+0.0.4): exactly one ``# HELP`` and one ``# TYPE`` header per metric
+family, one sample line per label set, with label values escaped per the
+spec (backslash, double quote, and newline).  Histograms export as
+Prometheus *summaries* — quantiles over the retained sample ring plus
+cumulative ``_sum`` and ``_count`` over every observation ever made.
 
-Written via ``--metrics-out`` on the CLI, or served however the caller
-likes — the renderer is just registry -> text.
+Written via ``--metrics-out`` on the CLI, served live by the
+``--metrics-port`` endpoint (:mod:`repro.obs.endpoint`), or however the
+caller likes — the renderer is just registry -> text.
+:func:`parse_prometheus` is the conformance half: a small exposition
+parser the round-trip test pins the renderer against (every family
+headered exactly once, every sample attributable to a declared family).
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ from typing import TYPE_CHECKING, Mapping, Union
 
 if TYPE_CHECKING:  # avoid a module-level repro.node import cycle
     from repro.node.metrics import Counter, Gauge, Histogram, MetricsRegistry
+    from repro.obs.ledger import FlightLedger
     from repro.obs.tracer import Tracer
 
     Metric = Union[Counter, Gauge, Histogram]
@@ -82,19 +87,44 @@ def _summary_lines(
     return lines
 
 
+_HELP_TEXT = {
+    "repro_span_count": "Spans finished per name (survives ring eviction)",
+    "repro_span_seconds_total": "Cumulative span seconds per name",
+    "tracer_spans_evicted_total": (
+        "Spans silently dropped by the bounded span ring"
+    ),
+    "ledger_events_total": "Flight-ledger lifecycle events ever recorded",
+    "ledger_events_evicted_total": (
+        "Flight-ledger events dropped by the bounded event ring"
+    ),
+}
+
+
+def _help_line(name: str, kind: str) -> str:
+    text = _HELP_TEXT.get(name, f"{name} ({kind} exported by repro)")
+    escaped = text.replace("\\", "\\\\").replace("\n", "\\n")
+    return f"# HELP {name} {escaped}"
+
+
+def _family_header(name: str, kind: str) -> list[str]:
+    return [_help_line(name, kind), f"# TYPE {name} {kind}"]
+
+
 def render_tracer_aggregates(tracer: "Tracer") -> str:
-    """The tracer's cumulative per-span-name totals as two counter
-    families.
+    """The tracer's cumulative per-span-name totals plus the ring's
+    eviction counter, as counter families.
 
     The aggregates survive the bounded span ring's eviction, so these
     counters stay truthful over runs long enough to overflow the ring —
-    exactly the runs where a Prometheus scrape matters.
+    exactly the runs where a Prometheus scrape matters — and
+    ``tracer_spans_evicted_total`` says how much of the *span* export
+    (Chrome trace) such a run silently lost.
     """
     aggregates = tracer.aggregates()
     if not aggregates:
         return ""
-    count_lines = ["# TYPE repro_span_count counter"]
-    seconds_lines = ["# TYPE repro_span_seconds_total counter"]
+    count_lines = _family_header("repro_span_count", "counter")
+    seconds_lines = _family_header("repro_span_seconds_total", "counter")
     for name, entry in aggregates.items():
         labels = render_labels({"name": name})
         count_lines.append(
@@ -104,16 +134,46 @@ def render_tracer_aggregates(tracer: "Tracer") -> str:
             f"repro_span_seconds_total{labels} "
             f"{_format_value(entry.total_seconds)}"
         )
-    return "\n".join(count_lines) + "\n" + "\n".join(seconds_lines) + "\n"
+    evicted_lines = _family_header("tracer_spans_evicted_total", "counter")
+    evicted_lines.append(
+        f"tracer_spans_evicted_total {_format_value(float(tracer.evicted))}"
+    )
+    return (
+        "\n".join(count_lines)
+        + "\n"
+        + "\n".join(seconds_lines)
+        + "\n"
+        + "\n".join(evicted_lines)
+        + "\n"
+    )
+
+
+def render_ledger_counters(ledger: "FlightLedger") -> str:
+    """The flight ledger's volume/loss accounting as counter families."""
+    total_lines = _family_header("ledger_events_total", "counter")
+    total_lines.append(
+        f"ledger_events_total {_format_value(float(ledger.recorded))}"
+    )
+    evicted_lines = _family_header("ledger_events_evicted_total", "counter")
+    evicted_lines.append(
+        f"ledger_events_evicted_total {_format_value(float(ledger.evicted))}"
+    )
+    return "\n".join(total_lines) + "\n" + "\n".join(evicted_lines) + "\n"
 
 
 def render_prometheus(
-    registry: "MetricsRegistry", tracer: "Tracer | None" = None
+    registry: "MetricsRegistry",
+    tracer: "Tracer | None" = None,
+    ledger: "FlightLedger | None" = None,
 ) -> str:
     """The whole registry in Prometheus text-exposition format.
 
     With a ``tracer``, its cumulative span aggregates are appended as
-    ``repro_span_count`` / ``repro_span_seconds_total`` families.
+    ``repro_span_count`` / ``repro_span_seconds_total`` /
+    ``tracer_spans_evicted_total`` families; with a ``ledger``, its
+    volume counters follow.  Every family carries exactly one ``# HELP``
+    and one ``# TYPE`` header (pinned by the :func:`parse_prometheus`
+    round-trip test).
     """
     from repro.node.metrics import Counter, Gauge, Histogram
 
@@ -122,6 +182,8 @@ def render_prometheus(
         rendered = render_tracer_aggregates(tracer)
         if rendered:
             blocks.append(rendered.rstrip("\n"))
+    if ledger is not None:
+        blocks.append(render_ledger_counters(ledger).rstrip("\n"))
     for name, kind, samples in registry.families():
         metric_name = sanitize_metric_name(name)
         if kind is Counter:
@@ -132,7 +194,7 @@ def render_prometheus(
             type_name = "summary"
         else:  # pragma: no cover - registry only holds the three kinds
             continue
-        lines = [f"# TYPE {metric_name} {type_name}"]
+        lines = _family_header(metric_name, type_name)
         for labels, metric in samples:
             if isinstance(metric, Histogram):
                 lines.extend(_summary_lines(metric_name, labels, metric))
@@ -144,11 +206,96 @@ def render_prometheus(
     return "\n".join(blocks) + ("\n" if blocks else "")
 
 
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape_label_value(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def parse_prometheus(
+    text: str,
+) -> dict[str, dict[str, object]]:
+    """Parse a text exposition; returns family -> parsed block.
+
+    Each family maps to ``{"type", "help", "samples"}`` where samples is
+    a list of ``(metric name, labels dict, value)``.  Raises
+    ``ValueError`` on conformance violations: a family with a repeated
+    or missing ``# HELP``/``# TYPE`` header, a sample that belongs to no
+    declared family, or an unparseable line.  This is the strict reader
+    the renderer round-trips against.
+    """
+    families: dict[str, dict[str, object]] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            keyword = line[2:6]
+            rest = line[7:]
+            parts = rest.split(" ", 1)
+            name = parts[0]
+            value = parts[1] if len(parts) > 1 else ""
+            entry = families.setdefault(
+                name, {"type": None, "help": None, "samples": []}
+            )
+            key = keyword.lower()
+            if entry[key] is not None:
+                raise ValueError(
+                    f"line {lineno}: repeated # {keyword} for family {name!r}"
+                )
+            entry[key] = value
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: unparseable sample {line!r}")
+        sample_name = match.group("name")
+        family = None
+        for candidate in (
+            sample_name,
+            sample_name.removesuffix("_sum"),
+            sample_name.removesuffix("_count"),
+        ):
+            if candidate in families:
+                family = candidate
+                break
+        if family is None:
+            raise ValueError(
+                f"line {lineno}: sample {sample_name!r} precedes its "
+                "family's # HELP/# TYPE headers"
+            )
+        labels: dict[str, str] = {}
+        if match.group("labels"):
+            for key, value in _LABEL_PAIR.findall(match.group("labels")):
+                labels[key] = _unescape_label_value(value)
+        samples = families[family]["samples"]
+        assert isinstance(samples, list)
+        samples.append((sample_name, labels, float(match.group("value"))))
+    for name, entry in families.items():
+        if entry["type"] is None:
+            raise ValueError(f"family {name!r} has no # TYPE header")
+        if entry["help"] is None:
+            raise ValueError(f"family {name!r} has no # HELP header")
+    return families
+
+
 def write_prometheus(
-    path: str, registry: "MetricsRegistry", tracer: "Tracer | None" = None
+    path: str,
+    registry: "MetricsRegistry",
+    tracer: "Tracer | None" = None,
+    ledger: "FlightLedger | None" = None,
 ) -> int:
     """Write the exposition to ``path``; returns the number of lines."""
-    text = render_prometheus(registry, tracer)
+    text = render_prometheus(registry, tracer, ledger)
     from pathlib import Path
 
     Path(path).write_text(text)

@@ -52,6 +52,27 @@ ABORT_REASONS: tuple[str, ...] = (
 )
 """Every reason an aborted transaction can carry (closed set)."""
 
+EDGE_RW = "rw"
+EDGE_WW = "ww"
+EDGE_WD = "wd"
+EDGE_RD = "rd"
+EDGE_DELTA_GUARD = "delta_guard"
+
+EDGE_KINDS: tuple[str, ...] = (EDGE_RW, EDGE_WW, EDGE_WD, EDGE_RD, EDGE_DELTA_GUARD)
+"""Conflict-edge kinds an abort attribution can carry (closed set).
+
+An attributed edge is the triple ``(peer, address, kind)``: the
+conflicting peer transaction (txid, or ``-1`` when no single peer
+exists), the contended address, and which invariant the pair violated —
+``rw`` (R<W), ``ww`` (W!=W), ``rd`` (R<D), ``wd`` (W!=D), or
+``delta_guard`` (the commit-time bounded-overflow fold).  Threaded from
+the sorter/validator through ``NezhaResult.abort_edges`` into
+``EpochReport.abort_edges`` and the flight ledger's abort events.
+"""
+
+UNKNOWN_PEER = -1
+"""Sentinel peer txid for edges with no attributable counterparty."""
+
 
 def taxonomy_counts(
     aborted: Iterable[int], reasons: Mapping[int, str] | None = None

@@ -125,12 +125,14 @@ class Tracer:
             raise ValueError("max_spans must be positive")
         self.track = track
         self._clock = clock
+        self.max_spans = max_spans
         self._finished: deque[Span] = deque(maxlen=max_spans)
         self._ids = itertools.count(1)
         self._local = threading.local()
         self._aggregates: dict[str, SpanAggregate] = {}
         self._aggregate_lock = threading.Lock()
         self._ring_lock = threading.Lock()
+        self._evicted = 0
 
     def _record_finished(self, span: Span) -> None:
         # Sanitizer hooks sit *inside* the real lock so the modelled
@@ -138,6 +140,8 @@ class Tracer:
         with self._ring_lock:
             race.lock_acquired(("tracer-ring", id(self)))
             race.trace_write(("tracer", id(self), "ring"))
+            if len(self._finished) == self.max_spans:
+                self._evicted += 1
             self._finished.append(span)
             race.lock_released(("tracer-ring", id(self)))
 
@@ -235,6 +239,21 @@ class Tracer:
             }
             race.lock_released(("tracer-agg", id(self)))
         return snapshot
+
+    @property
+    def evicted(self) -> int:
+        """Spans silently dropped by the bounded ring since construction.
+
+        Lifetime counter (never reset by :meth:`drain` / :meth:`clear`):
+        a nonzero value means exported traces are truncated — exactly
+        what ``tracer_spans_evicted_total`` surfaces on ``/metrics``.
+        """
+        with self._ring_lock:
+            race.lock_acquired(("tracer-ring", id(self)))
+            race.trace_read(("tracer", id(self), "ring"))
+            count = self._evicted
+            race.lock_released(("tracer-ring", id(self)))
+        return count
 
     def clear(self) -> None:
         """Drop every finished span (cumulative aggregates survive)."""

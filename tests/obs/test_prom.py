@@ -92,7 +92,8 @@ class TestRenderRegistry:
         path = tmp_path / "metrics.prom"
         lines = write_prometheus(path, registry)
         content = path.read_text()
-        assert lines == content.count("\n") == 2
+        # One # HELP line, one # TYPE line, one sample line.
+        assert lines == content.count("\n") == 3
         assert content.endswith("c 1\n")
 
 
@@ -161,3 +162,116 @@ class TestTracerAggregateExport:
         registry = MetricsRegistry()
         registry.counter("c").inc()
         assert render_prometheus(registry) == render_prometheus(registry, None)
+
+
+class TestConformance:
+    """Satellite invariant: every family carries exactly one # HELP and
+    one # TYPE header, pinned by a renderer -> parser round trip."""
+
+    def _full_exposition(self):
+        from repro.obs import FlightLedger, Tracer
+
+        registry = MetricsRegistry()
+        registry.counter("epochs_total").inc(3)
+        registry.counter("aborts_total", labels={"reason": "doomed_reorder"}).inc(2)
+        registry.counter(
+            "aborts_total", labels={"reason": "unserializable_write"}
+        ).inc(5)
+        registry.gauge("last_epoch_index").set(7)
+        registry.histogram("epoch_latency_seconds").observe(0.25)
+        registry.histogram("epoch_latency_seconds").observe(0.75)
+        tracer = Tracer()
+        with tracer.span("pipeline.epoch"):
+            pass
+        ledger = FlightLedger(max_events=2)
+        for txid in range(5):
+            ledger.record(0, txid, "ingest")
+        return render_prometheus(registry, tracer, ledger)
+
+    def test_round_trip_accepts_full_exposition(self):
+        from repro.obs import parse_prometheus
+
+        text = self._full_exposition()
+        families = parse_prometheus(text)
+        expected = {
+            "epochs_total",
+            "aborts_total",
+            "last_epoch_index",
+            "epoch_latency_seconds",
+            "repro_span_count",
+            "repro_span_seconds_total",
+            "tracer_spans_evicted_total",
+            "ledger_events_total",
+            "ledger_events_evicted_total",
+        }
+        assert expected <= set(families)
+        for name, family in families.items():
+            assert family["type"], name
+            assert family["help"], name
+            assert family["samples"], name
+
+    def test_each_family_headered_exactly_once(self):
+        text = self._full_exposition()
+        for name in ("aborts_total", "ledger_events_total", "repro_span_count"):
+            assert text.count(f"# HELP {name} ") == 1
+            assert text.count(f"# TYPE {name} ") == 1
+
+    def test_ledger_counters_truthful(self):
+        from repro.obs import FlightLedger, parse_prometheus
+
+        ledger = FlightLedger(max_events=2)
+        for txid in range(5):
+            ledger.record(0, txid, "ingest")
+        families = parse_prometheus(render_prometheus(MetricsRegistry(), ledger=ledger))
+        total = families["ledger_events_total"]["samples"][0]
+        evicted = families["ledger_events_evicted_total"]["samples"][0]
+        assert total[2] == 5.0
+        assert evicted[2] == 3.0
+
+    def test_summary_samples_attributed_to_family(self):
+        from repro.obs import parse_prometheus
+
+        registry = MetricsRegistry()
+        registry.histogram("latency_seconds").observe(1.0)
+        families = parse_prometheus(render_prometheus(registry))
+        names = [s[0] for s in families["latency_seconds"]["samples"]]
+        assert "latency_seconds_sum" in names
+        assert "latency_seconds_count" in names
+
+    def test_parser_rejects_repeated_help(self):
+        import pytest
+
+        from repro.obs import parse_prometheus
+
+        text = (
+            "# HELP m m\n# TYPE m counter\n# HELP m again\nm 1\n"
+        )
+        with pytest.raises(ValueError, match="repeated"):
+            parse_prometheus(text)
+
+    def test_parser_rejects_orphan_sample(self):
+        import pytest
+
+        from repro.obs import parse_prometheus
+
+        with pytest.raises(ValueError, match="precedes"):
+            parse_prometheus("orphan_metric 3\n")
+
+    def test_parser_rejects_headerless_family(self):
+        import pytest
+
+        from repro.obs import parse_prometheus
+
+        with pytest.raises(ValueError, match="no # TYPE"):
+            parse_prometheus("# HELP m m\nm 1\n")
+        with pytest.raises(ValueError, match="no # HELP"):
+            parse_prometheus("# TYPE m counter\nm 1\n")
+
+    def test_parser_unescapes_label_values(self):
+        from repro.obs import parse_prometheus
+
+        registry = MetricsRegistry()
+        registry.counter("c", labels={"reason": 'say "no"\nplease'}).inc()
+        families = parse_prometheus(render_prometheus(registry))
+        _, labels, _ = families["c"]["samples"][0]
+        assert labels["reason"] == 'say "no"\nplease'

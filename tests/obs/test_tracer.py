@@ -109,6 +109,31 @@ class TestRingEviction:
         tracer.clear()
         assert tracer.spans() == []
 
+    def test_evicted_counts_ring_overflow(self):
+        tracer = Tracer(max_spans=3)
+        for index in range(10):
+            with tracer.span(f"s{index}"):
+                pass
+        assert tracer.evicted == 7
+        assert tracer.evicted + len(tracer) == 10
+
+    def test_evicted_is_a_lifetime_counter(self):
+        tracer = Tracer(max_spans=1)
+        for _ in range(4):
+            with tracer.span("churn"):
+                pass
+        assert tracer.evicted == 3
+        # drain() and clear() empty the ring but never reset the counter —
+        # otherwise /metrics would undercount truncation between scrapes.
+        tracer.drain()
+        tracer.clear()
+        assert tracer.evicted == 3
+        with tracer.span("more"):
+            pass
+        with tracer.span("more"):
+            pass
+        assert tracer.evicted == 4
+
 
 class TestCrossProcessMerge:
     def test_wire_round_trip_preserves_every_field(self):

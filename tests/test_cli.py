@@ -394,3 +394,116 @@ class TestFlightRecorder:
         assert code == 0
         assert "cc.sorting" in trace_file.read_text()
         assert "txns_committed_total" in metrics_file.read_text()
+
+
+class TestFlightLedgerCLI:
+    """The flight-ledger surface: --ledger-out, --metrics-port, analyze."""
+
+    def run(self, argv, capsys):
+        code = main(argv)
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    @pytest.fixture()
+    def ledger_file(self, tmp_path, capsys):
+        """A recorded ledger from a hot simulate run (aborts guaranteed)."""
+        path = tmp_path / "flight.jsonl"
+        code, out, _err = self.run(
+            ["simulate", "--scheme", "nezha", "--epochs", "2", "--omega", "2",
+             "--block-size", "25", "--accounts", "60", "--skew", "0.95",
+             "--ledger-out", str(path)],
+            capsys,
+        )
+        assert code == 0
+        assert "ledger:" in out
+        return path
+
+    def test_analyze_ledger_validates_recorded_file(self, ledger_file, capsys):
+        code, out, _err = self.run(["analyze", "ledger", str(ledger_file)], capsys)
+        assert code == 0
+        assert "ok" in out
+
+    def test_analyze_ledger_rejects_foreign_file(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.jsonl"
+        bogus.write_text('{"schema": "nope"}\n')
+        code, _out, err = self.run(["analyze", "ledger", str(bogus)], capsys)
+        assert code == 1
+        assert "unreadable ledger" in err
+
+    def test_analyze_txn_replays_abort_timeline(self, ledger_file, capsys):
+        import json
+
+        from repro.obs import read_jsonl
+
+        _meta, events = read_jsonl(ledger_file)
+        victim = next(e["txid"] for e in events if e["kind"] == "abort")
+        code, out, _err = self.run(
+            ["analyze", "txn", str(victim), "--ledger", str(ledger_file)],
+            capsys,
+        )
+        assert code == 0
+        assert f"T{victim} timeline" in out
+        assert "abort chain:" in out
+        code, out, _err = self.run(
+            ["analyze", "txn", str(victim), "--ledger", str(ledger_file),
+             "--json"],
+            capsys,
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["report"] == "txn-timeline"
+        assert payload["abort_chain"]
+        stages = [e["kind"] for e in payload["timeline"]]
+        assert stages[0] == "ingest"
+        assert "abort" in stages
+
+    def test_analyze_txn_unknown_txid(self, ledger_file, capsys):
+        code, _out, err = self.run(
+            ["analyze", "txn", "999999999", "--ledger", str(ledger_file)],
+            capsys,
+        )
+        assert code == 1
+        assert "no events" in err
+
+    def test_analyze_contention_reports_hot_addresses(self, ledger_file, capsys):
+        import json
+
+        code, out, _err = self.run(
+            ["analyze", "contention", "--ledger", str(ledger_file), "--json"],
+            capsys,
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["report"] == "contention"
+        assert payload["addresses"]
+        hottest = max(
+            payload["addresses"], key=lambda a: payload["addresses"][a]["aborts"]
+        )
+        assert payload["addresses"][hottest]["aborts"] >= 1
+        code, out, _err = self.run(
+            ["analyze", "contention", "--ledger", str(ledger_file)], capsys
+        )
+        assert code == 0
+        assert hottest in out
+
+    def test_simulate_serves_metrics_endpoint(self, capsys):
+        code, out, _err = self.run(
+            ["simulate", "--epochs", "1", "--omega", "2", "--block-size", "10",
+             "--accounts", "100", "--metrics-port", "0"],
+            capsys,
+        )
+        assert code == 0
+        assert "metrics endpoint:" in out
+        assert "/metrics (and /healthz)" in out
+
+    def test_multinode_ledger_out(self, tmp_path, capsys):
+        path = tmp_path / "replica0.jsonl"
+        code, out, _err = self.run(
+            ["multinode", "--replicas", "2", "--epochs", "1", "--omega", "2",
+             "--block-size", "10", "--accounts", "200",
+             "--ledger-out", str(path)],
+            capsys,
+        )
+        assert code == 0
+        assert "ledger:" in out
+        assert path.exists()
